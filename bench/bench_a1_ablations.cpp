@@ -1,0 +1,108 @@
+// A1 — ablations of engine design choices called out in DESIGN.md:
+//
+//   chunk:  rendezvous chunk size. Small chunks interleave better with
+//           latency traffic but pay per-chunk overhead; large chunks reach
+//           peak bandwidth but monopolize the link.
+//   depth:  per-track pipeline depth. The paper's design keeps one packet
+//           in flight (depth 1) so the backlog can accumulate; deeper
+//           pipelines shrink the lookahead pool and the aggregation win.
+//
+// Expected shapes: bulk bandwidth rises with chunk size and saturates;
+// the concurrent control RTT rises with chunk size (blocking grows).
+// For depth: transactions grow (aggregation shrinks) as depth increases on
+// the multiflow workload.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+// ---- chunk size -------------------------------------------------------------
+
+struct ChunkResult {
+  double bulk_mbps = 0;
+  double ctrl_rtt_us = 0;
+};
+
+ChunkResult run_chunk(std::size_t chunk) {
+  EngineConfig cfg;
+  cfg.rdv_chunk = chunk;
+  SimWorld w(2, cfg);
+  w.connect(0, 1, drv::mx_myrinet_profile());
+  core::Channel bulk_tx = w.node(0).open_channel(1, 1, core::TrafficClass::Bulk);
+  core::Channel bulk_rx = w.node(1).open_channel(0, 1, core::TrafficClass::Bulk);
+  core::Channel ping_a = w.node(0).open_channel(1, 2);
+  core::Channel ping_b = w.node(1).open_channel(0, 2);
+
+  const std::size_t kBytes = 8u << 20;
+  Bytes bulk = payload(kBytes);
+  const Nanos t0 = w.now();
+  post_bytes(bulk_tx, bulk, core::SendMode::Later);
+  Bytes out(kBytes);
+  core::IncomingMessage im = bulk_rx.begin_recv();
+  im.unpack(out.data(), out.size(), core::RecvMode::Cheaper);
+
+  // Concurrent control ping-pong on the same rail (eager track vs bulk
+  // track share the physical link, so chunk size sets the blocking grain).
+  constexpr int kPings = 20;
+  double total_rtt = 0;
+  Bytes ping = payload(64), pong(64);
+  for (int i = 0; i < kPings; ++i) {
+    const Nanos p0 = w.now();
+    post_bytes(ping_a, ping);
+    recv_into(ping_b, pong);
+    post_bytes(ping_b, pong);
+    recv_into(ping_a, pong);
+    total_rtt += to_usec(w.now() - p0);
+  }
+  im.finish();
+  w.node(0).flush();
+  ChunkResult r;
+  r.bulk_mbps = static_cast<double>(kBytes) / to_usec(w.now() - t0);
+  r.ctrl_rtt_us = total_rtt / kPings;
+  return r;
+}
+
+void BM_A1_ChunkSize(benchmark::State& state) {
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  ChunkResult r;
+  for (auto _ : state) r = run_chunk(chunk);
+  state.counters["bulk_MBps"] = r.bulk_mbps;
+  state.counters["ctrl_rtt_us"] = r.ctrl_rtt_us;
+  state.counters["chunk_KiB"] = static_cast<double>(chunk >> 10);
+}
+
+// ---- track depth ------------------------------------------------------------
+
+void BM_A1_TrackDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  EngineConfig cfg;
+  cfg.strategy = "aggreg";
+  auto caps = drv::mx_myrinet_profile();
+  caps.track_depth = depth;
+  MultiflowResult r;
+  for (auto _ : state)
+    r = run_multiflow(cfg, caps, /*flows=*/16, /*msgs=*/50, /*size=*/64);
+  state.counters["sim_us"] = to_usec(r.time);
+  state.counters["net_transactions"] = static_cast<double>(r.packets);
+  state.counters["frags_per_packet"] = r.frags_per_packet();
+}
+
+}  // namespace
+
+BENCHMARK(BM_A1_ChunkSize)
+    ->Arg(16 << 10)->Arg(64 << 10)->Arg(256 << 10)->Arg(1 << 20)
+    ->ArgNames({"chunk"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_A1_TrackDepth)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"depth"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// A2 — one-sided put/get characterization (extension; the paper names
+// "put/get transfers" as a traffic class and lists remote memory access
+// among the protocol choices, but does not evaluate them).
+//
+// Compared: one-sided put (remote completion: handle completes on the
+// target's ack) and get vs. the two-sided send/recv path, across sizes
+// spanning the eager → rendezvous transition, MX profile.
+//
+// Expected shape: small puts cost ~1 RTT (data + ack) like an eager
+// send+recv turnaround; large puts/gets track the rendezvous bandwidth of
+// two-sided transfers since they share the same bulk machinery; one-sided
+// needs no receiver involvement (the target engine answers by itself).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+enum class Op { Put, Get, SendRecv };
+const char* kOpNames[] = {"put", "get", "send_recv"};
+
+double run_op_us(Op op, std::size_t size, int rounds) {
+  SimWorld w(2, EngineConfig{});
+  w.connect(0, 1, drv::mx_myrinet_profile());
+  Bytes window(std::max<std::size_t>(size, 1) , Byte{0});
+  w.node(1).expose_window(1, window.data(), window.size());
+  core::Channel tx = w.node(0).open_channel(1, 7);
+  core::Channel rx = w.node(1).open_channel(0, 7);
+  Bytes data = payload(size);
+  Bytes out(size);
+  const Nanos t0 = w.now();
+  for (int i = 0; i < rounds; ++i) {
+    switch (op) {
+      case Op::Put:
+        w.node(0).wait_send(w.node(0).rma_put(1, 1, 0, data.data(), size));
+        break;
+      case Op::Get:
+        w.node(0).wait_send(w.node(0).rma_get(1, 1, 0, out.data(), size));
+        break;
+      case Op::SendRecv:
+        post_bytes(tx, data, core::SendMode::Later);
+        recv_into(rx, out);
+        break;
+    }
+  }
+  return to_usec(w.now() - t0) / rounds;
+}
+
+void BM_A2_PutGet(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto op = static_cast<Op>(state.range(1));
+  double us = 0;
+  for (auto _ : state) us = run_op_us(op, size, /*rounds=*/10);
+  state.counters["op_us"] = us;
+  state.counters["MBps"] = static_cast<double>(size) / us;
+  state.SetLabel(kOpNames[state.range(1)]);
+}
+
+}  // namespace
+
+BENCHMARK(BM_A2_PutGet)
+    ->ArgsProduct({{64, 1024, 16384, 65536, 1048576}, {0, 1, 2}})
+    ->ArgNames({"size", "op"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

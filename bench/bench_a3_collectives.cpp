@@ -1,0 +1,92 @@
+// A3 — collective operations built on the engine (extension): allreduce
+// and barrier completion time vs. node count, under the baseline and the
+// optimizing strategy.
+//
+// Collectives stress the engine differently from E1's independent streams:
+// each rank exchanges with log2(N) distinct peers over dedicated links, so
+// cross-flow aggregation only helps where several collective edges share a
+// rail pair — expected shape: log-scaling of completion time with N for
+// barrier/allreduce, and parity between fifo and aggreg (few concurrent
+// fragments per link pair), demonstrating the optimizer does not hurt
+// latency-bound collective patterns.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "mw/collectives.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+using mw::Collectives;
+using Rank = Collectives::Rank;
+
+struct CollWorld {
+  explicit CollWorld(Rank n, const EngineConfig& cfg) : world(n, cfg) {
+    for (Rank a = 0; a < n; ++a)
+      for (Rank b = static_cast<Rank>(a + 1); b < n; ++b)
+        world.connect(a, b, drv::mx_myrinet_profile());
+    for (Rank r = 0; r < n; ++r)
+      colls.push_back(std::make_unique<Collectives>(world.node(r), r, n));
+  }
+  SimWorld world;
+  std::vector<std::unique_ptr<Collectives>> colls;
+};
+
+Nanos run_collective(Rank n, const std::string& strategy, bool allreduce,
+                     std::size_t elems) {
+  EngineConfig cfg;
+  cfg.strategy = strategy;
+  CollWorld w(n, cfg);
+  std::vector<std::vector<double>> in(n, std::vector<double>(elems, 1.0));
+  std::vector<std::vector<double>> out(n, std::vector<double>(elems, 0.0));
+  std::vector<std::unique_ptr<Collectives::Op>> ops;
+  for (Rank r = 0; r < n; ++r) {
+    if (allreduce)
+      ops.push_back(
+          w.colls[r]->allreduce_sum(in[r].data(), out[r].data(), elems));
+    else
+      ops.push_back(w.colls[r]->barrier());
+  }
+  std::vector<Collectives::Op*> raw;
+  for (auto& op : ops) raw.push_back(op.get());
+  const bool ok =
+      mw::drive_all([&w] { return w.world.fabric().step(); }, raw);
+  return ok ? w.world.now() : 0;
+}
+
+void BM_A3_Barrier(benchmark::State& state) {
+  const auto n = static_cast<Rank>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  Nanos t = 0;
+  for (auto _ : state)
+    t = run_collective(n, optimized ? "aggreg" : "fifo", false, 0);
+  state.counters["sim_us"] = to_usec(t);
+  state.SetLabel(optimized ? "aggreg" : "fifo");
+}
+
+void BM_A3_Allreduce(benchmark::State& state) {
+  const auto n = static_cast<Rank>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  Nanos t = 0;
+  for (auto _ : state)
+    t = run_collective(n, optimized ? "aggreg" : "fifo", true, /*elems=*/256);
+  state.counters["sim_us"] = to_usec(t);
+  state.SetLabel(optimized ? "aggreg" : "fifo");
+}
+
+}  // namespace
+
+BENCHMARK(BM_A3_Barrier)
+    ->ArgsProduct({{2, 4, 8, 16}, {0, 1}})
+    ->ArgNames({"nodes", "optimized"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_A3_Allreduce)
+    ->ArgsProduct({{2, 4, 8, 16}, {0, 1}})
+    ->ArgNames({"nodes", "optimized"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

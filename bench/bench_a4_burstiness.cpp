@@ -1,0 +1,80 @@
+// A4 — workload-shape ablation: how traffic burstiness selects the right
+// policy. The same total load (4 flows × 80 messages × 64 B) is delivered
+// with different arrival patterns, from back-to-back bursts to Poisson to
+// sparse-uniform, under each relevant strategy.
+//
+// Expected shapes: bursty traffic → aggregation collapses transactions and
+// fifo pays heavily; sparse traffic → aggreg ≈ fifo (nothing to combine)
+// while nagle/adaptive trade latency for transactions; Poisson sits in
+// between. This is the phase diagram behind the paper's argument that the
+// policy must be selected dynamically.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "mw/workload.hpp"
+#include "mw/workload_runner.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+using namespace mado::mw;
+
+Schedule make_schedule(int shape) {
+  switch (shape) {
+    case 0: {  // dense bursts separated by silence
+      BurstySpec s;
+      s.flows = 4;
+      s.bursts = 10;
+      s.burst_len = 8;
+      s.inter_gap = usec(30);
+      return make_bursty(s);
+    }
+    case 1: {  // Poisson arrivals, mean gap 2 us per flow
+      PoissonSpec s;
+      s.flows = 4;
+      s.msgs_per_flow = 80;
+      s.mean_gap_us = 2.0;
+      s.seed = 7;
+      return make_poisson(s);
+    }
+    default: {  // sparse uniform: one message per flow every 8 us
+      UniformSpec s;
+      s.flows = 4;
+      s.msgs_per_flow = 80;
+      s.interval = usec(8);
+      s.stagger = usec(2);
+      return make_uniform(s);
+    }
+  }
+}
+
+const char* kShapes[] = {"bursty", "poisson", "sparse"};
+const char* kStrategies[] = {"fifo", "aggreg", "nagle", "adaptive"};
+
+void BM_A4_Burstiness(benchmark::State& state) {
+  const auto shape = static_cast<int>(state.range(0));
+  const auto* strategy = kStrategies[state.range(1)];
+  core::EngineConfig cfg;
+  cfg.strategy = strategy;
+  cfg.nagle_delay = usec(2);
+
+  ReplayResult r;
+  const Schedule schedule = make_schedule(shape);
+  for (auto _ : state)
+    r = replay(cfg, drv::mx_myrinet_profile(), schedule);
+  state.counters["net_transactions"] = static_cast<double>(r.packets);
+  state.counters["mean_latency_us"] = r.mean_latency_us;
+  state.counters["frags_per_packet"] = r.frags_per_packet();
+  state.SetLabel(std::string(kShapes[shape]) + "/" + strategy);
+}
+
+}  // namespace
+
+BENCHMARK(BM_A4_Burstiness)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
+    ->ArgNames({"shape", "strategy"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

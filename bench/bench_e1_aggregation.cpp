@@ -1,0 +1,49 @@
+// E1 — the paper's headline claim (§4): "the aggregation of eager segments
+// collected from several independent communication flows brings huge
+// performance gains."
+//
+// Workload: N independent flows each streaming small messages over one
+// MX-profile rail. Compared: "fifo" (previous Madeleine: deterministic
+// per-flow handling, one network transaction per message) vs "aggreg"
+// (dynamic cross-flow aggregation).
+//
+// Expected shape: identical fragment counts, but aggreg collapses
+// transactions (net_transactions ↓, frags_per_packet ↑) and completion
+// time drops; the gap grows with the number of flows.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+void BM_E1_Aggregation(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  EngineConfig cfg;
+  cfg.strategy = optimized ? "aggreg" : "fifo";
+  cfg.lookahead_window = 0;  // unbounded: E4 studies the window separately
+
+  MultiflowResult r;
+  for (auto _ : state)
+    r = run_multiflow(cfg, drv::mx_myrinet_profile(), flows, /*msgs=*/50,
+                      /*size=*/64);
+  state.counters["sim_us"] = to_usec(r.time);
+  state.counters["net_transactions"] = static_cast<double>(r.packets);
+  state.counters["frags_per_packet"] = r.frags_per_packet();
+  state.counters["msg_rate_per_us"] =
+      static_cast<double>(flows * 50) / to_usec(r.time);
+  state.SetLabel(cfg.strategy);
+}
+
+}  // namespace
+
+BENCHMARK(BM_E1_Aggregation)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32}, {0, 1}})
+    ->ArgNames({"flows", "optimized"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

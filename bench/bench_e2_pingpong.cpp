@@ -1,0 +1,41 @@
+// E2 — baseline parity: single-flow ping-pong latency across message sizes.
+//
+// The paper claims improvements "in many cases" with no regression for
+// regular traffic; with a single flow and strict request-response turn
+// taking there is nothing to aggregate, so the optimizer must match the
+// deterministic baseline. Expected shape: half-RTT(aggreg) ==
+// half-RTT(fifo) for every size, with the rendezvous threshold (32 KiB for
+// the MX profile) visible as a step.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+void BM_E2_PingPong(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  EngineConfig cfg;
+  cfg.strategy = optimized ? "aggreg" : "fifo";
+
+  Nanos half_rtt = 0;
+  for (auto _ : state)
+    half_rtt = run_pingpong_half_rtt(cfg, drv::mx_myrinet_profile(), size,
+                                     /*rounds=*/20);
+  state.counters["half_rtt_us"] = to_usec(half_rtt);
+  state.counters["size_B"] = static_cast<double>(size);
+  state.SetLabel(cfg.strategy);
+}
+
+}  // namespace
+
+BENCHMARK(BM_E2_PingPong)
+    ->ArgsProduct({{4, 64, 512, 4096, 16384, 65536, 262144, 1048576}, {0, 1}})
+    ->ArgNames({"size", "optimized"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

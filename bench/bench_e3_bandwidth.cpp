@@ -1,0 +1,44 @@
+// E3 — canonical bandwidth curve per driver profile (the figure every
+// Madeleine-family paper reports): one-way streaming bandwidth vs message
+// size for MX/Myrinet, Elan/Quadrics and TCP/GigE capability profiles.
+//
+// Expected shape: bandwidth rises with size toward each profile's link
+// rate (MX ≈ 250 MB/s, Elan ≈ 900 MB/s, TCP ≈ 110 MB/s); the eager →
+// rendezvous transition appears as a knee at the profile's threshold; the
+// technology ordering Elan > MX > TCP holds at every size.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+const char* kProfiles[] = {"mx", "elan", "tcp"};
+
+void BM_E3_Bandwidth(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto* profile = kProfiles[state.range(1)];
+  EngineConfig cfg;
+  cfg.strategy = "aggreg";
+
+  double mbps = 0;
+  for (auto _ : state)
+    mbps = run_stream_mbps(cfg, drv::profile_by_name(profile), size,
+                           /*total=*/16u << 20);
+  state.counters["MBps"] = mbps;
+  state.counters["size_B"] = static_cast<double>(size);
+  state.SetLabel(profile);
+}
+
+}  // namespace
+
+BENCHMARK(BM_E3_Bandwidth)
+    ->ArgsProduct({{1024, 4096, 16384, 65536, 262144, 1048576, 4194304},
+                   {0, 1, 2}})
+    ->ArgNames({"size", "profile"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

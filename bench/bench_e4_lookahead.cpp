@@ -1,0 +1,46 @@
+// E4 — future work #1 of the paper: "experiment with different packet
+// lookahead window sizes."
+//
+// Workload: the E1 multiflow stream (16 flows x 50 msgs x 64 B) under the
+// aggreg strategy with the lookahead window swept from 1 fragment to
+// unbounded. Window = max fragments the optimizer may examine/combine per
+// packet decision; 1 degenerates to no cross-flow aggregation.
+//
+// Expected shape: completion time falls and frags/packet rises steeply for
+// the first few window steps, then saturates once the window covers the
+// natural backlog depth — supporting the paper's plan to keep the window
+// (and thus optimizer state) small.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+void BM_E4_Lookahead(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  EngineConfig cfg;
+  cfg.strategy = "aggreg";
+  cfg.lookahead_window = window;  // 0 = unbounded
+
+  MultiflowResult r;
+  for (auto _ : state)
+    r = run_multiflow(cfg, drv::mx_myrinet_profile(), /*flows=*/16,
+                      /*msgs=*/50, /*size=*/64);
+  state.counters["sim_us"] = to_usec(r.time);
+  state.counters["net_transactions"] = static_cast<double>(r.packets);
+  state.counters["frags_per_packet"] = r.frags_per_packet();
+  state.SetLabel(window == 0 ? "unbounded" : std::to_string(window));
+}
+
+}  // namespace
+
+BENCHMARK(BM_E4_Lookahead)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(0)
+    ->ArgNames({"window"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E5 — future work #2 of the paper: "study how to bound the number of data
+// rearrangements the optimizer has to evaluate so as to determine the best
+// combination of optimization techniques."
+//
+// Workload: 8 flows with a bimodal size mix (48 B control-like and 1.8 KiB
+// medium fragments), where whether to merge mediums or pipeline them is a
+// genuine decision, under the search-based aggreg_exhaustive strategy with
+// the candidate-evaluation budget K swept.
+//
+// Expected shape: solution quality (sim_us) improves from K=1 (first
+// candidate only ≈ greedy) and saturates within a few tens of evaluations,
+// while the optimizer's own CPU time (evals/decision, and the wall-time
+// column) keeps growing with K — i.e., a small bound loses nothing, which
+// is exactly the paper's motivation for bounding the search.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+struct E5Result {
+  Nanos time = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t decisions = 0;
+};
+
+E5Result run_mixed(std::size_t eval_budget) {
+  EngineConfig cfg;
+  cfg.strategy = "aggreg_exhaustive";
+  cfg.eval_budget = eval_budget;
+  cfg.lookahead_window = 12;
+  SimWorld w(2, cfg);
+  w.connect(0, 1, drv::mx_myrinet_profile());
+  constexpr std::size_t kFlows = 8;
+  constexpr int kMsgs = 40;
+  std::vector<core::Channel> tx, rx;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    tx.push_back(w.node(0).open_channel(1, static_cast<core::ChannelId>(f)));
+    rx.push_back(w.node(1).open_channel(0, static_cast<core::ChannelId>(f)));
+  }
+  for (int i = 0; i < kMsgs; ++i)
+    for (std::size_t f = 0; f < kFlows; ++f)
+      post_bytes(tx[f], payload(f % 2 ? 1800 : 48));
+  for (int i = 0; i < kMsgs; ++i)
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      Bytes out(f % 2 ? 1800 : 48);
+      recv_into(rx[f], out);
+    }
+  w.node(0).flush();
+  E5Result r;
+  r.time = w.now();
+  r.evals = w.node(0).stats().counter("opt.evals");
+  r.decisions = w.node(0).stats().counter("opt.decisions");
+  return r;
+}
+
+void BM_E5_RearrangeBound(benchmark::State& state) {
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  E5Result r;
+  for (auto _ : state) r = run_mixed(budget);
+  state.counters["sim_us"] = to_usec(r.time);
+  state.counters["evals_total"] = static_cast<double>(r.evals);
+  state.counters["evals_per_decision"] =
+      r.decisions ? static_cast<double>(r.evals) /
+                        static_cast<double>(r.decisions)
+                  : 0.0;
+  state.SetLabel(budget == 0 ? "unbounded" : "K=" + std::to_string(budget));
+}
+
+}  // namespace
+
+BENCHMARK(BM_E5_RearrangeBound)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(0)
+    ->ArgNames({"eval_budget"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

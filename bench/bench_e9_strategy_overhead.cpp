@@ -1,0 +1,85 @@
+// E9 — the optimizer's own cost: real CPU time per packet decision for each
+// strategy in the database, on a standing backlog of 64 fragments across 8
+// flows. This is the engine-side overhead the paper's future work #2 wants
+// bounded; unlike E1–E8 these numbers are measured wall time, not
+// simulated time.
+//
+// Expected shape: fifo < aggreg < nagle << aggreg_exhaustive, and the
+// exhaustive strategy's cost scales with its evaluation budget.
+#include <benchmark/benchmark.h>
+
+#include "core/strategies.hpp"
+#include "core/strategy.hpp"
+#include "drivers/profiles.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::core;
+
+TxBacklog make_backlog(std::size_t flows, std::size_t per_flow,
+                       std::uint64_t& order) {
+  TxBacklog b;
+  for (std::size_t f = 0; f < flows; ++f)
+    for (std::size_t i = 0; i < per_flow; ++i) {
+      TxFrag frag;
+      frag.channel = static_cast<ChannelId>(f);
+      frag.msg_seq = static_cast<MsgSeq>(i);
+      frag.idx = 0;
+      frag.nfrags_total = 1;
+      frag.last = true;
+      frag.owned.assign(i % 2 ? 700 : 48, Byte{0x5a});
+      frag.len = frag.owned.size();
+      frag.order = order++;
+      b.push(std::move(frag));
+    }
+  return b;
+}
+
+void decide_all(benchmark::State& state, const std::string& name,
+                std::size_t eval_budget) {
+  auto strategy = StrategyRegistry::instance().create(name);
+  const drv::Capabilities caps = drv::mx_myrinet_profile();
+  StatsRegistry stats;
+  StrategyEnv env{caps, 0, /*window=*/16, eval_budget, 0, &stats};
+  std::uint64_t order = 1;
+  std::uint64_t decisions = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    TxBacklog backlog = make_backlog(8, 8, order);
+    state.ResumeTiming();
+    while (!backlog.empty()) {
+      auto d = strategy->next_packet(backlog, env);
+      benchmark::DoNotOptimize(d.frags.data());
+      ++decisions;
+      if (d.action != PacketDecision::Action::Send) break;
+    }
+  }
+  state.counters["decisions_per_fill"] =
+      static_cast<double>(decisions) / static_cast<double>(state.iterations());
+  state.SetLabel(name + (eval_budget ? "/K=" + std::to_string(eval_budget)
+                                     : ""));
+}
+
+void BM_E9_Fifo(benchmark::State& state) { decide_all(state, "fifo", 0); }
+void BM_E9_Aggreg(benchmark::State& state) { decide_all(state, "aggreg", 0); }
+void BM_E9_Nagle(benchmark::State& state) { decide_all(state, "nagle", 0); }
+void BM_E9_Adaptive(benchmark::State& state) {
+  decide_all(state, "adaptive", 0);
+}
+void BM_E9_Exhaustive(benchmark::State& state) {
+  decide_all(state, "aggreg_exhaustive",
+             static_cast<std::size_t>(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_E9_Fifo);
+BENCHMARK(BM_E9_Aggreg);
+BENCHMARK(BM_E9_Nagle);
+BENCHMARK(BM_E9_Adaptive);
+BENCHMARK(BM_E9_Exhaustive)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgNames({"eval_budget"});
+
+BENCHMARK_MAIN();

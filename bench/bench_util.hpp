@@ -1,0 +1,124 @@
+// Shared workload generators for the experiment benches (E1–E9).
+//
+// All simulation benches report *virtual* time (deterministic, from the
+// NIC cost model) through benchmark counters; the google-benchmark wall
+// time column only reflects how long the simulation took to execute.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "util/rng.hpp"
+
+namespace mado::bench {
+
+using core::Channel;
+using core::EngineConfig;
+using core::IncomingMessage;
+using core::Message;
+using core::SimWorld;
+
+inline Bytes payload(std::size_t n, std::uint32_t seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<Byte>(seed + i * 13);
+  return b;
+}
+
+inline void post_bytes(Channel& ch, const Bytes& data,
+                       core::SendMode mode = core::SendMode::Safe) {
+  Message m;
+  m.pack(data.data(), data.size(), mode);
+  ch.post(std::move(m));
+}
+
+inline void recv_into(Channel& ch, Bytes& out) {
+  IncomingMessage im = ch.begin_recv();
+  im.unpack(out.data(), out.size(), core::RecvMode::Express);
+  im.finish();
+}
+
+struct MultiflowResult {
+  Nanos time = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t frags = 0;
+  double frags_per_packet() const {
+    return packets ? static_cast<double>(frags) / static_cast<double>(packets)
+                   : 0.0;
+  }
+};
+
+/// E1/E4 workload: `flows` independent channels each posting `msgs`
+/// single-fragment messages of `size` bytes back to back; the receiver
+/// drains everything; result is total completion (virtual) time and the
+/// sender's transaction counters.
+inline MultiflowResult run_multiflow(const EngineConfig& cfg,
+                                     const drv::Capabilities& caps,
+                                     std::size_t flows, int msgs,
+                                     std::size_t size) {
+  SimWorld w(2, cfg);
+  w.connect(0, 1, caps);
+  std::vector<Channel> tx, rx;
+  tx.reserve(flows);
+  rx.reserve(flows);
+  for (std::size_t f = 0; f < flows; ++f) {
+    tx.push_back(w.node(0).open_channel(1, static_cast<core::ChannelId>(f)));
+    rx.push_back(w.node(1).open_channel(0, static_cast<core::ChannelId>(f)));
+  }
+  const Bytes data = payload(size);
+  for (int i = 0; i < msgs; ++i)
+    for (std::size_t f = 0; f < flows; ++f) post_bytes(tx[f], data);
+  Bytes out(size);
+  for (int i = 0; i < msgs; ++i)
+    for (std::size_t f = 0; f < flows; ++f) recv_into(rx[f], out);
+  w.node(0).flush();
+  MultiflowResult r;
+  r.time = w.now();
+  r.packets = w.node(0).stats().counter("tx.packets");
+  r.frags = w.node(0).stats().counter("tx.frags");
+  return r;
+}
+
+/// E2 workload: `rounds` ping-pong exchanges of `size` bytes; returns the
+/// mean half round trip in virtual nanoseconds.
+inline Nanos run_pingpong_half_rtt(const EngineConfig& cfg,
+                                   const drv::Capabilities& caps,
+                                   std::size_t size, int rounds) {
+  SimWorld w(2, cfg);
+  w.connect(0, 1, caps);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  const Bytes data = payload(size);
+  Bytes out(size);
+  const Nanos t0 = w.now();
+  for (int i = 0; i < rounds; ++i) {
+    post_bytes(a, data, core::SendMode::Later);
+    recv_into(b, out);
+    post_bytes(b, out, core::SendMode::Later);
+    recv_into(a, out);
+  }
+  return (w.now() - t0) / (2u * static_cast<unsigned>(rounds));
+}
+
+/// E3 workload: one-way stream of `total` bytes in `size`-byte messages;
+/// returns achieved bandwidth in MB/s (== bytes per virtual microsecond).
+inline double run_stream_mbps(const EngineConfig& cfg,
+                              const drv::Capabilities& caps, std::size_t size,
+                              std::size_t total) {
+  SimWorld w(2, cfg);
+  w.connect(0, 1, caps);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  const std::size_t n = total / size;
+  const Bytes data = payload(size);
+  for (std::size_t i = 0; i < n; ++i)
+    post_bytes(a, data, core::SendMode::Later);
+  Bytes out(size);
+  for (std::size_t i = 0; i < n; ++i) recv_into(b, out);
+  w.node(0).flush();
+  return static_cast<double>(n * size) / to_usec(w.now());
+}
+
+}  // namespace mado::bench

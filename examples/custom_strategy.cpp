@@ -1,0 +1,108 @@
+// Extending the strategy database (paper abstract: "The database of
+// predefined strategies can be easily extended").
+//
+// Registers a user-defined "smallest-first" strategy — it always packs the
+// smallest available head fragments first, a shortest-job-first flavor —
+// and runs it against the built-ins on a mixed-size workload. The point is
+// the mechanism: nothing in the engine changes; the strategy is selected by
+// name through EngineConfig.
+//
+// Build & run:  ./build/examples/custom_strategy
+#include <algorithm>
+#include <cstdio>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+
+using namespace mado;
+using namespace mado::core;
+
+namespace {
+
+/// Shortest-fragment-first packing: scan all flow heads, repeatedly take
+/// the smallest head that still fits. Demonstrates a complete third-party
+/// Strategy: honoring control priority, the byte budget and per-flow FIFO
+/// comes from using only TxBacklog's head-consuming interface.
+class SmallestFirstStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "smallest_first"; }
+
+  PacketDecision next_packet(TxBacklog& backlog,
+                             const StrategyEnv& env) override {
+    PacketDecision d;
+    std::size_t used = strategy_detail::take_controls(
+        backlog, env.caps.max_eager, d.frags);
+    for (;;) {
+      if (env.lookahead_window != 0 &&
+          d.frags.size() >= env.lookahead_window)
+        break;
+      // Find the smallest head fragment that fits.
+      ChannelId best = 0;
+      std::size_t best_len = SIZE_MAX;
+      for (ChannelId ch : backlog.active_flows()) {
+        const TxFrag& head = backlog.peek(ch);
+        const std::size_t need = FragHeader::kWireSize + head.len;
+        const bool fits = d.frags.empty() || used + need <= env.caps.max_eager;
+        if (fits && head.len < best_len) {
+          best_len = head.len;
+          best = ch;
+        }
+      }
+      if (best_len == SIZE_MAX) break;
+      used += FragHeader::kWireSize + best_len;
+      d.frags.push_back(backlog.pop(best));
+    }
+    if (d.frags.empty()) return d;  // Idle
+    d.action = PacketDecision::Action::Send;
+    return d;
+  }
+};
+
+Nanos run(const std::string& strategy) {
+  EngineConfig cfg;
+  cfg.strategy = strategy;
+  SimWorld world(2, cfg);
+  world.connect(0, 1, drv::mx_myrinet_profile());
+  std::vector<Channel> tx, rx;
+  for (ChannelId f = 0; f < 8; ++f) {
+    tx.push_back(world.node(0).open_channel(1, f));
+    rx.push_back(world.node(1).open_channel(0, f));
+  }
+  // Mixed sizes: small control-ish messages interleaved with medium ones.
+  for (int round = 0; round < 20; ++round) {
+    for (ChannelId f = 0; f < 8; ++f) {
+      const std::size_t len = (f % 2 == 0) ? 32 : 1500;
+      Bytes data(len, static_cast<Byte>(round));
+      Message m;
+      m.pack(data.data(), data.size(), SendMode::Safe);
+      tx[f].post(std::move(m));
+    }
+  }
+  for (int round = 0; round < 20; ++round) {
+    for (ChannelId f = 0; f < 8; ++f) {
+      const std::size_t len = (f % 2 == 0) ? 32 : 1500;
+      Bytes out(len);
+      IncomingMessage im = rx[f].begin_recv();
+      im.unpack(out.data(), out.size(), RecvMode::Express);
+      im.finish();
+    }
+  }
+  world.node(0).flush();
+  return world.now();
+}
+
+}  // namespace
+
+int main() {
+  // One line extends the database; engines pick it up by name.
+  StrategyRegistry::instance().register_strategy(
+      "smallest_first", [] { return std::make_unique<SmallestFirstStrategy>(); });
+
+  std::printf("strategy database now contains:");
+  for (const auto& n : StrategyRegistry::instance().names())
+    std::printf(" %s", n.c_str());
+  std::printf("\n\nmixed-size 8-flow workload, completion time:\n");
+  for (const char* s : {"fifo", "aggreg", "smallest_first"})
+    std::printf("  %-16s %10.1f us\n", s, to_usec(run(s)));
+  return 0;
+}

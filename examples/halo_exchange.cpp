@@ -1,0 +1,89 @@
+// Halo exchange on a 4-node ring with mini-MPI — the classic regular HPC
+// communication pattern (paper §2: Madeleine must perform well "with
+// regular communication schemes commonly encountered with MPI-like
+// programming environments" too, not only with irregular middleware mixes).
+//
+// Each node owns a strip of a 1-D field and exchanges one halo column with
+// each neighbor per iteration, then relaxes its interior. All four nodes
+// run in one deterministic simulated world.
+//
+// Build & run:  ./build/examples/halo_exchange
+#include <cstdio>
+#include <vector>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "mw/mini_mpi.hpp"
+
+using namespace mado;
+using namespace mado::core;
+using namespace mado::mw;
+
+namespace {
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kStrip = 256;  // interior cells per node
+constexpr int kIters = 50;
+constexpr MpiEndpoint::Tag kLeftTag = 1, kRightTag = 2;
+}  // namespace
+
+int main() {
+  SimWorld world(kNodes);
+  for (NodeId i = 0; i < kNodes; ++i)
+    world.connect(i, (i + 1) % kNodes, drv::mx_myrinet_profile());
+
+  // Each node has an MPI endpoint per neighbor (ring).
+  std::vector<std::unique_ptr<MpiEndpoint>> to_right(kNodes), to_left(kNodes);
+  for (NodeId i = 0; i < kNodes; ++i) {
+    const NodeId right = (i + 1) % kNodes;
+    const NodeId left = (i + kNodes - 1) % kNodes;
+    to_right[i] = std::make_unique<MpiEndpoint>(world.node(i), right, 10);
+    to_left[i] = std::make_unique<MpiEndpoint>(world.node(i), left, 10);
+  }
+
+  // Field strips with two ghost cells: [ghost_l | interior... | ghost_r].
+  std::vector<std::vector<double>> field(kNodes,
+                                         std::vector<double>(kStrip + 2, 0));
+  for (NodeId i = 0; i < kNodes; ++i)
+    field[i][kStrip / 2] = 100.0 * (i + 1);  // initial heat spikes
+
+  for (int it = 0; it < kIters; ++it) {
+    // Post all halo sends (boundary cells to both neighbors)...
+    for (NodeId i = 0; i < kNodes; ++i) {
+      to_right[i]->isend(kLeftTag, &field[i][kStrip], sizeof(double));
+      to_left[i]->isend(kRightTag, &field[i][1], sizeof(double));
+    }
+    // ...then receive ghosts (the simulated world progresses lazily inside
+    // the blocking recv calls).
+    for (NodeId i = 0; i < kNodes; ++i) {
+      to_left[i]->recv(kLeftTag, &field[i][0], sizeof(double));
+      to_right[i]->recv(kRightTag, &field[i][kStrip + 1], sizeof(double));
+    }
+    // Jacobi relaxation on the interior.
+    for (NodeId i = 0; i < kNodes; ++i) {
+      std::vector<double> next = field[i];
+      for (std::size_t x = 1; x <= kStrip; ++x)
+        next[x] = 0.25 * field[i][x - 1] + 0.5 * field[i][x] +
+                  0.25 * field[i][x + 1];
+      field[i] = std::move(next);
+    }
+  }
+
+  double total = 0;
+  for (NodeId i = 0; i < kNodes; ++i)
+    for (std::size_t x = 1; x <= kStrip; ++x) total += field[i][x];
+  std::printf("halo exchange: %zu nodes x %d iterations, %.2f us simulated\n",
+              kNodes, kIters, to_usec(world.now()));
+  std::printf("heat conserved: total=%.3f (expected ~%.3f)\n", total,
+              100.0 * (1 + 2 + 3 + 4));
+  std::uint64_t packets = 0, frags = 0;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    packets += world.node(i).stats().counter("tx.packets");
+    frags += world.node(i).stats().counter("tx.frags");
+  }
+  std::printf("network: %llu fragments in %llu packets (%.2f frags/packet "
+              "— each halo's header+payload fragments share one packet)\n",
+              static_cast<unsigned long long>(frags),
+              static_cast<unsigned long long>(packets),
+              static_cast<double>(frags) / static_cast<double>(packets));
+  return 0;
+}

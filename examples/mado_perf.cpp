@@ -1,0 +1,265 @@
+// mado_perf: NetPIPE-style command-line microbenchmark driver — the kind of
+// tool Madeleine-family papers measured with, exposed over this engine.
+//
+// Patterns:
+//   pingpong   half round-trip latency vs message size
+//   stream     one-way bandwidth vs message size
+//   multiflow  N flows of small messages: transactions + completion time
+//   putget     one-sided put/get latency vs size
+//   allreduce  collective completion vs node count
+//
+// Usage examples:
+//   ./build/examples/mado_perf pingpong --profile mx --strategy aggreg
+//   ./build/examples/mado_perf stream --profile elan --min 1024 --max 4194304
+//   ./build/examples/mado_perf multiflow --flows 16 --msgs 50 --size 64
+//       (add --strategy fifo to compare with the baseline)
+//   ./build/examples/mado_perf multiflow --transport socket   (real bytes)
+#include <cstdio>
+#include <string>
+
+#include "mado.hpp"
+#include "mw/collectives.hpp"
+#include "util/flags.hpp"
+
+using namespace mado;
+using namespace mado::core;
+
+namespace {
+
+struct Setup {
+  EngineConfig cfg;
+  drv::Capabilities caps;
+  bool socket = false;
+};
+
+Setup parse_setup(const Flags& flags) {
+  Setup s;
+  s.cfg.strategy = flags.get("strategy", "aggreg");
+  s.cfg.lookahead_window =
+      static_cast<std::size_t>(flags.get_int("window", 16));
+  s.cfg.eval_budget = static_cast<std::size_t>(flags.get_int("budget", 64));
+  s.cfg.nagle_delay = usec(flags.get_double("nagle-us", 0.0));
+  s.caps = drv::profile_by_name(flags.get("profile", "mx"));
+  s.socket = flags.get("transport", "sim") == "socket";
+  return s;
+}
+
+void run_pingpong(const Setup& s, std::size_t min_size, std::size_t max_size,
+                  int rounds) {
+  std::printf("# pingpong  profile=%s strategy=%s transport=%s\n",
+              s.caps.name.c_str(), s.cfg.strategy.c_str(),
+              s.socket ? "socket" : "sim");
+  std::printf("%12s %16s\n", "size(B)", "half-RTT(us)");
+  for (std::size_t size = min_size; size <= max_size; size *= 2) {
+    double half_rtt_us;
+    if (s.socket) {
+      SocketWorld w(s.cfg, s.caps);
+      Channel a = w.node(0).open_channel(1, 7);
+      Channel b = w.node(1).open_channel(0, 7);
+      Bytes data(size, Byte{1}), out(size);
+      SteadyClock clock;
+      const Nanos t0 = clock.now();
+      for (int i = 0; i < rounds; ++i) {
+        Message m;
+        m.pack(data.data(), size, SendMode::Later);
+        a.post(std::move(m));
+        IncomingMessage im = b.begin_recv();
+        im.unpack(out.data(), size, RecvMode::Express);
+        im.finish();
+        Message r;
+        r.pack(out.data(), size, SendMode::Later);
+        b.post(std::move(r));
+        IncomingMessage im2 = a.begin_recv();
+        im2.unpack(out.data(), size, RecvMode::Express);
+        im2.finish();
+      }
+      half_rtt_us = to_usec(clock.now() - t0) / (2.0 * rounds);
+    } else {
+      SimWorld w(2, s.cfg);
+      w.connect(0, 1, s.caps);
+      Channel a = w.node(0).open_channel(1, 7);
+      Channel b = w.node(1).open_channel(0, 7);
+      Bytes data(size, Byte{1}), out(size);
+      const Nanos t0 = w.now();
+      for (int i = 0; i < rounds; ++i) {
+        Message m;
+        m.pack(data.data(), size, SendMode::Later);
+        a.post(std::move(m));
+        IncomingMessage im = b.begin_recv();
+        im.unpack(out.data(), size, RecvMode::Express);
+        im.finish();
+        Message r;
+        r.pack(out.data(), size, SendMode::Later);
+        b.post(std::move(r));
+        IncomingMessage im2 = a.begin_recv();
+        im2.unpack(out.data(), size, RecvMode::Express);
+        im2.finish();
+      }
+      half_rtt_us = to_usec(w.now() - t0) / (2.0 * rounds);
+    }
+    std::printf("%12zu %16.3f\n", size, half_rtt_us);
+  }
+}
+
+void run_stream(const Setup& s, std::size_t min_size, std::size_t max_size,
+                std::size_t total) {
+  std::printf("# stream  profile=%s strategy=%s\n", s.caps.name.c_str(),
+              s.cfg.strategy.c_str());
+  std::printf("%12s %14s\n", "size(B)", "MB/s");
+  for (std::size_t size = min_size; size <= max_size; size *= 2) {
+    SimWorld w(2, s.cfg);
+    w.connect(0, 1, s.caps);
+    Channel a = w.node(0).open_channel(1, 7);
+    Channel b = w.node(1).open_channel(0, 7);
+    const std::size_t n = std::max<std::size_t>(1, total / size);
+    Bytes data(size, Byte{1}), out(size);
+    for (std::size_t i = 0; i < n; ++i) {
+      Message m;
+      m.pack(data.data(), size, SendMode::Later);
+      a.post(std::move(m));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      IncomingMessage im = b.begin_recv();
+      im.unpack(out.data(), size, RecvMode::Express);
+      im.finish();
+    }
+    w.node(0).flush();
+    std::printf("%12zu %14.1f\n", size,
+                static_cast<double>(n * size) / to_usec(w.now()));
+  }
+}
+
+void run_multiflow(const Setup& s, std::size_t flows, int msgs,
+                   std::size_t size) {
+  std::printf("# multiflow  flows=%zu msgs=%d size=%zu strategy=%s\n", flows,
+              msgs, size, s.cfg.strategy.c_str());
+  SimWorld w(2, s.cfg);
+  w.connect(0, 1, s.caps);
+  std::vector<Channel> tx, rx;
+  for (ChannelId f = 0; f < flows; ++f) {
+    tx.push_back(w.node(0).open_channel(1, f));
+    rx.push_back(w.node(1).open_channel(0, f));
+  }
+  Bytes data(size, Byte{1}), out(size);
+  for (int i = 0; i < msgs; ++i)
+    for (auto& ch : tx) {
+      Message m;
+      m.pack(data.data(), size, SendMode::Safe);
+      ch.post(std::move(m));
+    }
+  for (int i = 0; i < msgs; ++i)
+    for (auto& ch : rx) {
+      IncomingMessage im = ch.begin_recv();
+      im.unpack(out.data(), size, RecvMode::Express);
+      im.finish();
+    }
+  w.node(0).flush();
+  auto& st = w.node(0).stats();
+  std::printf("completion      %12.1f us\n", to_usec(w.now()));
+  std::printf("transactions    %12llu\n",
+              static_cast<unsigned long long>(st.counter("tx.packets")));
+  std::printf("frags/packet    %12.2f\n",
+              static_cast<double>(st.counter("tx.frags")) /
+                  static_cast<double>(st.counter("tx.packets")));
+}
+
+void run_putget(const Setup& s, std::size_t min_size, std::size_t max_size) {
+  std::printf("# putget  profile=%s strategy=%s\n", s.caps.name.c_str(),
+              s.cfg.strategy.c_str());
+  std::printf("%12s %14s %14s\n", "size(B)", "put(us)", "get(us)");
+  for (std::size_t size = min_size; size <= max_size; size *= 4) {
+    SimWorld w(2, s.cfg);
+    w.connect(0, 1, s.caps);
+    Bytes window(size, Byte{0});
+    w.node(1).expose_window(1, window.data(), window.size());
+    Bytes data(size, Byte{1}), out(size);
+    constexpr int kRounds = 10;
+    const Nanos t0 = w.now();
+    for (int i = 0; i < kRounds; ++i)
+      w.node(0).wait_send(w.node(0).rma_put(1, 1, 0, data.data(), size));
+    const Nanos t1 = w.now();
+    for (int i = 0; i < kRounds; ++i)
+      w.node(0).wait_send(w.node(0).rma_get(1, 1, 0, out.data(), size));
+    const Nanos t2 = w.now();
+    std::printf("%12zu %14.3f %14.3f\n", size, to_usec(t1 - t0) / kRounds,
+                to_usec(t2 - t1) / kRounds);
+  }
+}
+
+void run_allreduce(const Setup& s, std::size_t max_nodes, std::size_t elems) {
+  std::printf("# allreduce  profile=%s strategy=%s elems=%zu\n",
+              s.caps.name.c_str(), s.cfg.strategy.c_str(), elems);
+  std::printf("%8s %16s\n", "nodes", "completion(us)");
+  for (std::size_t n = 2; n <= max_nodes; n *= 2) {
+    SimWorld w(n, s.cfg);
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = a + 1; b < n; ++b)
+        w.connect(static_cast<NodeId>(a), static_cast<NodeId>(b), s.caps);
+    std::vector<std::unique_ptr<mw::Collectives>> colls;
+    for (std::size_t r = 0; r < n; ++r)
+      colls.push_back(std::make_unique<mw::Collectives>(
+          w.node(static_cast<NodeId>(r)),
+          static_cast<mw::Collectives::Rank>(r),
+          static_cast<mw::Collectives::Rank>(n)));
+    std::vector<std::vector<double>> in(n, std::vector<double>(elems, 1.0));
+    std::vector<std::vector<double>> out(n, std::vector<double>(elems, 0.0));
+    std::vector<std::unique_ptr<mw::Collectives::Op>> ops;
+    for (std::size_t r = 0; r < n; ++r)
+      ops.push_back(
+          colls[r]->allreduce_sum(in[r].data(), out[r].data(), elems));
+    std::vector<mw::Collectives::Op*> raw;
+    for (auto& op : ops) raw.push_back(op.get());
+    mw::drive_all([&w] { return w.fabric().step(); }, raw);
+    std::printf("%8zu %16.1f\n", n, to_usec(w.now()));
+  }
+}
+
+void usage() {
+  std::printf(
+      "usage: mado_perf <pingpong|stream|multiflow|putget|allreduce> "
+      "[options]\n"
+      "  --profile mx|elan|tcp|test   driver capability profile\n"
+      "  --strategy NAME              fifo|aggreg|aggreg_exhaustive|nagle|"
+      "adaptive\n"
+      "  --window N --budget K --nagle-us D\n"
+      "  --min B --max B              size sweep bounds\n"
+      "  --flows N --msgs N --size B  multiflow shape\n"
+      "  --transport sim|socket       (pingpong/multiflow: sim only for "
+      "multiflow)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    usage();
+    return 2;
+  }
+  const Setup s = parse_setup(flags);
+  const std::string pattern = flags.positional()[0];
+  const auto min_size =
+      static_cast<std::size_t>(flags.get_int("min", 4));
+  const auto max_size =
+      static_cast<std::size_t>(flags.get_int("max", 1 << 20));
+  if (pattern == "pingpong") {
+    run_pingpong(s, min_size, max_size,
+                 static_cast<int>(flags.get_int("rounds", 20)));
+  } else if (pattern == "stream") {
+    run_stream(s, std::max<std::size_t>(min_size, 64), max_size,
+               static_cast<std::size_t>(flags.get_int("total", 16 << 20)));
+  } else if (pattern == "multiflow") {
+    run_multiflow(s, static_cast<std::size_t>(flags.get_int("flows", 8)),
+                  static_cast<int>(flags.get_int("msgs", 50)),
+                  static_cast<std::size_t>(flags.get_int("size", 64)));
+  } else if (pattern == "putget") {
+    run_putget(s, std::max<std::size_t>(min_size, 64), max_size);
+  } else if (pattern == "allreduce") {
+    run_allreduce(s, static_cast<std::size_t>(flags.get_int("nodes", 16)),
+                  static_cast<std::size_t>(flags.get_int("elems", 256)));
+  } else {
+    usage();
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// The paper's motivating scenario (§1): a "complex conglomerate of multiple
+// communication middlewares" — MPI-style, RPC and DSM flows sharing one
+// pair of nodes — and how the optimizer mixes their fragments into shared
+// packets.
+//
+// Runs the same workload under the previous-Madeleine baseline ("fifo") and
+// the dynamic optimizer ("aggreg") and prints the transaction counts.
+//
+// Build & run:  ./build/examples/middleware_mix
+#include <cstdio>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "mw/dsm.hpp"
+#include "mw/mini_mpi.hpp"
+#include "mw/rpc.hpp"
+
+using namespace mado;
+using namespace mado::core;
+using namespace mado::mw;
+
+namespace {
+
+struct RunResult {
+  Nanos finish;
+  std::uint64_t packets;
+  std::uint64_t frags;
+};
+
+RunResult run(const std::string& strategy) {
+  EngineConfig cfg;
+  cfg.strategy = strategy;
+  SimWorld world(2, cfg);
+  world.connect(0, 1, drv::mx_myrinet_profile());
+
+  // Three middlewares, three independent flows between the same two nodes.
+  MpiEndpoint mpi_a(world.node(0), 1, 1);
+  MpiEndpoint mpi_b(world.node(1), 0, 1);
+  RpcClient rpc_client(world.node(0), 1, 2);
+  RpcServer rpc_server(world.node(1), 0, 2);
+  DsmClient dsm_client(world.node(0), 1, 3, /*page=*/1024);
+  DsmHome dsm_home(world.node(1), 0, 3, 1024, /*pages=*/8);
+
+  rpc_server.register_handler(1, [](ByteSpan args) {
+    return Bytes(args.begin(), args.end());  // echo
+  });
+
+  // The middlewares run concurrently: every flow keeps several operations
+  // in flight (as real middleware stacks do), so the collect layer holds
+  // fragments from all three at once — the optimizer's opportunity.
+  constexpr int kRounds = 30;
+  Bytes mpi_buf(96, Byte{1});
+  Bytes page(1024, Byte{2});
+  std::vector<std::uint64_t> rpc_ids;
+  for (int i = 0; i < kRounds; ++i) {
+    mpi_a.isend(10, mpi_buf.data(), mpi_buf.size());   // MPI-like stream
+    rpc_ids.push_back(rpc_client.issue(1, as_bytes(mpi_buf.data(), 32)));
+    dsm_client.issue_put(static_cast<std::uint32_t>(i % 8), ByteSpan(page));
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    Bytes mpi_out(96);
+    mpi_b.recv(10, mpi_out.data(), mpi_out.size());
+    rpc_server.serve_one();
+    dsm_home.serve_one();
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    rpc_client.collect(rpc_ids[static_cast<std::size_t>(i)]);
+    dsm_client.complete_put(static_cast<std::uint32_t>(i % 8));
+  }
+  world.node(0).flush();
+  world.node(1).flush();
+
+  RunResult r;
+  r.finish = world.now();
+  r.packets = world.node(0).stats().counter("tx.packets") +
+              world.node(1).stats().counter("tx.packets");
+  r.frags = world.node(0).stats().counter("tx.frags") +
+            world.node(1).stats().counter("tx.frags");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("middleware mix: MPI + RPC + DSM over one MX rail, 30 rounds\n\n");
+  std::printf("%-22s %12s %12s %14s %12s\n", "strategy", "packets", "frags",
+              "frags/packet", "time (us)");
+  RunResult fifo{}, aggreg{};
+  for (const char* s : {"fifo", "aggreg", "aggreg_exhaustive"}) {
+    const RunResult r = run(s);
+    std::printf("%-22s %12llu %12llu %14.2f %12.1f\n", s,
+                static_cast<unsigned long long>(r.packets),
+                static_cast<unsigned long long>(r.frags),
+                static_cast<double>(r.frags) / static_cast<double>(r.packets),
+                to_usec(r.finish));
+    if (std::string(s) == "fifo") fifo = r;
+    if (std::string(s) == "aggreg") aggreg = r;
+  }
+  std::printf(
+      "\ncross-flow aggregation sent %.1fx fewer network transactions and "
+      "finished %.2fx faster\n",
+      static_cast<double>(fifo.packets) / static_cast<double>(aggreg.packets),
+      static_cast<double>(fifo.finish) / static_cast<double>(aggreg.finish));
+  return 0;
+}

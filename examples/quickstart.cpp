@@ -1,0 +1,72 @@
+// Quickstart: the three-layer architecture of the paper (Figure 1) in ~80
+// lines. Two simulated nodes, one Myrinet/MX-profile rail, one channel.
+//
+//   Application layer  — pack a structured message, post it, keep computing
+//   Optimizing layer   — the strategy packs backlog fragments into packets
+//                        whenever the NIC goes idle
+//   Transfer layer     — the simulated MX driver charges realistic costs
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+
+using namespace mado;
+using namespace mado::core;
+
+int main() {
+  // One deterministic world: two engines over a shared discrete-event
+  // fabric. The engine config selects the optimization strategy from the
+  // strategy database ("aggreg" = cross-flow aggregation, the paper's
+  // headline optimization).
+  EngineConfig cfg;
+  cfg.strategy = "aggreg";
+  SimWorld world(2, cfg);
+  world.connect(0, 1, drv::mx_myrinet_profile());
+
+  // A channel is one logical communication flow. Both sides open id 7.
+  Channel tx = world.node(0).open_channel(1, 7);
+  Channel rx = world.node(1).open_channel(0, 7);
+
+  // --- Application layer: structured message = header + payload ---------
+  struct Header {
+    std::uint32_t kind;
+    std::uint32_t payload_len;
+  };
+  Bytes payload(256);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<Byte>(i);
+  Header hdr{1, static_cast<std::uint32_t>(payload.size())};
+
+  Message m;
+  m.pack(&hdr, sizeof hdr, SendMode::Safe);      // copied now
+  m.pack(payload.data(), payload.size(), SendMode::Later);  // referenced
+  SendHandle h = tx.post(std::move(m));  // enqueue and return immediately
+  std::printf("posted: collect layer holds %zu fragment(s), %zu in flight\n",
+              world.node(0).backlog_frags(1, 0),
+              world.node(0).inflight_packets());
+
+  // --- Receive: express header first, then the payload ------------------
+  IncomingMessage im = rx.begin_recv();
+  Header rhdr{};
+  im.unpack(&rhdr, sizeof rhdr, RecvMode::Express);  // blocks for the header
+  std::printf("received header: kind=%u payload_len=%u (t = %.2f us)\n",
+              rhdr.kind, rhdr.payload_len, to_usec(world.now()));
+  Bytes rpayload(rhdr.payload_len);
+  im.unpack(rpayload.data(), rpayload.size(), RecvMode::Cheaper);
+  im.finish();
+
+  world.node(0).wait_send(h);
+  std::printf("payload delivered intact: %s (t = %.2f us)\n",
+              rpayload == payload ? "yes" : "NO", to_usec(world.now()));
+
+  // --- What the engine did, layer by layer -------------------------------
+  std::printf("\nsender counters:\n%s",
+              world.node(0).stats().to_string().c_str());
+  std::printf("\nstrategy database: ");
+  for (const auto& name : StrategyRegistry::instance().names())
+    std::printf("%s ", name.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Collect layer: the per-(peer, rail) transmit backlog.
+//
+// The application enqueues fragments here and "immediately returns to
+// computing" (paper §3, Figure 1). The optimizer consumes the backlog when
+// a NIC track becomes idle. While a track is busy, fragments accumulate —
+// that accumulation IS the lookahead pool the optimizer exploits.
+//
+// Structure: one high-priority control queue (rendezvous CTS and similar
+// engine-generated fragments) plus one FIFO queue per flow. Strategies may
+// interleave *across* flows arbitrarily but only consume each flow's queue
+// from the head, which enforces the intra-message ordering constraint.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+#include "util/wire.hpp"
+
+namespace mado::core {
+
+/// Completion state shared between the engine and SendHandle.
+/// All fields are guarded by the owning engine's lock.
+struct SendState {
+  std::uint32_t pending = 0;  ///< fragments not yet fully transmitted
+  bool failed = false;
+};
+using SendStateRef = std::shared_ptr<SendState>;
+
+/// One fragment queued for transmission.
+struct TxFrag {
+  ChannelId channel = 0;
+  MsgSeq msg_seq = 0;
+  FragIdx idx = 0;
+  std::uint16_t nfrags_total = 0;
+  FragKind kind = FragKind::Data;
+  TrafficClass cls = TrafficClass::SmallEager;
+  bool last = false;
+
+  Bytes owned;                 ///< payload when copied / engine-generated
+  const Byte* ext = nullptr;   ///< payload when referenced (Later mode)
+  std::size_t len = 0;
+
+  std::uint64_t rdv_token = 0;   ///< RdvRts: matching rendezvous token
+  SendStateRef state;            ///< null for engine-internal fragments
+
+  Nanos submit_time = 0;
+  std::uint64_t order = 0;  ///< global submit order (for FIFO fairness)
+
+  const Byte* data() const { return owned.empty() ? ext : owned.data(); }
+
+  FragHeader header() const {
+    FragHeader fh;
+    fh.channel = channel;
+    fh.msg_seq = msg_seq;
+    fh.frag_idx = idx;
+    fh.nfrags_total = nfrags_total;
+    fh.kind = kind;
+    fh.flags = last ? kFlagLastFrag : std::uint8_t{0};
+    fh.len = static_cast<std::uint32_t>(len);
+    return fh;
+  }
+};
+
+class TxBacklog {
+ public:
+  void push(TxFrag f) {
+    total_bytes_ += f.len;
+    ++total_frags_;
+    flows_[f.channel].push_back(std::move(f));
+  }
+
+  void push_control(TxFrag f) {
+    total_bytes_ += f.len;
+    ++total_frags_;
+    control_.push_back(std::move(f));
+  }
+
+  bool empty() const { return total_frags_ == 0; }
+  std::size_t frag_count() const { return total_frags_; }
+  std::size_t byte_count() const { return total_bytes_; }
+
+  bool has_control() const { return !control_.empty(); }
+  const TxFrag& peek_control() const { return control_.front(); }
+  TxFrag pop_control() {
+    MADO_ASSERT(!control_.empty());
+    TxFrag f = std::move(control_.front());
+    control_.pop_front();
+    account_pop(f);
+    return f;
+  }
+
+  /// Flows with pending fragments, ordered by their head fragment's global
+  /// submit order (oldest first) — the fair scan order for strategies.
+  std::vector<ChannelId> active_flows() const {
+    std::vector<ChannelId> out;
+    out.reserve(flows_.size());
+    for (const auto& [ch, q] : flows_)
+      if (!q.empty()) out.push_back(ch);
+    std::sort(out.begin(), out.end(), [this](ChannelId a, ChannelId b) {
+      return flows_.at(a).front().order < flows_.at(b).front().order;
+    });
+    return out;
+  }
+
+  std::size_t flow_depth(ChannelId ch) const {
+    auto it = flows_.find(ch);
+    return it == flows_.end() ? 0 : it->second.size();
+  }
+
+  const TxFrag& peek(ChannelId ch, std::size_t depth = 0) const {
+    auto it = flows_.find(ch);
+    MADO_ASSERT(it != flows_.end() && depth < it->second.size());
+    return it->second[depth];
+  }
+
+  TxFrag pop(ChannelId ch) {
+    auto it = flows_.find(ch);
+    MADO_ASSERT(it != flows_.end() && !it->second.empty());
+    TxFrag f = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) flows_.erase(it);
+    account_pop(f);
+    return f;
+  }
+
+  /// Submit time of the oldest fragment (control or data); 0 if empty.
+  Nanos oldest_submit_time() const {
+    Nanos best = 0;
+    bool found = false;
+    if (!control_.empty()) {
+      best = control_.front().submit_time;
+      found = true;
+    }
+    for (const auto& [ch, q] : flows_) {
+      if (q.empty()) continue;
+      if (!found || q.front().submit_time < best) best = q.front().submit_time;
+      found = true;
+    }
+    return best;
+  }
+
+ private:
+  void account_pop(const TxFrag& f) {
+    MADO_ASSERT(total_frags_ > 0 && total_bytes_ >= f.len);
+    total_bytes_ -= f.len;
+    --total_frags_;
+  }
+
+  std::deque<TxFrag> control_;
+  std::map<ChannelId, std::deque<TxFrag>> flows_;
+  std::size_t total_frags_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace mado::core

@@ -1,0 +1,59 @@
+// Engine configuration. Every knob the paper discusses (strategy selection,
+// lookahead window, Nagle-style delay, rearrangement evaluation budget,
+// multirail policy) is a field here so benchmarks can sweep them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+#include "util/clock.hpp"
+
+namespace mado::core {
+
+struct EngineConfig {
+  /// Name of the optimization strategy, resolved via the StrategyRegistry
+  /// ("the database of predefined strategies can be easily extended").
+  std::string strategy = "aggreg";
+
+  /// Lookahead window: the maximum number of backlog fragments the strategy
+  /// may examine/combine per packet decision. 0 means unbounded. The
+  /// paper's future work #1 is experimenting with this value (bench E4).
+  std::size_t lookahead_window = 16;
+
+  /// Evaluation budget for search-based strategies: the maximum number of
+  /// candidate rearrangements scored per decision. The paper's future work
+  /// #2 is bounding this value (bench E5).
+  std::size_t eval_budget = 64;
+
+  /// Artificial submission delay for the "nagle" strategy: a lone small
+  /// fragment is held up to this long in the hope of aggregation (paper §3,
+  /// "in a TCP Nagle's algorithm fashion"). Ignored by other strategies.
+  Nanos nagle_delay = 0;
+
+  /// Fragments at least this large use rendezvous regardless of driver
+  /// capabilities; 0 defers entirely to Capabilities::rdv_threshold.
+  std::size_t rdv_threshold_override = 0;
+
+  /// Bulk data is cut into chunks of this size for multirail distribution.
+  std::size_t rdv_chunk = 64 * 1024;
+
+  MultirailPolicy multirail = MultirailPolicy::DynamicSplit;
+
+  /// Rail selection for eager messages at submit time.
+  EagerRailPolicy eager_rail = EagerRailPolicy::ClassPinned;
+
+  /// SendMode::Cheaper copies fragments up to this size (larger ones are
+  /// referenced in place, as SendMode::Later).
+  std::size_t cheaper_copy_bound = 4096;
+
+  /// Initial traffic-class → rail assignment (index = TrafficClass value).
+  /// Rails beyond the actual rail count wrap modulo rail count.
+  std::array<RailId, kTrafficClassCount> class_rail = {0, 0, 0, 0};
+
+  /// Verify header CRCs on packet decode.
+  bool crc_check = true;
+};
+
+}  // namespace mado::core

@@ -1,0 +1,866 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mado::core {
+
+Engine::Engine(NodeId self, EngineConfig cfg, TimerHost& timers)
+    : self_(self), cfg_(std::move(cfg)), timers_(timers),
+      strategy_(StrategyRegistry::instance().create(cfg_.strategy)),
+      class_rail_(cfg_.class_rail),
+      alive_(std::make_shared<std::atomic<bool>>(true)) {}
+
+Engine::~Engine() {
+  stop_progress_thread();
+  alive_->store(false);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, ps] : peers_)
+    for (auto& rail : ps->rails)
+      if (rail->ep) rail->ep->close();
+}
+
+// ---- topology -------------------------------------------------------------
+
+RailId Engine::add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep) {
+  MADO_CHECK(ep != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& ps_ptr = peers_[peer];
+  if (!ps_ptr) {
+    ps_ptr = std::make_unique<PeerState>();
+    ps_ptr->id = peer;
+  }
+  PeerState& ps = *ps_ptr;
+  MADO_CHECK_MSG(ps.rails.size() < 255, "too many rails");
+  const RailId id = static_cast<RailId>(ps.rails.size());
+  auto rail = std::make_unique<Rail>();
+  rail->ep = std::move(ep);
+  rail->port.engine = this;
+  rail->port.peer = peer;
+  rail->port.rail = id;
+  rail->outstanding.assign(rail->ep->caps().track_count, 0);
+  rail->ep->set_handler(&rail->port);
+  ps.rails.push_back(std::move(rail));
+  return id;
+}
+
+std::size_t Engine::rail_count(NodeId peer) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const PeerState* ps = find_peer_locked(peer);
+  return ps ? ps->rails.size() : 0;
+}
+
+Channel Engine::open_channel(NodeId peer, ChannelId id, TrafficClass cls) {
+  MADO_CHECK_MSG(id != kRmaChannel,
+                 "channel id is reserved for engine-internal RMA traffic");
+  std::lock_guard<std::mutex> lk(mu_);
+  PeerState& ps = peer_locked(peer);
+  MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
+  auto [it, inserted] = ps.channels.emplace(id, ChannelState{});
+  MADO_CHECK_MSG(inserted, "channel " << id << " already open to peer "
+                                      << peer);
+  it->second.cls = cls;
+  return Channel(this, peer, id, cls);
+}
+
+Engine::PeerState& Engine::peer_locked(NodeId peer) {
+  auto it = peers_.find(peer);
+  MADO_CHECK_MSG(it != peers_.end(), "unknown peer " << peer);
+  return *it->second;
+}
+
+Engine::PeerState* Engine::find_peer_locked(NodeId peer) {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+const Engine::PeerState* Engine::find_peer_locked(NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+RailId Engine::rail_for_class_locked(const PeerState& ps,
+                                     TrafficClass cls) const {
+  MADO_ASSERT(!ps.rails.empty());
+  const RailId wanted = class_rail_[static_cast<std::size_t>(cls)];
+  return static_cast<RailId>(wanted % ps.rails.size());
+}
+
+RailId Engine::rail_for_submit_locked(const PeerState& ps,
+                                      TrafficClass cls) const {
+  if (cfg_.eager_rail == EagerRailPolicy::ClassPinned ||
+      ps.rails.size() < 2)
+    return rail_for_class_locked(ps, cls);
+  // LeastLoaded: queued + in-flight bytes, normalized by link bandwidth so
+  // a loaded fast rail can still beat an idle slow one.
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ps.rails.size(); ++i) {
+    const Rail& r = *ps.rails[i];
+    const double load =
+        static_cast<double>(r.backlog.byte_count() + r.inflight_bytes);
+    const double cost = load / r.ep->caps().cost.link_bytes_per_us;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return static_cast<RailId>(best);
+}
+
+// ---- submit path -----------------------------------------------------------
+
+SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
+  MADO_CHECK_MSG(!msg.empty(), "cannot post an empty message");
+  std::lock_guard<std::mutex> lk(mu_);
+  PeerState& ps = peer_locked(peer);
+  auto cit = ps.channels.find(ch);
+  MADO_CHECK_MSG(cit != ps.channels.end(), "channel " << ch << " not open");
+  ChannelState& cs = cit->second;
+
+  const MsgSeq seq = cs.next_tx_seq++;
+  const auto nfrags = static_cast<std::uint16_t>(msg.fragment_count());
+  auto state = std::make_shared<SendState>();
+  state->pending = nfrags;
+  ++cs.outstanding_sends;
+
+  const RailId rail_id = rail_for_submit_locked(ps, cs.cls);
+  Rail& rail = *ps.rails[rail_id];
+  const drv::Capabilities& caps = rail.ep->caps();
+  const std::size_t rdv_thr = cfg_.rdv_threshold_override != 0
+                                  ? cfg_.rdv_threshold_override
+                                  : caps.rdv_threshold;
+
+  auto& frags = msg.fragments();
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    Message::Fragment& mf = frags[i];
+    TxFrag tf;
+    tf.channel = ch;
+    tf.msg_seq = seq;
+    tf.idx = static_cast<FragIdx>(i);
+    tf.nfrags_total = nfrags;
+    tf.cls = cs.cls;
+    tf.last = (i + 1 == frags.size());
+    tf.state = state;
+    tf.submit_time = timers_.now();
+    tf.order = next_submit_order_++;
+
+    if (mf.len >= rdv_thr) {
+      // Rendezvous: the RTS control fragment takes this fragment's place in
+      // the eager stream (so intra-message ordering of headers vs payload
+      // is preserved); the bytes flow on bulk tracks after the CTS.
+      const std::uint64_t token = next_rdv_token_++;
+      RdvTx rdv;
+      rdv.peer = peer;
+      rdv.channel = ch;
+      rdv.total = mf.len;
+      rdv.state = state;
+      if (!mf.owned.empty()) {
+        rdv.storage = std::move(mf.owned);  // Safe mode: keep the copy alive
+        rdv.data = rdv.storage.data();
+      } else {
+        rdv.data = mf.ext;
+      }
+      rdv_tx_.emplace(token, std::move(rdv));
+
+      tf.kind = FragKind::RdvRts;
+      tf.rdv_token = token;
+      RtsBody body{token, mf.len};
+      encode_rts(tf.owned, body);
+      tf.len = tf.owned.size();
+      stats_.inc("tx.rdv_rts");
+    } else {
+      tf.kind = FragKind::Data;
+      const bool copy =
+          mf.mode == SendMode::Safe ||
+          (mf.mode == SendMode::Cheaper && mf.len <= cfg_.cheaper_copy_bound);
+      if (copy) {
+        if (!mf.owned.empty()) {
+          tf.owned = std::move(mf.owned);  // Safe: already copied at pack()
+        } else if (mf.len > 0) {
+          tf.owned.assign(mf.ext, mf.ext + mf.len);
+        }
+      } else {
+        tf.ext = mf.ext ? mf.ext : mf.owned.data();
+        if (!mf.owned.empty()) {
+          // Later-mode fragment packed with owned bytes cannot happen
+          // (pack() only copies for Safe), but keep the copy if it does.
+          tf.owned = std::move(mf.owned);
+          tf.ext = nullptr;
+        }
+      }
+      tf.len = mf.len;
+    }
+    rail.backlog.push(std::move(tf));
+  }
+
+  stats_.inc("tx.msgs");
+  stats_.inc("tx.frags_submitted", nfrags);
+  trace_locked(TraceEvent::MsgSubmit, peer, rail_id, ch, nfrags,
+               msg.total_bytes());
+  pump_rail_locked(ps, rail);
+  return SendHandle(state);
+}
+
+// ---- optimizer pump ---------------------------------------------------------
+
+void Engine::pump_all_locked() {
+  for (auto& [id, ps] : peers_) pump_peer_locked(*ps);
+}
+
+void Engine::pump_peer_locked(PeerState& ps) {
+  for (auto& rail : ps.rails) pump_rail_locked(ps, *rail);
+}
+
+void Engine::pump_rail_locked(PeerState& ps, Rail& rail) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (!rail.shared_track()) {
+      while (rail.track_free(rail.bulk_track())) {
+        if (!try_send_bulk_locked(ps, rail)) break;
+        progressed = true;
+      }
+      if (rail.track_free(drv::kTrackEager))
+        if (try_send_eager_locked(ps, rail)) progressed = true;
+    } else {
+      // Single multiplexing unit: alternate eager and bulk so neither
+      // starves the other (relevant for the E8 "shared track" policy).
+      if (!rail.track_free(drv::kTrackEager)) break;
+      bool sent;
+      if (rail.bulk_turn) {
+        sent = try_send_bulk_locked(ps, rail) ||
+               try_send_eager_locked(ps, rail);
+      } else {
+        sent = try_send_eager_locked(ps, rail) ||
+               try_send_bulk_locked(ps, rail);
+      }
+      if (sent) {
+        rail.bulk_turn = !rail.bulk_turn;
+        progressed = true;
+      }
+    }
+  }
+}
+
+bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
+  if (rail.backlog.empty()) return false;
+  StrategyEnv env{rail.ep->caps(), timers_.now(), cfg_.lookahead_window,
+                  cfg_.eval_budget, cfg_.nagle_delay, &stats_};
+  PacketDecision d = strategy_->next_packet(rail.backlog, env);
+  stats_.inc("opt.decisions");
+  if (tracer_) {
+    std::size_t bytes = 0;
+    for (const TxFrag& f : d.frags) bytes += f.len;
+    trace_locked(TraceEvent::Decision, ps.id, rail.port.rail,
+                 static_cast<std::uint64_t>(d.action), d.frags.size(),
+                 bytes);
+  }
+  switch (d.action) {
+    case PacketDecision::Action::Send:
+      MADO_CHECK_MSG(!d.frags.empty(), "strategy sent an empty packet");
+      send_packet_locked(ps, rail, std::move(d.frags));
+      return true;
+    case PacketDecision::Action::Wait:
+      schedule_nagle_timer_locked(ps, rail, d.wait_until);
+      return false;
+    case PacketDecision::Action::Idle:
+      return false;
+  }
+  return false;
+}
+
+bool Engine::try_send_bulk_locked(PeerState& ps, Rail& rail) {
+  if (!rail.track_free(rail.bulk_track())) return false;
+  BulkChunk chunk;
+  if (!pop_bulk_chunk_locked(ps, rail, chunk)) return false;
+  send_bulk_chunk_locked(ps, rail, chunk);
+  return true;
+}
+
+bool Engine::pop_bulk_chunk_locked(PeerState& ps, Rail& rail,
+                                   BulkChunk& out) {
+  if (!rail.bulk_q.empty()) {
+    out = rail.bulk_q.front();
+    rail.bulk_q.pop_front();
+    return true;
+  }
+  if (cfg_.multirail == MultirailPolicy::DynamicSplit &&
+      !ps.shared_bulk.empty()) {
+    out = ps.shared_bulk.front();
+    ps.shared_bulk.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void Engine::send_packet_locked(PeerState& ps, Rail& rail,
+                                std::vector<TxFrag> frags) {
+  const std::uint64_t token = next_pkt_token_++;
+  auto [it, inserted] = inflight_.emplace(token, InFlight{});
+  MADO_ASSERT(inserted);
+  InFlight& rec = it->second;
+  rec.peer = ps.id;
+  rec.rail = rail.port.rail;
+  rec.track = drv::kTrackEager;
+  rec.frags = std::move(frags);
+
+  PacketHeader ph;
+  ph.nfrags = static_cast<std::uint16_t>(rec.frags.size());
+  ph.pkt_seq = rail.pkt_seq++;
+  ph.src_node = self_;
+  std::vector<FragHeader> fhs;
+  fhs.reserve(rec.frags.size());
+  for (const TxFrag& f : rec.frags) fhs.push_back(f.header());
+  encode_header_block(rec.header_block, ph, fhs);
+
+  GatherList gl;
+  gl.add(rec.header_block.data(), rec.header_block.size());
+  for (const TxFrag& f : rec.frags) gl.add(f.data(), f.len);
+  rec.wire_bytes = gl.total_bytes();
+
+  ++rail.outstanding[drv::kTrackEager];
+  rail.inflight_bytes += rec.wire_bytes;
+  stats_.inc("tx.packets");
+  stats_.inc("tx.bytes", rec.wire_bytes);
+  stats_.inc("tx.frags", rec.frags.size());
+  stats_.observe("tx.pkt_frags", rec.frags.size());
+  stats_.observe("tx.pkt_bytes", rec.wire_bytes);
+  MADO_TRACE("node " << self_ << " tx packet " << token << " nfrags="
+                     << rec.frags.size() << " bytes=" << rec.wire_bytes);
+  trace_locked(TraceEvent::PacketTx, ps.id, rail.port.rail, token,
+               rec.wire_bytes, rec.frags.size());
+  rail.ep->send(drv::kTrackEager, gl, token);
+}
+
+void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
+                                    BulkChunk chunk) {
+  auto rit = rdv_tx_.find(chunk.token);
+  MADO_CHECK(rit != rdv_tx_.end());
+  RdvTx& rdv = rit->second;
+
+  const std::uint64_t token = next_pkt_token_++;
+  auto [it, inserted] = inflight_.emplace(token, InFlight{});
+  MADO_ASSERT(inserted);
+  InFlight& rec = it->second;
+  rec.peer = ps.id;
+  rec.rail = rail.port.rail;
+  rec.track = rail.bulk_track();
+  rec.is_bulk = true;
+  rec.rdv_token = chunk.token;
+  rec.chunk_len = chunk.len;
+
+  BulkHeader bh;
+  bh.src_node = self_;
+  bh.token = chunk.token;
+  bh.offset = chunk.offset;
+  bh.len = chunk.len;
+  encode_bulk_header(rec.header_block, bh);
+
+  GatherList gl;
+  gl.add(rec.header_block.data(), rec.header_block.size());
+  gl.add(rdv.data + chunk.offset, chunk.len);
+  rec.wire_bytes = gl.total_bytes();
+
+  ++rail.outstanding[rec.track];
+  rail.inflight_bytes += rec.wire_bytes;
+  stats_.inc("tx.bulk_chunks");
+  stats_.inc("tx.bytes", rec.wire_bytes);
+  trace_locked(TraceEvent::BulkTx, ps.id, rail.port.rail, chunk.token,
+               chunk.offset, chunk.len);
+  rail.ep->send(rec.track, gl, token);
+}
+
+void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
+                                         Nanos when) {
+  if (rail.nagle_timer_pending) return;
+  rail.nagle_timer_pending = true;
+  trace_locked(TraceEvent::NagleWait, ps.id, rail.port.rail, when);
+  const NodeId peer = ps.id;
+  const RailId rail_id = rail.port.rail;
+  timers_.schedule_at(when, [this, alive = alive_, peer, rail_id] {
+    if (!alive->load()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      PeerState* p = find_peer_locked(peer);
+      if (!p || rail_id >= p->rails.size()) return;
+      Rail& r = *p->rails[rail_id];
+      r.nagle_timer_pending = false;
+      pump_rail_locked(*p, r);
+    }
+    cv_.notify_all();
+  });
+}
+
+// ---- completion path --------------------------------------------------------
+
+void Engine::on_send_complete(NodeId peer, RailId rail_id, drv::TrackId track,
+                              std::uint64_t token) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState* ps = find_peer_locked(peer);
+    if (!ps) return;  // torn down
+    Rail& rail = *ps->rails[rail_id];
+    complete_send_locked(*ps, rail, track, token);
+    // The NIC became idle: this is the optimizer's trigger (paper §3).
+    pump_rail_locked(*ps, rail);
+  }
+  cv_.notify_all();
+}
+
+void Engine::complete_send_locked(PeerState& ps, Rail& rail,
+                                  drv::TrackId track, std::uint64_t token) {
+  auto it = inflight_.find(token);
+  MADO_CHECK_MSG(it != inflight_.end(), "completion for unknown packet");
+  InFlight rec = std::move(it->second);
+  inflight_.erase(it);
+  MADO_ASSERT(rec.track == track);
+  MADO_ASSERT(rail.outstanding[track] > 0);
+  --rail.outstanding[track];
+  MADO_ASSERT(rail.inflight_bytes >= rec.wire_bytes);
+  rail.inflight_bytes -= rec.wire_bytes;
+
+  if (rec.is_bulk) {
+    auto rit = rdv_tx_.find(rec.rdv_token);
+    MADO_CHECK(rit != rdv_tx_.end());
+    RdvTx& rdv = rit->second;
+    rdv.completed += rec.chunk_len;
+    MADO_ASSERT(rdv.completed <= rdv.total);
+    if (rdv.completed == rdv.total) {
+      // Null state: a one-sided transfer whose completion is tracked by the
+      // remote side (put ack) or the requester (get buffer) — only the
+      // local buffer hold is released here.
+      if (rdv.state)
+        complete_frag_state_locked(ps, rdv.channel, rdv.state);
+      stats_.inc("tx.rdv_completed");
+      rdv_tx_.erase(rit);
+    }
+    return;
+  }
+  for (const TxFrag& f : rec.frags)
+    if (f.kind == FragKind::Data && f.state)
+      complete_frag_state_locked(ps, f.channel, f.state);
+}
+
+void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
+                                        const SendStateRef& state) {
+  MADO_ASSERT(state->pending > 0);
+  if (--state->pending == 0) {
+    auto it = ps.channels.find(ch);
+    if (it != ps.channels.end()) {
+      MADO_ASSERT(it->second.outstanding_sends > 0);
+      --it->second.outstanding_sends;
+    }
+    stats_.inc("tx.msgs_completed");
+  }
+}
+
+// ---- progression / waiting -------------------------------------------------
+
+void Engine::progress() {
+  std::vector<drv::DriverEndpoint*> eps;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, ps] : peers_)
+      for (auto& rail : ps->rails) eps.push_back(rail->ep.get());
+  }
+  for (auto* ep : eps) ep->progress();
+  timers_.run_due();
+}
+
+void Engine::set_external_progress(std::function<bool()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  external_progress_ = std::move(fn);
+}
+
+void Engine::set_tracer(Tracer* tracer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tracer_ = tracer;
+}
+
+void Engine::start_progress_thread() {
+  MADO_CHECK_MSG(!progress_thread_.joinable(),
+                 "progress thread already running");
+  stop_progress_.store(false);
+  progress_thread_ = std::thread([this] {
+    while (!stop_progress_.load(std::memory_order_acquire)) {
+      progress();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+}
+
+void Engine::stop_progress_thread() {
+  if (!progress_thread_.joinable()) return;
+  stop_progress_.store(true, std::memory_order_release);
+  progress_thread_.join();
+}
+
+bool Engine::wait_until(const std::function<bool()>& pred, Nanos timeout) {
+  return wait_until_impl(pred, timeout);
+}
+
+bool Engine::wait_until_impl(const std::function<bool()>& pred,
+                             Nanos timeout) {
+  std::function<bool()> ext;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ext = external_progress_;
+  }
+  if (ext) {
+    // Cooperative simulation mode: pump the world until pred holds or the
+    // event queue drains (virtual time — wall timeout does not apply).
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (pred()) return true;
+      }
+      if (!ext()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        return pred();
+      }
+    }
+  }
+  const Nanos deadline = timers_.now() + timeout;
+  for (;;) {
+    progress();
+    std::unique_lock<std::mutex> lk(mu_);
+    if (pred()) return true;
+    if (timers_.now() > deadline) return false;
+    cv_.wait_for(lk, std::chrono::microseconds(200));
+  }
+}
+
+bool Engine::send_done(const SendHandle& h) const {
+  MADO_CHECK(h.valid());
+  std::lock_guard<std::mutex> lk(mu_);
+  return h.state_->pending == 0;
+}
+
+bool Engine::wait_send(const SendHandle& h, Nanos timeout) {
+  MADO_CHECK(h.valid());
+  const SendStateRef state = h.state_;
+  return wait_until_impl([&state] { return state->pending == 0; }, timeout);
+}
+
+bool Engine::flush(Nanos timeout) {
+  return wait_until_impl(
+      [this] {
+        if (!inflight_.empty() || !rdv_tx_.empty()) return false;
+        for (const auto& [id, ps] : peers_) {
+          if (!ps->shared_bulk.empty()) return false;
+          for (const auto& rail : ps->rails)
+            if (!rail->backlog.empty() || !rail->bulk_q.empty()) return false;
+        }
+        return true;
+      },
+      timeout);
+}
+
+// ---- one-sided put/get -------------------------------------------------------
+
+void Engine::expose_window(WindowId id, void* base, std::size_t len) {
+  MADO_CHECK(base != nullptr && len > 0);
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto [it, inserted] =
+      windows_.emplace(id, RmaWindow{static_cast<Byte*>(base), len});
+  MADO_CHECK_MSG(inserted, "window " << id << " already exposed");
+}
+
+const Engine::RmaWindow& Engine::window_locked(WindowId id,
+                                               std::uint64_t offset,
+                                               std::uint64_t len) const {
+  auto it = windows_.find(id);
+  MADO_CHECK_MSG(it != windows_.end(), "unknown RMA window " << id);
+  MADO_CHECK_MSG(offset + len <= it->second.len,
+                 "RMA access [" << offset << ", " << offset + len
+                                << ") outside window " << id << " of size "
+                                << it->second.len);
+  return it->second;
+}
+
+TxFrag Engine::make_rma_frag_locked(FragKind kind) {
+  TxFrag tf;
+  tf.channel = kRmaChannel;
+  tf.msg_seq = 0;
+  tf.idx = 0;
+  tf.nfrags_total = 1;
+  tf.last = true;
+  tf.kind = kind;
+  tf.submit_time = timers_.now();
+  tf.order = next_submit_order_++;
+  return tf;
+}
+
+SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
+                           const void* data, std::size_t len,
+                           TrafficClass cls) {
+  MADO_CHECK(data != nullptr && len > 0);
+  std::lock_guard<std::mutex> lk(mu_);
+  PeerState& ps = peer_locked(peer);
+  MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
+  const RailId rail_id = rail_for_class_locked(ps, cls);
+  Rail& rail = *ps.rails[rail_id];
+  const std::size_t rdv_thr = cfg_.rdv_threshold_override != 0
+                                  ? cfg_.rdv_threshold_override
+                                  : rail.ep->caps().rdv_threshold;
+
+  auto state = std::make_shared<SendState>();
+  state->pending = 1;  // completes on the peer's RmaAck
+  const std::uint64_t ack_token = next_rdv_token_++;
+  rma_acks_.emplace(ack_token, state);
+
+  if (len >= rdv_thr) {
+    RdvTx rdv;
+    rdv.peer = peer;
+    rdv.channel = kRmaChannel;
+    rdv.data = static_cast<const Byte*>(data);
+    rdv.total = len;
+    rdv.state = nullptr;  // handle completes on the ack, not on chunks
+    rdv_tx_.emplace(ack_token, std::move(rdv));
+
+    TxFrag tf = make_rma_frag_locked(FragKind::RdvRts);
+    RtsBody body;
+    body.token = ack_token;
+    body.total_len = len;
+    body.target = RdvTarget::Window;
+    body.window = window;
+    body.offset = offset;
+    body.aux = ack_token;
+    encode_rts(tf.owned, body);
+    tf.len = tf.owned.size();
+    rail.backlog.push(std::move(tf));
+  } else {
+    TxFrag tf = make_rma_frag_locked(FragKind::RmaPut);
+    encode_rma_put(tf.owned, RmaPutBody{window, offset, ack_token});
+    const auto* p = static_cast<const Byte*>(data);
+    tf.owned.insert(tf.owned.end(), p, p + len);
+    tf.len = tf.owned.size();
+    rail.backlog.push(std::move(tf));
+  }
+  stats_.inc("rma.puts");
+  trace_locked(TraceEvent::RmaOp, peer, rail_id, 0, window, len);
+  pump_rail_locked(ps, rail);
+  return SendHandle(state);
+}
+
+SendHandle Engine::rma_get(NodeId peer, WindowId window, std::uint64_t offset,
+                           void* dest, std::size_t len, TrafficClass cls) {
+  MADO_CHECK(dest != nullptr && len > 0);
+  std::lock_guard<std::mutex> lk(mu_);
+  PeerState& ps = peer_locked(peer);
+  MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
+  const RailId rail_id = rail_for_class_locked(ps, cls);
+  Rail& rail = *ps.rails[rail_id];
+
+  auto state = std::make_shared<SendState>();
+  state->pending = 1;  // completes when all requested bytes landed
+  const std::uint64_t get_token = next_rdv_token_++;
+  pending_gets_.emplace(get_token,
+                        PendingGet{static_cast<Byte*>(dest), len, state});
+
+  TxFrag tf = make_rma_frag_locked(FragKind::RmaGet);
+  encode_rma_get(tf.owned, RmaGetBody{window, offset, len, get_token});
+  tf.len = tf.owned.size();
+  rail.backlog.push(std::move(tf));
+  stats_.inc("rma.gets");
+  trace_locked(TraceEvent::RmaOp, peer, rail_id, 1, window, len);
+  pump_rail_locked(ps, rail);
+  return SendHandle(state);
+}
+
+// ---- traffic classes --------------------------------------------------------
+
+void Engine::set_class_rail(TrafficClass cls, RailId rail) {
+  std::lock_guard<std::mutex> lk(mu_);
+  class_rail_[static_cast<std::size_t>(cls)] = rail;
+}
+
+RailId Engine::class_rail(TrafficClass cls) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return class_rail_[static_cast<std::size_t>(cls)];
+}
+
+void Engine::rebalance_classes() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Load per rail index, summed over peers: queued + in-flight bytes.
+  std::vector<std::size_t> load;
+  for (const auto& [id, ps] : peers_) {
+    if (ps->rails.size() > load.size()) load.resize(ps->rails.size(), 0);
+    for (std::size_t i = 0; i < ps->rails.size(); ++i) {
+      const Rail& r = *ps->rails[i];
+      std::size_t bulk_bytes = 0;
+      for (const BulkChunk& c : r.bulk_q) bulk_bytes += c.len;
+      load[i] += r.backlog.byte_count() + r.inflight_bytes + bulk_bytes;
+    }
+  }
+  if (load.size() < 2) return;  // nothing to balance
+  const auto lightest = static_cast<RailId>(
+      std::min_element(load.begin(), load.end()) - load.begin());
+  // Latency-sensitive classes follow the least-loaded rail; bulk classes
+  // keep their assignment (their chunks already spread per MultirailPolicy).
+  class_rail_[static_cast<std::size_t>(TrafficClass::Control)] = lightest;
+  class_rail_[static_cast<std::size_t>(TrafficClass::SmallEager)] = lightest;
+  stats_.inc("sched.rebalances");
+  trace_locked(TraceEvent::Rebalance, 0, lightest, lightest);
+}
+
+void Engine::set_auto_rebalance(Nanos interval) {
+  MADO_CHECK(interval > 0);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto_rebalance_interval_ = interval;
+  }
+  // Self-re-arming tick. NOTE: in simulation this keeps the fabric event
+  // queue non-empty forever; drive such runs with run_until()/wait_until()
+  // rather than run_until_idle().
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, alive = alive_, tick] {
+    if (!alive->load()) return;
+    rebalance_classes();
+    Nanos period;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      period = auto_rebalance_interval_;
+    }
+    if (period > 0) timers_.schedule_at(timers_.now() + period, *tick);
+  };
+  timers_.schedule_at(timers_.now() + interval, *tick);
+}
+
+// ---- introspection ----------------------------------------------------------
+
+std::size_t Engine::backlog_frags(NodeId peer, RailId rail) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const PeerState* ps = find_peer_locked(peer);
+  MADO_CHECK(ps && rail < ps->rails.size());
+  return ps->rails[rail]->backlog.frag_count();
+}
+
+std::size_t Engine::inflight_packets() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_.size();
+}
+
+std::size_t Engine::pending_bulk_chunks(NodeId peer) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const PeerState* ps = find_peer_locked(peer);
+  MADO_CHECK(ps != nullptr);
+  std::size_t n = ps->shared_bulk.size();
+  for (const auto& rail : ps->rails) n += rail->bulk_q.size();
+  return n;
+}
+
+Engine::Snapshot Engine::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  for (const auto& [id, ps] : peers_) {
+    Snapshot::PeerInfo pi;
+    pi.id = id;
+    pi.shared_bulk_chunks = ps->shared_bulk.size();
+    pi.open_channels = ps->channels.size();
+    pi.rx_pending_msgs = ps->rx_msgs.size();
+    for (const auto& rail : ps->rails) {
+      Snapshot::RailInfo ri;
+      ri.driver = rail->ep->caps().name;
+      ri.backlog_frags = rail->backlog.frag_count();
+      ri.backlog_bytes = rail->backlog.byte_count();
+      ri.bulk_chunks = rail->bulk_q.size();
+      for (std::size_t n : rail->outstanding) ri.outstanding_packets += n;
+      ri.inflight_bytes = rail->inflight_bytes;
+      pi.rails.push_back(std::move(ri));
+    }
+    s.peers.push_back(std::move(pi));
+  }
+  s.inflight_packets = inflight_.size();
+  s.rdv_tx_active = rdv_tx_.size();
+  s.rdv_rx_active = rdv_rx_.size();
+  s.windows_exposed = windows_.size();
+  s.pending_gets = pending_gets_.size();
+  return s;
+}
+
+bool Engine::Snapshot::quiescent() const {
+  if (inflight_packets || rdv_tx_active || rdv_rx_active || pending_gets)
+    return false;
+  for (const auto& p : peers) {
+    if (p.shared_bulk_chunks) return false;
+    for (const auto& r : p.rails)
+      if (r.backlog_frags || r.bulk_chunks || r.outstanding_packets)
+        return false;
+  }
+  return true;
+}
+
+std::string Engine::Snapshot::to_string() const {
+  std::ostringstream os;
+  os << "inflight=" << inflight_packets << " rdv_tx=" << rdv_tx_active
+     << " rdv_rx=" << rdv_rx_active << " windows=" << windows_exposed
+     << " pending_gets=" << pending_gets << "\n";
+  for (const auto& p : peers) {
+    os << "peer " << p.id << ": channels=" << p.open_channels
+       << " rx_pending=" << p.rx_pending_msgs
+       << " shared_bulk=" << p.shared_bulk_chunks << "\n";
+    for (std::size_t i = 0; i < p.rails.size(); ++i) {
+      const auto& r = p.rails[i];
+      os << "  rail " << i << " (" << r.driver << "): backlog="
+         << r.backlog_frags << " frags/" << r.backlog_bytes
+         << " B, bulk_q=" << r.bulk_chunks << ", outstanding="
+         << r.outstanding_packets << " pkts/" << r.inflight_bytes << " B\n";
+    }
+  }
+  return os.str();
+}
+
+// ---- handle plumbing ---------------------------------------------------------
+
+SendHandle Channel::post(Message msg) {
+  MADO_CHECK(valid());
+  return eng_->submit(peer_, id_, std::move(msg));
+}
+
+IncomingMessage Channel::begin_recv() {
+  MADO_CHECK(valid());
+  return IncomingMessage(eng_, peer_, id_, eng_->attach_recv(peer_, id_));
+}
+
+void Channel::flush() {
+  MADO_CHECK(valid());
+  eng_->flush_channel(peer_, id_);
+}
+
+bool Channel::probe() const {
+  MADO_CHECK(valid());
+  return eng_->probe_recv(peer_, id_);
+}
+
+void IncomingMessage::unpack(void* buf, std::size_t len, RecvMode mode) {
+  MADO_CHECK_MSG(!finished_, "unpack after finish");
+  eng_->post_unpack(peer_, ch_, seq_, next_, buf, len);
+  if (mode == RecvMode::Express) eng_->wait_frag(peer_, ch_, seq_, next_);
+  ++next_;
+}
+
+std::size_t IncomingMessage::next_size() {
+  MADO_CHECK_MSG(!finished_, "next_size after finish");
+  return eng_->wait_frag_size(peer_, ch_, seq_, next_);
+}
+
+Bytes IncomingMessage::unpack_bytes() {
+  Bytes out(next_size());
+  unpack(out.data(), out.size(), RecvMode::Express);
+  return out;
+}
+
+void IncomingMessage::finish() {
+  MADO_CHECK_MSG(!finished_, "finish called twice");
+  eng_->finish_recv(peer_, ch_, seq_, next_);
+  finished_ = true;
+}
+
+}  // namespace mado::core

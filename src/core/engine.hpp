@@ -1,0 +1,450 @@
+// The communication engine: Figure 1 of the paper in code.
+//
+//   Application/middleware layer — Channel::post() appends fragments to the
+//     collect-layer backlog and returns immediately.
+//   Optimizing layer — when a NIC track becomes idle (send-completion
+//     callback) the configured Strategy reorganizes the accumulated backlog
+//     into the next packet. While a track is busy, the backlog grows — that
+//     is the optimizer's lookahead pool.
+//   Transfer layer — drv::DriverEndpoint rails (one or more per peer, of
+//     possibly different technologies), each with eager and bulk tracks.
+//
+// Also implemented here: the rendezvous protocol (RTS travels as an
+// aggregatable control fragment; data flows on bulk tracks, split over
+// rails per MultirailPolicy), traffic classes with dynamic re-assignment,
+// and the receive side (demultiplexing, unexpected-fragment buffering,
+// incremental unpack).
+//
+// Threading model: one mutex guards all engine state. Driver callbacks are
+// invoked without the lock (driver contract) and re-acquire it. In
+// simulation the caller pumps the shared Fabric (set_external_progress);
+// with real drivers a progress thread may be started instead.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/backlog.hpp"
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "core/packet.hpp"
+#include "core/strategy.hpp"
+#include "core/timer_host.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "drivers/driver.hpp"
+#include "util/stats.hpp"
+
+namespace mado::core {
+
+class Engine final {
+ public:
+  Engine(NodeId self, EngineConfig cfg, TimerHost& timers);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- topology -----------------------------------------------------
+
+  /// Attach one rail (driver endpoint) toward `peer`. Rails are indexed in
+  /// attach order. Must complete before traffic starts.
+  RailId add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep);
+  std::size_t rail_count(NodeId peer) const;
+
+  /// Open a logical flow to `peer`. Both sides must use the same id.
+  Channel open_channel(NodeId peer, ChannelId id,
+                       TrafficClass cls = TrafficClass::SmallEager);
+
+  // ---- progression ----------------------------------------------------
+
+  /// Drain driver completions/arrivals and due timers once.
+  void progress();
+
+  /// Simulation mode: a callback that advances the shared world by one
+  /// event (e.g. [&]{ return fabric.step(); }); wait loops call it instead
+  /// of sleeping. Returns false when the world is idle.
+  void set_external_progress(std::function<bool()> fn);
+
+  /// Real-driver mode: spawn a thread that calls progress() continuously.
+  void start_progress_thread();
+  void stop_progress_thread();
+
+  // ---- blocking helpers ----------------------------------------------
+
+  bool send_done(const SendHandle& h) const;
+  bool wait_send(const SendHandle& h, Nanos timeout = kDefaultTimeout);
+  /// Wait until `pred` holds. `pred` is evaluated under the engine lock.
+  bool wait_until(const std::function<bool()>& pred,
+                  Nanos timeout = kDefaultTimeout);
+  /// Wait until all backlogs, bulk queues and in-flight packets drain.
+  bool flush(Nanos timeout = kDefaultTimeout);
+
+  // ---- one-sided put/get (paper §2, "put/get transfers") ---------------
+
+  using WindowId = std::uint32_t;
+
+  /// Expose `len` bytes at `base` as window `id` for one-sided access by
+  /// any connected peer. The memory must outlive the engine's traffic.
+  void expose_window(WindowId id, void* base, std::size_t len);
+
+  /// One-sided write into the peer's window. The handle completes on the
+  /// peer's acknowledgement (remote completion). `data` must stay valid
+  /// until then. Large puts flow through the rendezvous bulk path with an
+  /// automatic CTS (no application involvement on the target).
+  SendHandle rma_put(NodeId peer, WindowId window, std::uint64_t offset,
+                     const void* data, std::size_t len,
+                     TrafficClass cls = TrafficClass::PutGet);
+
+  /// One-sided read from the peer's window into `dest`. The handle
+  /// completes when all bytes have landed.
+  SendHandle rma_get(NodeId peer, WindowId window, std::uint64_t offset,
+                     void* dest, std::size_t len,
+                     TrafficClass cls = TrafficClass::PutGet);
+
+  // ---- traffic classes (paper §2) --------------------------------------
+
+  void set_class_rail(TrafficClass cls, RailId rail);
+  RailId class_rail(TrafficClass cls) const;
+  /// One dynamic re-assignment step: move latency-sensitive classes
+  /// (Control, SmallEager) to the currently least-loaded rail.
+  void rebalance_classes();
+  /// Re-run rebalance_classes() every `interval` until the engine dies.
+  void set_auto_rebalance(Nanos interval);
+
+  // ---- introspection ---------------------------------------------------
+
+  StatsRegistry& stats() { return stats_; }
+
+  /// Attach an event tracer (nullptr detaches). May be shared by several
+  /// engines; must outlive the engine or be detached first.
+  void set_tracer(Tracer* tracer);
+
+  const EngineConfig& config() const { return cfg_; }
+  NodeId self() const { return self_; }
+  std::string strategy_name() const { return strategy_->name(); }
+  TimerHost& timers() { return timers_; }
+
+  std::size_t backlog_frags(NodeId peer, RailId rail) const;
+  std::size_t inflight_packets() const;
+  std::size_t pending_bulk_chunks(NodeId peer) const;
+
+  /// Consistent point-in-time view of all queues (for monitoring/tools).
+  struct Snapshot {
+    struct RailInfo {
+      std::string driver;
+      std::size_t backlog_frags = 0;
+      std::size_t backlog_bytes = 0;
+      std::size_t bulk_chunks = 0;
+      std::size_t outstanding_packets = 0;
+      std::size_t inflight_bytes = 0;
+    };
+    struct PeerInfo {
+      NodeId id = 0;
+      std::vector<RailInfo> rails;
+      std::size_t shared_bulk_chunks = 0;
+      std::size_t open_channels = 0;
+      std::size_t rx_pending_msgs = 0;
+    };
+    std::vector<PeerInfo> peers;
+    std::size_t inflight_packets = 0;
+    std::size_t rdv_tx_active = 0;
+    std::size_t rdv_rx_active = 0;
+    std::size_t windows_exposed = 0;
+    std::size_t pending_gets = 0;
+
+    bool quiescent() const;
+    std::string to_string() const;
+  };
+  Snapshot snapshot() const;
+
+  static constexpr Nanos kDefaultTimeout = 30ull * kNanosPerSec;
+
+ private:
+  friend class Channel;
+  friend class IncomingMessage;
+
+  // ---- internal types --------------------------------------------------
+
+  struct Rail;
+
+  /// Per-rail driver handler: forwards callbacks with (peer, rail) context.
+  struct RailPort final : drv::EndpointHandler {
+    Engine* engine = nullptr;
+    NodeId peer = 0;
+    RailId rail = 0;
+    void on_send_complete(drv::TrackId track, std::uint64_t token) override {
+      engine->on_send_complete(peer, rail, track, token);
+    }
+    void on_packet(drv::TrackId track, Bytes payload) override {
+      engine->on_packet(peer, rail, track, std::move(payload));
+    }
+  };
+
+  /// One pending rendezvous bulk chunk.
+  struct BulkChunk {
+    std::uint64_t token = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t len = 0;
+  };
+
+  struct Rail {
+    std::unique_ptr<drv::DriverEndpoint> ep;
+    RailPort port;
+    std::vector<std::size_t> outstanding;  // per track
+    TxBacklog backlog;
+    std::deque<BulkChunk> bulk_q;  // SingleRail / StaticSplit chunks
+    bool bulk_turn = false;        // shared-track alternation
+    bool nagle_timer_pending = false;
+    std::uint32_t pkt_seq = 0;
+    std::size_t inflight_bytes = 0;
+    std::uint64_t static_split_assigned = 0;  // bytes, for StaticSplit
+
+    drv::TrackId bulk_track() const {
+      return ep->caps().track_count > 1 ? drv::kTrackBulk : drv::kTrackEager;
+    }
+    bool shared_track() const { return ep->caps().track_count == 1; }
+    bool track_free(drv::TrackId t) const {
+      return outstanding[t] < ep->caps().track_depth;
+    }
+  };
+
+  struct ChannelState {
+    TrafficClass cls = TrafficClass::SmallEager;
+    MsgSeq next_tx_seq = 0;
+    MsgSeq next_attach_seq = 0;
+    std::uint32_t outstanding_sends = 0;
+  };
+
+  /// Receive-side state of one fragment.
+  struct RxSlot {
+    bool have_data = false;  // eager payload arrived (buffered or copied)
+    Bytes buffered;          // payload when it arrived before the unpack
+    Byte* dest = nullptr;
+    std::size_t dest_len = 0;
+    bool posted = false;
+    bool done = false;
+    // Rendezvous:
+    bool is_rdv = false;
+    bool cts_sent = false;
+    std::uint64_t token = 0;
+    std::uint64_t total = 0;
+    std::uint64_t received = 0;
+  };
+
+  struct RxMessage {
+    std::uint16_t nfrags_total = 0;  // 0 = not known yet
+    std::vector<RxSlot> slots;
+    std::uint16_t posted_count = 0;
+    std::uint16_t done_count = 0;
+
+    RxSlot& slot(FragIdx idx) {
+      if (slots.size() <= idx) slots.resize(idx + std::size_t{1});
+      return slots[idx];
+    }
+    bool complete() const {
+      return nfrags_total != 0 && done_count == nfrags_total;
+    }
+  };
+
+  using RxKey = std::pair<ChannelId, MsgSeq>;
+
+  struct PeerState {
+    NodeId id = 0;
+    std::vector<std::unique_ptr<Rail>> rails;
+    std::map<ChannelId, ChannelState> channels;
+    std::map<RxKey, RxMessage> rx_msgs;
+    std::deque<BulkChunk> shared_bulk;  // DynamicSplit chunk pool
+  };
+
+  /// Sender-side rendezvous state.
+  struct RdvTx {
+    NodeId peer = 0;
+    ChannelId channel = 0;
+    const Byte* data = nullptr;
+    Bytes storage;  ///< keeps Safe-mode payload copies alive until sent
+    std::uint64_t total = 0;
+    std::uint64_t queued = 0;     // bytes cut into chunks so far
+    std::uint64_t completed = 0;  // bytes whose chunk send completed
+    bool cts_received = false;
+    /// Null for puts with remote acknowledgement (the handle then lives in
+    /// rma_acks_ and completes on the RmaAck, not on local chunk completion).
+    SendStateRef state;
+  };
+
+  /// Receiver-side rendezvous routing: where bulk chunks for (peer, token)
+  /// land, and what happens when the last byte arrives.
+  struct RdvRx {
+    RdvTarget target = RdvTarget::Message;
+    // Message target:
+    ChannelId channel = 0;
+    MsgSeq seq = 0;
+    FragIdx idx = 0;
+    // Direct targets (Window / GetBuffer):
+    Byte* base = nullptr;
+    std::uint64_t len = 0;
+    std::uint64_t received = 0;
+    std::uint64_t ack_token = 0;  ///< Window: RmaAck to send on completion
+    std::uint64_t get_token = 0;  ///< GetBuffer: pending get to complete
+  };
+
+  struct RmaWindow {
+    Byte* base = nullptr;
+    std::size_t len = 0;
+  };
+
+  struct PendingGet {
+    Byte* dest = nullptr;
+    std::uint64_t len = 0;
+    SendStateRef state;
+  };
+
+  /// One in-flight packet (owns header block + fragment payload storage).
+  struct InFlight {
+    NodeId peer = 0;
+    RailId rail = 0;
+    drv::TrackId track = 0;
+    Bytes header_block;
+    std::vector<TxFrag> frags;
+    bool is_bulk = false;
+    std::uint64_t rdv_token = 0;
+    std::uint32_t chunk_len = 0;
+    std::size_t wire_bytes = 0;
+  };
+
+  // ---- submit path (called from handles) -------------------------------
+
+  SendHandle submit(NodeId peer, ChannelId ch, Message msg);
+  MsgSeq attach_recv(NodeId peer, ChannelId ch);
+  bool probe_recv(NodeId peer, ChannelId ch) const;
+  void post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
+                   void* buf, std::size_t len);
+  void wait_frag(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx);
+  std::size_t wait_frag_size(NodeId peer, ChannelId ch, MsgSeq seq,
+                             FragIdx idx);
+  void finish_recv(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx nposted);
+  void flush_channel(NodeId peer, ChannelId ch);
+
+  // ---- driver callback entry (lock NOT held) ---------------------------
+
+  void on_send_complete(NodeId peer, RailId rail, drv::TrackId track,
+                        std::uint64_t token);
+  void on_packet(NodeId peer, RailId rail, drv::TrackId track, Bytes payload);
+
+  // ---- locked internals -------------------------------------------------
+
+  PeerState& peer_locked(NodeId peer);
+  PeerState* find_peer_locked(NodeId peer);
+  const PeerState* find_peer_locked(NodeId peer) const;
+  RailId rail_for_class_locked(const PeerState& ps, TrafficClass cls) const;
+  /// Rail choice for an eager submission (honors EagerRailPolicy).
+  RailId rail_for_submit_locked(const PeerState& ps, TrafficClass cls) const;
+
+  void pump_all_locked();
+  void pump_peer_locked(PeerState& ps);
+  void pump_rail_locked(PeerState& ps, Rail& rail);
+  bool try_send_eager_locked(PeerState& ps, Rail& rail);
+  bool try_send_bulk_locked(PeerState& ps, Rail& rail);
+  void send_packet_locked(PeerState& ps, Rail& rail,
+                          std::vector<TxFrag> frags);
+  void send_bulk_chunk_locked(PeerState& ps, Rail& rail, BulkChunk chunk);
+  bool pop_bulk_chunk_locked(PeerState& ps, Rail& rail, BulkChunk& out);
+  void schedule_nagle_timer_locked(PeerState& ps, Rail& rail, Nanos when);
+
+  void complete_send_locked(PeerState& ps, Rail& rail, drv::TrackId track,
+                            std::uint64_t token);
+  void complete_frag_state_locked(PeerState& ps, ChannelId ch,
+                                  const SendStateRef& state);
+
+  void handle_eager_packet_locked(PeerState& ps, RailId rail,
+                                  const Bytes& payload);
+  void handle_bulk_packet_locked(PeerState& ps, const Bytes& payload);
+  void deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
+                                ByteSpan payload);
+  void handle_rts_locked(PeerState& ps, const FragHeader& fh,
+                         ByteSpan payload);
+  void handle_cts_locked(PeerState& ps, ByteSpan payload);
+  void note_nfrags_locked(RxMessage& msg, const FragHeader& fh);
+  void send_cts_locked(PeerState& ps, const FragHeader& fh, RxSlot& slot);
+  void distribute_chunks_locked(PeerState& ps, std::uint64_t token,
+                                RdvTx& rdv);
+  void mark_slot_done_locked(RxMessage& msg, RxSlot& slot);
+
+  // RMA internals.
+  void handle_rma_put_locked(PeerState& ps, ByteSpan payload);
+  void handle_rma_get_locked(PeerState& ps, ByteSpan payload);
+  void handle_rma_get_data_locked(PeerState& ps, ByteSpan payload);
+  void handle_rma_ack_locked(ByteSpan payload);
+  void send_auto_cts_locked(PeerState& ps, const FragHeader& fh,
+                            std::uint64_t token);
+  void push_rma_ack_locked(PeerState& ps, std::uint64_t ack_token);
+  const RmaWindow& window_locked(WindowId id, std::uint64_t offset,
+                                 std::uint64_t len) const;
+  TxFrag make_rma_frag_locked(FragKind kind);
+
+  // ---- wait plumbing ---------------------------------------------------
+
+  bool wait_until_impl(const std::function<bool()>& pred, Nanos timeout);
+
+  /// Emit a trace record if a tracer is attached (callable under the lock).
+  void trace_locked(TraceEvent ev, NodeId peer, RailId rail, std::uint64_t a,
+                    std::uint64_t b = 0, std::uint64_t c = 0) {
+    if (!tracer_) return;
+    TraceRecord rec;
+    rec.time = timers_.now();
+    rec.event = ev;
+    rec.node = self_;
+    rec.peer = peer;
+    rec.rail = rail;
+    rec.a = a;
+    rec.b = b;
+    rec.c = c;
+    tracer_->record(rec);
+  }
+
+  // ---- data --------------------------------------------------------------
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  const NodeId self_;
+  EngineConfig cfg_;
+  TimerHost& timers_;
+  std::unique_ptr<Strategy> strategy_;
+
+  std::map<NodeId, std::unique_ptr<PeerState>> peers_;
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::map<std::uint64_t, RdvTx> rdv_tx_;
+  std::map<std::pair<NodeId, std::uint64_t>, RdvRx> rdv_rx_;
+  std::map<WindowId, RmaWindow> windows_;
+  std::map<std::uint64_t, PendingGet> pending_gets_;
+  std::map<std::uint64_t, SendStateRef> rma_acks_;
+
+  std::array<RailId, kTrafficClassCount> class_rail_{};
+  StatsRegistry stats_;
+  Tracer* tracer_ = nullptr;
+
+  std::uint64_t next_pkt_token_ = 1;
+  std::uint64_t next_rdv_token_ = 1;
+  std::uint64_t next_submit_order_ = 1;
+
+  std::function<bool()> external_progress_;
+  std::thread progress_thread_;
+  std::atomic<bool> stop_progress_{false};
+  std::shared_ptr<std::atomic<bool>> alive_;
+  Nanos auto_rebalance_interval_ = 0;
+};
+
+}  // namespace mado::core

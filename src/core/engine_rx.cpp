@@ -1,0 +1,586 @@
+// Receive side of the engine: packet demultiplexing, fragment reassembly,
+// the unexpected queue, rendezvous RTS/CTS handling and incremental unpack.
+#include <cstring>
+
+#include "core/engine.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mado::core {
+
+// ---- driver entry ------------------------------------------------------------
+
+void Engine::on_packet(NodeId peer, RailId rail_id, drv::TrackId track,
+                       Bytes payload) {
+  (void)track;  // demux is by magic, so shared-track configs need no branch
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState* ps = find_peer_locked(peer);
+    if (!ps) return;  // torn down
+    try {
+      MADO_CHECK_MSG(payload.size() >= 4, "runt packet");
+      const std::uint32_t magic =
+          static_cast<std::uint32_t>(payload[0]) |
+          (static_cast<std::uint32_t>(payload[1]) << 8) |
+          (static_cast<std::uint32_t>(payload[2]) << 16) |
+          (static_cast<std::uint32_t>(payload[3]) << 24);
+      if (magic == kPacketMagic) {
+        handle_eager_packet_locked(*ps, rail_id, payload);
+      } else if (magic == kBulkMagic) {
+        handle_bulk_packet_locked(*ps, payload);
+      } else {
+        MADO_CHECK_MSG(false, "unknown packet magic");
+      }
+    } catch (const CheckError& err) {
+      // A malformed or protocol-violating packet must not take the engine
+      // down with it (the socket driver's RX thread delivers these); count
+      // and drop. The CRC makes corrupted headers land here.
+      stats_.inc("rx.malformed");
+      MADO_WARN("node " << self_ << ": dropping malformed packet from peer "
+                        << peer << ": " << err.what());
+    }
+    // Arrivals can enqueue control fragments (CTS) or bulk chunks — pump.
+    pump_peer_locked(*ps);
+  }
+  cv_.notify_all();
+}
+
+// ---- eager path ---------------------------------------------------------------
+
+void Engine::handle_eager_packet_locked(PeerState& ps, RailId rail,
+                                        const Bytes& payload) {
+  (void)rail;
+  DecodedPacket pkt = parse_packet(ByteSpan(payload), cfg_.crc_check);
+  stats_.inc("rx.packets");
+  stats_.inc("rx.bytes", payload.size());
+  stats_.inc("rx.frags", pkt.frags.size());
+  trace_locked(TraceEvent::PacketRx, ps.id, rail, pkt.frags.size(),
+               payload.size());
+  for (std::size_t i = 0; i < pkt.frags.size(); ++i) {
+    const FragHeader& fh = pkt.frags[i];
+    switch (fh.kind) {
+      case FragKind::Data:
+        deliver_data_frag_locked(ps, fh, pkt.payloads[i]);
+        break;
+      case FragKind::RdvRts:
+        handle_rts_locked(ps, fh, pkt.payloads[i]);
+        break;
+      case FragKind::RdvCts:
+        handle_cts_locked(ps, pkt.payloads[i]);
+        break;
+      case FragKind::RmaPut:
+        handle_rma_put_locked(ps, pkt.payloads[i]);
+        break;
+      case FragKind::RmaGet:
+        handle_rma_get_locked(ps, pkt.payloads[i]);
+        break;
+      case FragKind::RmaGetData:
+        handle_rma_get_data_locked(ps, pkt.payloads[i]);
+        break;
+      case FragKind::RmaAck:
+        handle_rma_ack_locked(pkt.payloads[i]);
+        break;
+    }
+  }
+}
+
+void Engine::note_nfrags_locked(RxMessage& msg, const FragHeader& fh) {
+  MADO_CHECK_MSG(fh.nfrags_total > 0, "fragment with zero message size");
+  MADO_CHECK_MSG(fh.frag_idx < fh.nfrags_total, "fragment index out of range");
+  MADO_CHECK_MSG(fh.last() == (fh.frag_idx + 1 == fh.nfrags_total),
+                 "inconsistent last-fragment flag");
+  if (msg.nfrags_total == 0) {
+    msg.nfrags_total = fh.nfrags_total;
+  } else {
+    MADO_CHECK_MSG(msg.nfrags_total == fh.nfrags_total,
+                   "inconsistent message fragment count");
+  }
+}
+
+void Engine::deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
+                                      ByteSpan payload) {
+  RxMessage& msg = ps.rx_msgs[{fh.channel, fh.msg_seq}];
+  note_nfrags_locked(msg, fh);
+  RxSlot& slot = msg.slot(fh.frag_idx);
+  MADO_CHECK_MSG(!slot.have_data && !slot.is_rdv, "duplicate fragment");
+  slot.have_data = true;
+  if (slot.posted) {
+    MADO_CHECK_MSG(slot.dest_len == payload.size(),
+                   "unpack size " << slot.dest_len
+                                  << " != fragment size " << payload.size());
+    if (!payload.empty())
+      std::memcpy(slot.dest, payload.data(), payload.size());
+    mark_slot_done_locked(msg, slot);
+  } else {
+    slot.buffered.assign(payload.begin(), payload.end());
+    stats_.inc("rx.unexpected_frags");
+  }
+}
+
+void Engine::mark_slot_done_locked(RxMessage& msg, RxSlot& slot) {
+  MADO_ASSERT(!slot.done);
+  slot.done = true;
+  slot.buffered = Bytes();  // release any unexpected-queue copy
+  ++msg.done_count;
+}
+
+// ---- rendezvous ----------------------------------------------------------------
+
+void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
+                               ByteSpan payload) {
+  const RtsBody rts = decode_rts(payload);
+  switch (rts.target) {
+    case RdvTarget::Message: {
+      RxMessage& msg = ps.rx_msgs[{fh.channel, fh.msg_seq}];
+      note_nfrags_locked(msg, fh);
+      RxSlot& slot = msg.slot(fh.frag_idx);
+      MADO_CHECK_MSG(!slot.have_data && !slot.is_rdv, "duplicate RTS");
+      slot.is_rdv = true;
+      slot.token = rts.token;
+      slot.total = rts.total_len;
+      RdvRx rx;
+      rx.target = RdvTarget::Message;
+      rx.channel = fh.channel;
+      rx.seq = fh.msg_seq;
+      rx.idx = fh.frag_idx;
+      rdv_rx_[{ps.id, rts.token}] = rx;
+      stats_.inc("rx.rdv_rts");
+      if (slot.posted) {
+        MADO_CHECK_MSG(slot.dest_len == slot.total,
+                       "unpack size " << slot.dest_len
+                                      << " != rendezvous size "
+                                      << slot.total);
+        send_cts_locked(ps, fh, slot);
+      }
+      return;
+    }
+    case RdvTarget::Window: {
+      // One-sided put: the destination is an exposed window — no
+      // application receive exists, so the engine answers the CTS itself.
+      const RmaWindow& win =
+          window_locked(rts.window, rts.offset, rts.total_len);
+      RdvRx rx;
+      rx.target = RdvTarget::Window;
+      rx.base = win.base + rts.offset;
+      rx.len = rts.total_len;
+      rx.ack_token = rts.aux;
+      MADO_CHECK_MSG(rdv_rx_.emplace(std::make_pair(ps.id, rts.token), rx)
+                         .second,
+                     "duplicate RTS token");
+      stats_.inc("rx.rma_put_rts");
+      send_auto_cts_locked(ps, fh, rts.token);
+      return;
+    }
+    case RdvTarget::GetBuffer: {
+      // Bulk reply to our own rma_get: route chunks into the requester's
+      // destination buffer.
+      auto it = pending_gets_.find(rts.aux);
+      MADO_CHECK_MSG(it != pending_gets_.end(),
+                     "RTS for unknown get token " << rts.aux);
+      MADO_CHECK_MSG(it->second.len == rts.total_len,
+                     "get reply size mismatch");
+      RdvRx rx;
+      rx.target = RdvTarget::GetBuffer;
+      rx.base = it->second.dest;
+      rx.len = rts.total_len;
+      rx.get_token = rts.aux;
+      MADO_CHECK_MSG(rdv_rx_.emplace(std::make_pair(ps.id, rts.token), rx)
+                         .second,
+                     "duplicate RTS token");
+      send_auto_cts_locked(ps, fh, rts.token);
+      return;
+    }
+  }
+}
+
+void Engine::send_auto_cts_locked(PeerState& ps, const FragHeader& fh,
+                                  std::uint64_t token) {
+  TxFrag tf;
+  tf.channel = fh.channel;
+  tf.msg_seq = fh.msg_seq;
+  tf.idx = fh.frag_idx;
+  tf.nfrags_total = fh.nfrags_total;
+  tf.kind = FragKind::RdvCts;
+  encode_cts(tf.owned, CtsBody{token});
+  tf.len = tf.owned.size();
+  tf.submit_time = timers_.now();
+  tf.order = next_submit_order_++;
+  const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
+  ps.rails[rail]->backlog.push_control(std::move(tf));
+  stats_.inc("tx.rdv_cts");
+}
+
+void Engine::send_cts_locked(PeerState& ps, const FragHeader& fh,
+                             RxSlot& slot) {
+  MADO_ASSERT(slot.is_rdv && !slot.cts_sent);
+  slot.cts_sent = true;
+  TxFrag tf;
+  tf.channel = fh.channel;
+  tf.msg_seq = fh.msg_seq;
+  tf.idx = fh.frag_idx;
+  tf.nfrags_total = fh.nfrags_total;
+  tf.kind = FragKind::RdvCts;
+  CtsBody body{slot.token};
+  encode_cts(tf.owned, body);
+  tf.len = tf.owned.size();
+  tf.submit_time = timers_.now();
+  tf.order = next_submit_order_++;
+  const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
+  ps.rails[rail]->backlog.push_control(std::move(tf));
+  stats_.inc("tx.rdv_cts");
+  // Caller pumps (post_unpack and handle_eager_packet both do).
+}
+
+void Engine::handle_cts_locked(PeerState& ps, ByteSpan payload) {
+  const CtsBody cts = decode_cts(payload);
+  trace_locked(TraceEvent::RdvCts, ps.id, 0, cts.token);
+  auto it = rdv_tx_.find(cts.token);
+  MADO_CHECK_MSG(it != rdv_tx_.end(), "CTS for unknown rendezvous");
+  RdvTx& rdv = it->second;
+  MADO_CHECK_MSG(!rdv.cts_received, "duplicate CTS");
+  rdv.cts_received = true;
+  stats_.inc("rx.rdv_cts");
+  distribute_chunks_locked(ps, cts.token, rdv);
+}
+
+void Engine::distribute_chunks_locked(PeerState& ps, std::uint64_t token,
+                                      RdvTx& rdv) {
+  const std::size_t chunk_size = std::max<std::size_t>(1, cfg_.rdv_chunk);
+  for (std::uint64_t off = 0; off < rdv.total; off += chunk_size) {
+    BulkChunk chunk;
+    chunk.token = token;
+    chunk.offset = off;
+    chunk.len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(chunk_size, rdv.total - off));
+    rdv.queued += chunk.len;
+    switch (cfg_.multirail) {
+      case MultirailPolicy::SingleRail: {
+        const RailId r = rail_for_class_locked(ps, TrafficClass::Bulk);
+        ps.rails[r]->bulk_q.push_back(chunk);
+        break;
+      }
+      case MultirailPolicy::StaticSplit: {
+        // Proportional-to-bandwidth assignment, decided up front.
+        std::size_t best = 0;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < ps.rails.size(); ++i) {
+          const double bw =
+              ps.rails[i]->ep->caps().cost.link_bytes_per_us;
+          const double cost =
+              (static_cast<double>(ps.rails[i]->static_split_assigned) +
+               chunk.len) /
+              bw;
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = i;
+          }
+        }
+        ps.rails[best]->static_split_assigned += chunk.len;
+        ps.rails[best]->bulk_q.push_back(chunk);
+        break;
+      }
+      case MultirailPolicy::DynamicSplit:
+        // Shared pool: each idle bulk track pulls the next chunk, so faster
+        // rails automatically take more (paper §2, dynamic load balancing).
+        ps.shared_bulk.push_back(chunk);
+        break;
+    }
+  }
+}
+
+// ---- bulk path -------------------------------------------------------------------
+
+void Engine::handle_bulk_packet_locked(PeerState& ps, const Bytes& payload) {
+  ByteSpan data;
+  const BulkHeader bh = decode_bulk(ByteSpan(payload), data, cfg_.crc_check);
+  auto it = rdv_rx_.find({ps.id, bh.token});
+  MADO_CHECK_MSG(it != rdv_rx_.end(), "bulk chunk for unknown rendezvous");
+  RdvRx& rx = it->second;
+  stats_.inc("rx.bulk_chunks");
+  stats_.inc("rx.bytes", payload.size());
+  trace_locked(TraceEvent::BulkRx, ps.id, 0, bh.token, bh.offset, bh.len);
+
+  if (rx.target == RdvTarget::Message) {
+    auto mit = ps.rx_msgs.find({rx.channel, rx.seq});
+    MADO_CHECK(mit != ps.rx_msgs.end());
+    RxMessage& msg = mit->second;
+    RxSlot& slot = msg.slot(rx.idx);
+    MADO_CHECK(slot.is_rdv && slot.posted);
+    MADO_CHECK_MSG(bh.offset + bh.len <= slot.total,
+                   "bulk chunk out of range");
+    if (bh.len > 0)
+      std::memcpy(slot.dest + bh.offset, data.data(), bh.len);
+    slot.received += bh.len;
+    MADO_ASSERT(slot.received <= slot.total);
+    if (slot.received == slot.total) {
+      mark_slot_done_locked(msg, slot);
+      rdv_rx_.erase(it);
+      stats_.inc("rx.rdv_completed");
+    }
+    return;
+  }
+
+  // Direct targets: one-sided window or get-reply buffer.
+  MADO_CHECK_MSG(bh.offset + bh.len <= rx.len, "bulk chunk out of range");
+  if (bh.len > 0) std::memcpy(rx.base + bh.offset, data.data(), bh.len);
+  rx.received += bh.len;
+  MADO_ASSERT(rx.received <= rx.len);
+  if (rx.received < rx.len) return;
+
+  if (rx.target == RdvTarget::Window) {
+    push_rma_ack_locked(ps, rx.ack_token);
+    stats_.inc("rx.rma_puts_completed");
+  } else {
+    auto git = pending_gets_.find(rx.get_token);
+    MADO_CHECK(git != pending_gets_.end());
+    MADO_ASSERT(git->second.state->pending > 0);
+    if (--git->second.state->pending == 0) stats_.inc("rma.gets_completed");
+    pending_gets_.erase(git);
+  }
+  rdv_rx_.erase(it);
+}
+
+// ---- RMA eager paths -----------------------------------------------------------
+
+void Engine::push_rma_ack_locked(PeerState& ps, std::uint64_t ack_token) {
+  TxFrag tf = make_rma_frag_locked(FragKind::RmaAck);
+  encode_rma_ack(tf.owned, RmaAckBody{ack_token});
+  tf.len = tf.owned.size();
+  const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
+  ps.rails[rail]->backlog.push_control(std::move(tf));
+  stats_.inc("tx.rma_acks");
+}
+
+void Engine::handle_rma_put_locked(PeerState& ps, ByteSpan payload) {
+  ByteSpan data;
+  const RmaPutBody b = decode_rma_put(payload, data);
+  const RmaWindow& win = window_locked(b.window, b.offset, data.size());
+  if (!data.empty())
+    std::memcpy(win.base + b.offset, data.data(), data.size());
+  stats_.inc("rx.rma_puts");
+  push_rma_ack_locked(ps, b.ack_token);
+}
+
+void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
+  const RmaGetBody b = decode_rma_get(payload);
+  const RmaWindow& win = window_locked(b.window, b.offset, b.len);
+  stats_.inc("rx.rma_gets");
+
+  MADO_CHECK(!ps.rails.empty());
+  const RailId rail_id = rail_for_class_locked(ps, TrafficClass::PutGet);
+  Rail& rail = *ps.rails[rail_id];
+  const std::size_t rdv_thr = cfg_.rdv_threshold_override != 0
+                                  ? cfg_.rdv_threshold_override
+                                  : rail.ep->caps().rdv_threshold;
+  if (b.len >= rdv_thr) {
+    // Bulk reply: rendezvous straight from the window into the requester's
+    // get buffer (the requester auto-answers the CTS).
+    const std::uint64_t token = next_rdv_token_++;
+    RdvTx rdv;
+    rdv.peer = ps.id;
+    rdv.channel = kRmaChannel;
+    rdv.data = win.base + b.offset;
+    rdv.total = b.len;
+    rdv.state = nullptr;  // no local handle: the requester tracks completion
+    rdv_tx_.emplace(token, std::move(rdv));
+
+    TxFrag tf = make_rma_frag_locked(FragKind::RdvRts);
+    RtsBody rts;
+    rts.token = token;
+    rts.total_len = b.len;
+    rts.target = RdvTarget::GetBuffer;
+    rts.aux = b.get_token;
+    encode_rts(tf.owned, rts);
+    tf.len = tf.owned.size();
+    rail.backlog.push(std::move(tf));
+  } else {
+    TxFrag tf = make_rma_frag_locked(FragKind::RmaGetData);
+    encode_rma_get_data(tf.owned, RmaGetDataBody{b.get_token});
+    tf.owned.insert(tf.owned.end(), win.base + b.offset,
+                    win.base + b.offset + b.len);
+    tf.len = tf.owned.size();
+    rail.backlog.push(std::move(tf));
+  }
+}
+
+void Engine::handle_rma_get_data_locked(PeerState& ps, ByteSpan payload) {
+  (void)ps;
+  ByteSpan data;
+  const RmaGetDataBody b = decode_rma_get_data(payload, data);
+  auto it = pending_gets_.find(b.get_token);
+  MADO_CHECK_MSG(it != pending_gets_.end(),
+                 "get reply for unknown token " << b.get_token);
+  MADO_CHECK_MSG(it->second.len == data.size(), "get reply size mismatch");
+  std::memcpy(it->second.dest, data.data(), data.size());
+  MADO_ASSERT(it->second.state->pending > 0);
+  if (--it->second.state->pending == 0) stats_.inc("rma.gets_completed");
+  pending_gets_.erase(it);
+}
+
+void Engine::handle_rma_ack_locked(ByteSpan payload) {
+  const RmaAckBody b = decode_rma_ack(payload);
+  auto it = rma_acks_.find(b.ack_token);
+  MADO_CHECK_MSG(it != rma_acks_.end(), "unexpected RMA ack " << b.ack_token);
+  MADO_ASSERT(it->second->pending > 0);
+  if (--it->second->pending == 0) stats_.inc("rma.puts_completed");
+  rma_acks_.erase(it);
+}
+
+// ---- application receive API ------------------------------------------------------
+
+MsgSeq Engine::attach_recv(NodeId peer, ChannelId ch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PeerState& ps = peer_locked(peer);
+  auto it = ps.channels.find(ch);
+  MADO_CHECK_MSG(it != ps.channels.end(), "channel " << ch << " not open");
+  return it->second.next_attach_seq++;
+}
+
+bool Engine::probe_recv(NodeId peer, ChannelId ch) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const PeerState* ps = find_peer_locked(peer);
+  if (!ps) return false;
+  auto cit = ps->channels.find(ch);
+  MADO_CHECK_MSG(cit != ps->channels.end(), "channel " << ch << " not open");
+  auto it = ps->rx_msgs.find({ch, cit->second.next_attach_seq});
+  return it != ps->rx_msgs.end() && it->second.nfrags_total != 0;
+}
+
+void Engine::post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
+                         void* buf, std::size_t len) {
+  MADO_CHECK(buf != nullptr || len == 0);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState& ps = peer_locked(peer);
+    RxMessage& msg = ps.rx_msgs[{ch, seq}];
+    RxSlot& slot = msg.slot(idx);
+    MADO_CHECK_MSG(!slot.posted, "fragment already unpacked");
+    slot.posted = true;
+    slot.dest = static_cast<Byte*>(buf);
+    slot.dest_len = len;
+    ++msg.posted_count;
+
+    if (slot.have_data) {
+      MADO_CHECK_MSG(slot.buffered.size() == len,
+                     "unpack size " << len << " != fragment size "
+                                    << slot.buffered.size());
+      if (len > 0) std::memcpy(buf, slot.buffered.data(), len);
+      mark_slot_done_locked(msg, slot);
+    } else if (slot.is_rdv && !slot.cts_sent) {
+      MADO_CHECK_MSG(slot.total == len,
+                     "unpack size " << len << " != rendezvous size "
+                                    << slot.total);
+      FragHeader fh;
+      fh.channel = ch;
+      fh.msg_seq = seq;
+      fh.frag_idx = idx;
+      fh.nfrags_total = msg.nfrags_total;
+      send_cts_locked(ps, fh, slot);
+      pump_peer_locked(ps);
+    }
+  }
+  cv_.notify_all();
+}
+
+void Engine::wait_frag(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx) {
+  const bool ok = wait_until_impl(
+      [this, peer, ch, seq, idx] {
+        const PeerState* ps = find_peer_locked(peer);
+        if (!ps) return false;
+        auto it = ps->rx_msgs.find({ch, seq});
+        if (it == ps->rx_msgs.end()) return false;
+        if (it->second.slots.size() <= idx) return false;
+        return it->second.slots[idx].done;
+      },
+      kDefaultTimeout);
+  MADO_CHECK_MSG(ok, "timed out waiting for fragment " << idx
+                                                       << " of message "
+                                                       << seq);
+}
+
+std::size_t Engine::wait_frag_size(NodeId peer, ChannelId ch, MsgSeq seq,
+                                   FragIdx idx) {
+  // A fragment's size is known once either its eager payload is buffered,
+  // its unpack already completed, or — for rendezvous — the RTS arrived.
+  std::size_t size = 0;
+  const bool ok = wait_until_impl(
+      [this, peer, ch, seq, idx, &size] {
+        const PeerState* ps = find_peer_locked(peer);
+        if (!ps) return false;
+        auto it = ps->rx_msgs.find({ch, seq});
+        if (it == ps->rx_msgs.end() || it->second.slots.size() <= idx)
+          return false;
+        const RxSlot& slot = it->second.slots[idx];
+        if (slot.is_rdv) {
+          size = slot.total;
+          return true;
+        }
+        if (slot.have_data && !slot.done) {
+          size = slot.buffered.size();
+          return true;
+        }
+        if (slot.done) {
+          size = slot.dest_len;
+          return true;
+        }
+        return false;
+      },
+      kDefaultTimeout);
+  MADO_CHECK_MSG(ok, "timed out waiting for fragment " << idx << " size");
+  return size;
+}
+
+void Engine::finish_recv(NodeId peer, ChannelId ch, MsgSeq seq,
+                         FragIdx nposted) {
+  // First learn the message's fragment count (the first arrived fragment
+  // carries it), then check the application consumed everything, then wait
+  // for full delivery.
+  bool ok = wait_until_impl(
+      [this, peer, ch, seq] {
+        const PeerState* ps = find_peer_locked(peer);
+        if (!ps) return false;
+        auto it = ps->rx_msgs.find({ch, seq});
+        return it != ps->rx_msgs.end() && it->second.nfrags_total != 0;
+      },
+      kDefaultTimeout);
+  MADO_CHECK_MSG(ok, "timed out waiting for message " << seq);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState& ps = peer_locked(peer);
+    const RxMessage& msg = ps.rx_msgs.at({ch, seq});
+    MADO_CHECK_MSG(nposted == msg.nfrags_total,
+                   "finish() after unpacking " << nposted << " of "
+                                               << msg.nfrags_total
+                                               << " fragments");
+  }
+  ok = wait_until_impl(
+      [this, peer, ch, seq] {
+        const PeerState* ps = find_peer_locked(peer);
+        if (!ps) return false;
+        auto it = ps->rx_msgs.find({ch, seq});
+        return it != ps->rx_msgs.end() && it->second.complete();
+      },
+      kDefaultTimeout);
+  MADO_CHECK_MSG(ok, "timed out completing message " << seq);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState& ps = peer_locked(peer);
+    ps.rx_msgs.erase({ch, seq});
+    stats_.inc("rx.msgs_completed");
+  }
+}
+
+void Engine::flush_channel(NodeId peer, ChannelId ch) {
+  const bool ok = wait_until_impl(
+      [this, peer, ch] {
+        const PeerState* ps = find_peer_locked(peer);
+        if (!ps) return true;
+        auto it = ps->channels.find(ch);
+        return it == ps->channels.end() ||
+               it->second.outstanding_sends == 0;
+      },
+      kDefaultTimeout);
+  MADO_CHECK_MSG(ok, "timed out flushing channel " << ch);
+}
+
+}  // namespace mado::core

@@ -1,0 +1,79 @@
+// Structured outgoing message (the Madeleine pack interface).
+//
+// A message is a sequence of fragments. Middlewares typically pack one or
+// more header fragments describing the request, then the payload — these
+// "message internal dependencies" are what constrains the optimizer: the
+// fragments of one message are never reordered relative to each other,
+// while fragments of different flows may be freely interleaved.
+//
+// Buffer lifetime per SendMode:
+//   Safe    — copied inside pack(); caller may reuse the buffer immediately.
+//   Later   — referenced; must stay valid until the send completes.
+//   Cheaper — the library copies small fragments at submit time and
+//             references large ones (same lifetime rule as Later).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/assert.hpp"
+#include "util/wire.hpp"
+
+namespace mado::core {
+
+class Message {
+ public:
+  Message() = default;
+  Message(Message&&) = default;
+  Message& operator=(Message&&) = default;
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+
+  /// Append one fragment. Fragments are sent and received in pack order.
+  void pack(const void* data, std::size_t len,
+            SendMode mode = SendMode::Cheaper) {
+    MADO_CHECK_MSG(len <= std::numeric_limits<std::uint32_t>::max(),
+                   "fragment too large");
+    MADO_CHECK_MSG(frags_.size() <
+                       std::numeric_limits<std::uint16_t>::max(),
+                   "too many fragments in one message");
+    MADO_CHECK_MSG(len == 0 || data != nullptr, "null fragment data");
+    Fragment f;
+    f.mode = mode;
+    f.len = len;
+    if (mode == SendMode::Safe) {
+      const auto* p = static_cast<const Byte*>(data);
+      f.owned.assign(p, p + len);
+    } else {
+      f.ext = static_cast<const Byte*>(data);
+    }
+    frags_.push_back(std::move(f));
+  }
+
+  std::size_t fragment_count() const { return frags_.size(); }
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& f : frags_) n += f.len;
+    return n;
+  }
+  bool empty() const { return frags_.empty(); }
+
+  /// Engine-internal fragment view (moved out at submit).
+  struct Fragment {
+    SendMode mode = SendMode::Cheaper;
+    Bytes owned;                 // Safe mode: copied payload
+    const Byte* ext = nullptr;   // Later/Cheaper: caller buffer
+    std::size_t len = 0;
+
+    const Byte* data() const { return owned.empty() ? ext : owned.data(); }
+  };
+  std::vector<Fragment>& fragments() { return frags_; }
+  const std::vector<Fragment>& fragments() const { return frags_; }
+
+ private:
+  std::vector<Fragment> frags_;
+};
+
+}  // namespace mado::core

@@ -1,0 +1,222 @@
+#include "core/packet.hpp"
+
+#include "util/assert.hpp"
+#include "util/crc32.hpp"
+
+namespace mado::core {
+
+namespace {
+
+void write_frag_header(WireWriter& w, const FragHeader& fh) {
+  w.u32(fh.channel);
+  w.u32(fh.msg_seq);
+  w.u16(fh.frag_idx);
+  w.u16(fh.nfrags_total);
+  w.u8(static_cast<std::uint8_t>(fh.kind));
+  w.u8(fh.flags);
+  w.u16(0);  // reserved
+  w.u32(fh.len);
+}
+
+FragHeader read_frag_header(WireReader& r) {
+  FragHeader fh;
+  fh.channel = r.u32();
+  fh.msg_seq = r.u32();
+  fh.frag_idx = r.u16();
+  fh.nfrags_total = r.u16();
+  const std::uint8_t kind = r.u8();
+  MADO_CHECK_MSG(kind <= static_cast<std::uint8_t>(kMaxFragKind),
+                 "bad fragment kind " << int(kind));
+  fh.kind = static_cast<FragKind>(kind);
+  fh.flags = r.u8();
+  r.skip(2);  // reserved
+  fh.len = r.u32();
+  return fh;
+}
+
+}  // namespace
+
+void encode_header_block(Bytes& out, const PacketHeader& ph,
+                         const std::vector<FragHeader>& frags) {
+  MADO_CHECK(frags.size() == ph.nfrags);
+  const std::size_t base = out.size();
+  WireWriter w(out);
+  w.u32(kPacketMagic);
+  w.u8(kWireVersion);
+  w.u8(0);  // reserved
+  w.u16(ph.nfrags);
+  w.u32(ph.pkt_seq);
+  w.u32(ph.src_node);
+  const std::size_t crc_at = w.size();
+  w.u32(0);  // CRC placeholder
+  for (const FragHeader& fh : frags) write_frag_header(w, fh);
+
+  // CRC covers everything in the block except the CRC field itself.
+  Crc32 crc;
+  crc.update(out.data() + base, crc_at - base);
+  crc.update(out.data() + crc_at + 4, out.size() - crc_at - 4);
+  w.patch_u32(crc_at, crc.value());
+}
+
+DecodedPacket parse_packet(ByteSpan packet, bool crc_check) {
+  WireReader r(packet);
+  DecodedPacket out;
+  MADO_CHECK_MSG(r.u32() == kPacketMagic, "bad packet magic");
+  MADO_CHECK_MSG(r.u8() == kWireVersion, "bad wire version");
+  r.skip(1);
+  out.header.nfrags = r.u16();
+  out.header.pkt_seq = r.u32();
+  out.header.src_node = r.u32();
+  const std::size_t crc_at = r.position();
+  const std::uint32_t wire_crc = r.u32();
+
+  out.frags.reserve(out.header.nfrags);
+  for (std::uint16_t i = 0; i < out.header.nfrags; ++i)
+    out.frags.push_back(read_frag_header(r));
+
+  if (crc_check) {
+    Crc32 crc;
+    crc.update(packet.data(), crc_at);
+    crc.update(packet.data() + crc_at + 4, r.position() - crc_at - 4);
+    MADO_CHECK_MSG(crc.value() == wire_crc, "packet header CRC mismatch");
+  }
+
+  out.payloads.reserve(out.header.nfrags);
+  for (const FragHeader& fh : out.frags) out.payloads.push_back(r.bytes(fh.len));
+  MADO_CHECK_MSG(r.at_end(), "trailing bytes after packet payloads");
+  return out;
+}
+
+void encode_rts(Bytes& out, const RtsBody& rts) {
+  WireWriter w(out);
+  w.u64(rts.token);
+  w.u64(rts.total_len);
+  w.u8(static_cast<std::uint8_t>(rts.target));
+  w.u32(rts.window);
+  w.u64(rts.offset);
+  w.u64(rts.aux);
+}
+
+RtsBody decode_rts(ByteSpan payload) {
+  WireReader r(payload);
+  RtsBody b;
+  b.token = r.u64();
+  b.total_len = r.u64();
+  const std::uint8_t target = r.u8();
+  MADO_CHECK_MSG(target <= static_cast<std::uint8_t>(RdvTarget::GetBuffer),
+                 "bad rendezvous target " << int(target));
+  b.target = static_cast<RdvTarget>(target);
+  b.window = r.u32();
+  b.offset = r.u64();
+  b.aux = r.u64();
+  MADO_CHECK_MSG(r.at_end(), "trailing bytes in RTS body");
+  return b;
+}
+
+void encode_rma_put(Bytes& out, const RmaPutBody& b) {
+  WireWriter w(out);
+  w.u32(b.window);
+  w.u64(b.offset);
+  w.u64(b.ack_token);
+}
+
+RmaPutBody decode_rma_put(ByteSpan payload, ByteSpan& data) {
+  WireReader r(payload);
+  RmaPutBody b;
+  b.window = r.u32();
+  b.offset = r.u64();
+  b.ack_token = r.u64();
+  data = r.bytes(r.remaining());
+  return b;
+}
+
+void encode_rma_get(Bytes& out, const RmaGetBody& b) {
+  WireWriter w(out);
+  w.u32(b.window);
+  w.u64(b.offset);
+  w.u64(b.len);
+  w.u64(b.get_token);
+}
+
+RmaGetBody decode_rma_get(ByteSpan payload) {
+  WireReader r(payload);
+  RmaGetBody b;
+  b.window = r.u32();
+  b.offset = r.u64();
+  b.len = r.u64();
+  b.get_token = r.u64();
+  MADO_CHECK_MSG(r.at_end(), "trailing bytes in RMA get body");
+  return b;
+}
+
+void encode_rma_get_data(Bytes& out, const RmaGetDataBody& b) {
+  WireWriter w(out);
+  w.u64(b.get_token);
+}
+
+RmaGetDataBody decode_rma_get_data(ByteSpan payload, ByteSpan& data) {
+  WireReader r(payload);
+  RmaGetDataBody b;
+  b.get_token = r.u64();
+  data = r.bytes(r.remaining());
+  return b;
+}
+
+void encode_rma_ack(Bytes& out, const RmaAckBody& b) {
+  WireWriter w(out);
+  w.u64(b.ack_token);
+}
+
+RmaAckBody decode_rma_ack(ByteSpan payload) {
+  WireReader r(payload);
+  RmaAckBody b;
+  b.ack_token = r.u64();
+  MADO_CHECK_MSG(r.at_end(), "trailing bytes in RMA ack body");
+  return b;
+}
+
+void encode_cts(Bytes& out, const CtsBody& cts) {
+  WireWriter w(out);
+  w.u64(cts.token);
+}
+
+CtsBody decode_cts(ByteSpan payload) {
+  WireReader r(payload);
+  CtsBody b;
+  b.token = r.u64();
+  MADO_CHECK_MSG(r.at_end(), "trailing bytes in CTS body");
+  return b;
+}
+
+void encode_bulk_header(Bytes& out, const BulkHeader& bh) {
+  const std::size_t base = out.size();
+  WireWriter w(out);
+  w.u32(kBulkMagic);
+  w.u32(bh.src_node);
+  w.u64(bh.token);
+  w.u64(bh.offset);
+  w.u32(bh.len);
+  const std::size_t crc_at = w.size();
+  w.u32(0);
+  w.patch_u32(crc_at, Crc32::of(out.data() + base, crc_at - base));
+}
+
+BulkHeader decode_bulk(ByteSpan packet, ByteSpan& data, bool crc_check) {
+  WireReader r(packet);
+  BulkHeader b;
+  MADO_CHECK_MSG(r.u32() == kBulkMagic, "bad bulk magic");
+  b.src_node = r.u32();
+  b.token = r.u64();
+  b.offset = r.u64();
+  b.len = r.u32();
+  const std::size_t crc_at = r.position();
+  const std::uint32_t wire_crc = r.u32();
+  if (crc_check)
+    MADO_CHECK_MSG(Crc32::of(packet.data(), crc_at) == wire_crc,
+                   "bulk header CRC mismatch");
+  data = r.bytes(b.len);
+  MADO_CHECK_MSG(r.at_end(), "trailing bytes after bulk payload");
+  return b;
+}
+
+}  // namespace mado::core

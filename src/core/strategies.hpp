@@ -1,0 +1,41 @@
+// Built-in optimization strategies.
+//
+//   fifo              — the previous-Madeleine baseline: deterministic,
+//                       per-flow, send-as-submitted; aggregates only the
+//                       fragments of one message, never across flows.
+//   aggreg            — greedy cross-flow aggregation: fill each packet up
+//                       to the driver's eager limit from all flow heads,
+//                       oldest first (the paper's headline optimization).
+//   aggreg_exhaustive — bounded search over candidate packings scored with
+//                       the NIC cost model; captures the aggregate-versus-
+//                       pipeline tradeoff and the paper's future work on
+//                       bounding the number of rearrangements evaluated.
+//   nagle             — aggreg plus an artificial delay for sparse traffic
+//                       ("in a TCP Nagle's algorithm fashion", paper §3).
+//   adaptive          — dynamic policy selection (paper §2: "dynamically
+//                       change the assignment ... thus selecting different
+//                       policies, as the needs of the application evolve"):
+//                       tracks the recent fragment arrival rate and behaves
+//                       like aggreg under load but holds lone fragments
+//                       Nagle-style when traffic turns sparse.
+//   priority          — class-aware aggregation: latency-critical traffic
+//                       classes overtake bulk classes within one rail.
+#pragma once
+
+#include <memory>
+
+#include "core/strategy.hpp"
+
+namespace mado::core {
+
+std::unique_ptr<Strategy> make_fifo_strategy();
+std::unique_ptr<Strategy> make_aggreg_strategy();
+std::unique_ptr<Strategy> make_aggreg_exhaustive_strategy();
+std::unique_ptr<Strategy> make_nagle_strategy();
+std::unique_ptr<Strategy> make_adaptive_strategy();
+std::unique_ptr<Strategy> make_priority_strategy();
+
+/// Called by StrategyRegistry's constructor.
+void register_builtin_strategies(StrategyRegistry& reg);
+
+}  // namespace mado::core

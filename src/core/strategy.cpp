@@ -1,0 +1,76 @@
+#include "core/strategy.hpp"
+
+#include "core/strategies.hpp"
+#include "util/assert.hpp"
+
+namespace mado::core {
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry reg;
+  return reg;
+}
+
+StrategyRegistry::StrategyRegistry() { register_builtin_strategies(*this); }
+
+void StrategyRegistry::register_strategy(const std::string& name,
+                                         Factory factory) {
+  MADO_CHECK_MSG(!name.empty(), "strategy name must be non-empty");
+  MADO_CHECK(factory != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  factories_[name] = std::move(factory);
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Strategy> StrategyRegistry::create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = factories_.find(name);
+    MADO_CHECK_MSG(it != factories_.end(), "unknown strategy: " << name);
+    factory = it->second;  // run outside the lock
+  }
+  auto s = factory();
+  MADO_CHECK(s != nullptr);
+  return s;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+namespace strategy_detail {
+
+std::size_t take_controls(TxBacklog& backlog, std::size_t budget,
+                          std::vector<TxFrag>& out) {
+  std::size_t used = 0;
+  while (backlog.has_control()) {
+    const std::size_t need =
+        FragHeader::kWireSize + backlog.peek_control().len;
+    if (!out.empty() && used + need > budget) break;
+    used += need;
+    out.push_back(backlog.pop_control());
+  }
+  return used;
+}
+
+Nanos packet_cost(const drv::Capabilities& caps, std::size_t payload_bytes,
+                  std::size_t payload_segs, std::size_t header_bytes) {
+  const sim::NicModel model(caps.cost);
+  const std::size_t total = payload_bytes + header_bytes;
+  const std::size_t segs = 1 + payload_segs;  // header block + payloads
+  if (caps.gather_scatter && segs <= caps.max_gather_segments)
+    return model.busy_time(total, segs);
+  return model.copy_time(total) + model.busy_time(total, 1);
+}
+
+}  // namespace strategy_detail
+}  // namespace mado::core

@@ -1,0 +1,106 @@
+// Optimization strategies — the paper's "extendable packet optimization
+// engine" with its "database of predefined strategies".
+//
+// A Strategy is consulted whenever an eager track is idle and the backlog is
+// non-empty. It examines the backlog (bounded by the lookahead window) and
+// decides the next packet: which fragments to combine, or to wait a little
+// longer (Nagle-style), or that nothing should be sent now.
+//
+// Constraints every strategy MUST honor (checked by tests):
+//   * control fragments (rendezvous CTS, …) are included before data;
+//   * fragments are consumed from each flow's head only (per-flow FIFO),
+//     which preserves intra-message ordering;
+//   * the packet payload never exceeds Capabilities::max_eager.
+//
+// New strategies are added by registering a factory under a name; the
+// engine resolves EngineConfig::strategy through this registry, so a
+// downstream user extends the database without touching engine code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/backlog.hpp"
+#include "core/config.hpp"
+#include "drivers/capabilities.hpp"
+#include "util/stats.hpp"
+
+namespace mado::core {
+
+/// Everything a strategy may consult when deciding the next packet.
+struct StrategyEnv {
+  const drv::Capabilities& caps;
+  Nanos now = 0;
+  std::size_t lookahead_window = 0;  ///< 0 = unbounded
+  std::size_t eval_budget = 0;       ///< 0 = unbounded
+  Nanos nagle_delay = 0;
+  StatsRegistry* stats = nullptr;    ///< may be null
+};
+
+struct PacketDecision {
+  enum class Action : std::uint8_t {
+    Send,  ///< transmit `frags` as one packet now
+    Wait,  ///< hold off until `wait_until` hoping for aggregation
+    Idle,  ///< nothing to do (backlog empty or unsendable)
+  };
+  Action action = Action::Idle;
+  std::vector<TxFrag> frags;
+  Nanos wait_until = 0;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+
+  /// Decide the next packet for an idle eager track. May pop fragments from
+  /// `backlog` only if it returns Action::Send (and exactly the popped
+  /// fragments must appear in `frags`, in packet order).
+  virtual PacketDecision next_packet(TxBacklog& backlog,
+                                     const StrategyEnv& env) = 0;
+};
+
+/// Name → factory database. Built-in strategies ("fifo", "aggreg",
+/// "aggreg_exhaustive", "nagle", "adaptive", "priority") are registered on
+/// first access; users add their own with register_strategy (replacing is
+/// allowed, so a user can even override a built-in). Thread-safe: engines
+/// may be constructed concurrently with registrations.
+class StrategyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Strategy>()>;
+
+  static StrategyRegistry& instance();
+
+  void register_strategy(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  std::unique_ptr<Strategy> create(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  StrategyRegistry();  // registers the built-ins
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Helpers shared by built-in strategies (exposed for custom strategies and
+/// tests).
+namespace strategy_detail {
+
+/// Pop as many control fragments as fit into `out` within `budget` bytes.
+/// Returns bytes consumed.
+std::size_t take_controls(TxBacklog& backlog, std::size_t budget,
+                          std::vector<TxFrag>& out);
+
+/// Estimated NIC busy time for a packet of `payload_bytes` over
+/// `payload_segs` payload segments (plus the header block) under `caps`.
+Nanos packet_cost(const drv::Capabilities& caps, std::size_t payload_bytes,
+                  std::size_t payload_segs, std::size_t header_bytes);
+
+}  // namespace strategy_detail
+
+}  // namespace mado::core

@@ -1,0 +1,94 @@
+// Timer facility abstraction.
+//
+// The optimizer needs timers (Nagle-style artificial delays, periodic class
+// rebalancing). In simulation, timers are fabric events in virtual time; in
+// real (socket) mode they are a min-heap polled from the progress loop.
+// Engine code only sees TimerHost.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "sim/fabric.hpp"
+#include "util/clock.hpp"
+
+namespace mado::core {
+
+class TimerHost {
+ public:
+  virtual ~TimerHost() = default;
+  virtual Nanos now() const = 0;
+  /// Run `fn` at absolute time `t` (or as soon after as the host pumps).
+  /// `fn` is invoked WITHOUT any engine lock held.
+  virtual void schedule_at(Nanos t, std::function<void()> fn) = 0;
+
+  /// Execute due timers now (no-op for hosts whose timers run elsewhere,
+  /// like the simulation fabric). Called from Engine::progress().
+  virtual std::size_t run_due() { return 0; }
+};
+
+/// Virtual-time timers: delegate to the simulation fabric.
+class SimTimerHost final : public TimerHost {
+ public:
+  explicit SimTimerHost(sim::Fabric& fabric) : fabric_(fabric) {}
+  Nanos now() const override { return fabric_.now(); }
+  void schedule_at(Nanos t, std::function<void()> fn) override {
+    fabric_.post_at(t, std::move(fn));
+  }
+
+ private:
+  sim::Fabric& fabric_;
+};
+
+/// Wall-clock timers: a heap drained by run_due() from the progress loop.
+class RealTimerHost final : public TimerHost {
+ public:
+  Nanos now() const override { return clock_.now(); }
+
+  void schedule_at(Nanos t, std::function<void()> fn) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    heap_.push_back(Entry{t, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Execute all timers whose deadline has passed. Returns count run.
+  std::size_t run_due() override {
+    std::size_t n = 0;
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (heap_.empty() || heap_.front().when > clock_.now()) break;
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        fn = std::move(heap_.back().fn);
+        heap_.pop_back();
+      }
+      fn();  // outside the heap lock: fn may schedule more timers
+      ++n;
+    }
+    return n;
+  }
+
+  bool has_pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return !heap_.empty();
+  }
+
+ private:
+  struct Entry {
+    Nanos when;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when > b.when;
+    }
+  };
+  SteadyClock clock_;
+  mutable std::mutex mu_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace mado::core

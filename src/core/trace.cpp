@@ -1,0 +1,88 @@
+#include "core/trace.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace mado::core {
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  MADO_CHECK(capacity > 0);
+  ring_.resize(capacity);
+}
+
+void Tracer::record(const TraceRecord& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_[head_] = rec;
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(count_);
+  const std::size_t start = (head_ + capacity_ - count_) % capacity_;
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  head_ = count_ = dropped_ = 0;
+}
+
+const char* Tracer::event_name(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::MsgSubmit: return "MsgSubmit";
+    case TraceEvent::Decision: return "Decision";
+    case TraceEvent::PacketTx: return "PacketTx";
+    case TraceEvent::PacketRx: return "PacketRx";
+    case TraceEvent::BulkTx: return "BulkTx";
+    case TraceEvent::BulkRx: return "BulkRx";
+    case TraceEvent::RdvRts: return "RdvRts";
+    case TraceEvent::RdvCts: return "RdvCts";
+    case TraceEvent::NagleWait: return "NagleWait";
+    case TraceEvent::Rebalance: return "Rebalance";
+    case TraceEvent::RmaOp: return "RmaOp";
+  }
+  return "?";
+}
+
+std::string Tracer::render(const TraceRecord& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%12.3fus  n%u->%u r%u  %-10s a=%llu b=%llu c=%llu",
+                to_usec(rec.time), rec.node, rec.peer, rec.rail,
+                event_name(rec.event),
+                static_cast<unsigned long long>(rec.a),
+                static_cast<unsigned long long>(rec.b),
+                static_cast<unsigned long long>(rec.c));
+  return buf;
+}
+
+std::string Tracer::render_all() const {
+  std::string out;
+  for (const TraceRecord& rec : snapshot()) {
+    out += render(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mado::core

@@ -1,0 +1,74 @@
+// Event tracing: a bounded ring of timestamped engine events (submissions,
+// optimizer decisions, packet/bulk transmissions and arrivals, rendezvous
+// handshakes, Nagle waits, class re-assignments).
+//
+// Attach one Tracer to one or more engines with Engine::set_tracer; in
+// simulation the timestamps are virtual time, so the rendered timeline is
+// an exact, reproducible account of what the optimizer did — see
+// examples/timeline.cpp.
+//
+// The ring overwrites the oldest records when full (dropped() counts).
+// Thread-safe: a single Tracer may be shared by several engines.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/clock.hpp"
+
+namespace mado::core {
+
+enum class TraceEvent : std::uint8_t {
+  MsgSubmit,    // a=channel, b=nfrags, c=bytes
+  Decision,     // a=action(0 send,1 wait,2 idle), b=frags, c=bytes
+  PacketTx,     // a=token, b=bytes, c=nfrags
+  PacketRx,     // a=nfrags, b=bytes
+  BulkTx,       // a=token, b=offset, c=len
+  BulkRx,       // a=token, b=offset, c=len
+  RdvRts,       // a=token, b=total (tx side: queued; rx side: seen)
+  RdvCts,       // a=token
+  NagleWait,    // a=wait_until
+  Rebalance,    // a=new control rail
+  RmaOp,        // a=0 put / 1 get, b=window, c=len
+};
+
+struct TraceRecord {
+  Nanos time = 0;
+  TraceEvent event = TraceEvent::MsgSubmit;
+  NodeId node = 0;
+  NodeId peer = 0;
+  RailId rail = 0;
+  std::uint64_t a = 0, b = 0, c = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+
+  void record(const TraceRecord& rec);
+
+  /// All retained records in chronological (recording) order.
+  std::vector<TraceRecord> snapshot() const;
+  std::size_t dropped() const;
+  std::size_t size() const;
+  void clear();
+
+  static const char* event_name(TraceEvent ev);
+  /// One human-readable line per record ("  12.400us n0->1 r0 PacketTx ...").
+  static std::string render(const TraceRecord& rec);
+  /// Render the whole buffer as a timeline.
+  std::string render_all() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;   // next write slot
+  std::size_t count_ = 0;  // records currently retained
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace mado::core

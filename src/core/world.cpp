@@ -1,0 +1,77 @@
+#include "core/world.hpp"
+
+#include "drivers/shm_driver.hpp"
+#include "drivers/sim_driver.hpp"
+#include "drivers/socket_driver.hpp"
+#include "util/assert.hpp"
+
+namespace mado::core {
+
+SimWorld::SimWorld(std::size_t nodes, const EngineConfig& cfg)
+    : SimWorld(std::vector<EngineConfig>(nodes, cfg)) {}
+
+SimWorld::SimWorld(const std::vector<EngineConfig>& configs)
+    : timers_(fabric_) {
+  MADO_CHECK_MSG(!configs.empty(), "world needs at least one node");
+  engines_.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    engines_.push_back(std::make_unique<Engine>(static_cast<NodeId>(i),
+                                                configs[i], timers_));
+    engines_.back()->set_external_progress([this] { return fabric_.step(); });
+  }
+}
+
+RailId SimWorld::connect(NodeId a, NodeId b, const drv::Capabilities& caps) {
+  return connect(a, b, caps, caps);
+}
+
+RailId SimWorld::connect(NodeId a, NodeId b, const drv::Capabilities& caps_a,
+                         const drv::Capabilities& caps_b) {
+  MADO_CHECK(a != b && a < engines_.size() && b < engines_.size());
+  auto pair = drv::SimEndpoint::make_pair(fabric_, caps_a, caps_b);
+  const RailId ra = engines_[a]->add_rail(b, std::move(pair.a));
+  const RailId rb = engines_[b]->add_rail(a, std::move(pair.b));
+  MADO_CHECK_MSG(ra == rb, "asymmetric rail counts between nodes");
+  return ra;
+}
+
+SocketWorld::SocketWorld(const EngineConfig& cfg,
+                         const drv::Capabilities& caps, std::size_t rails) {
+  for (NodeId i = 0; i < 2; ++i) {
+    timers_.push_back(std::make_unique<RealTimerHost>());
+    engines_.push_back(std::make_unique<Engine>(i, cfg, *timers_.back()));
+  }
+  for (std::size_t r = 0; r < rails; ++r) {
+    auto pair = drv::SocketEndpoint::make_pair(caps);
+    engines_[0]->add_rail(1, std::move(pair.a));
+    engines_[1]->add_rail(0, std::move(pair.b));
+  }
+  engines_[0]->start_progress_thread();
+  engines_[1]->start_progress_thread();
+}
+
+SocketWorld::~SocketWorld() {
+  engines_[0]->stop_progress_thread();
+  engines_[1]->stop_progress_thread();
+}
+
+ShmWorld::ShmWorld(const EngineConfig& cfg, std::size_t rails) {
+  for (NodeId i = 0; i < 2; ++i) {
+    timers_.push_back(std::make_unique<RealTimerHost>());
+    engines_.push_back(std::make_unique<Engine>(i, cfg, *timers_.back()));
+  }
+  for (std::size_t r = 0; r < rails; ++r) {
+    auto pair = drv::ShmEndpoint::make_pair();
+    engines_[0]->add_rail(1, std::move(pair.a));
+    engines_[1]->add_rail(0, std::move(pair.b));
+  }
+  engines_[0]->start_progress_thread();
+  engines_[1]->start_progress_thread();
+}
+
+ShmWorld::~ShmWorld() {
+  engines_[0]->stop_progress_thread();
+  engines_[1]->stop_progress_thread();
+}
+
+}  // namespace mado::core

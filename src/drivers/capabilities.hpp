@@ -1,0 +1,60 @@
+// Driver capabilities.
+//
+// The paper: "Optimizations are parameterized by the capabilities of the
+// underlying network drivers." This struct is that parameterization: every
+// strategy decision (aggregate or not, eager or rendezvous, gather or
+// flatten, which track) consults a Capabilities instance, never a concrete
+// driver type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/nic_model.hpp"
+
+namespace mado::drv {
+
+/// Virtual track (multiplexing unit) index within one endpoint.
+/// Track 0 carries eager data and control; track 1 carries rendezvous bulk.
+using TrackId = std::uint8_t;
+constexpr TrackId kTrackEager = 0;
+constexpr TrackId kTrackBulk = 1;
+
+struct Capabilities {
+  std::string name = "generic";
+
+  /// Maximum payload of one eager-track packet. Aggregation strategies fill
+  /// packets up to this bound.
+  std::size_t max_eager = 8 * 1024;
+
+  /// Fragments of at least this many bytes are sent with the rendezvous
+  /// protocol (RTS/CTS + bulk track) instead of eagerly.
+  std::size_t rdv_threshold = 32 * 1024;
+
+  /// Whether the NIC consumes gather lists natively. When false, multi-
+  /// segment packets must be flattened into a staging buffer first, and the
+  /// cost model charges the copy.
+  bool gather_scatter = true;
+
+  /// Maximum number of gather segments per send when gather_scatter is set.
+  std::size_t max_gather_segments = 32;
+
+  /// Number of virtual tracks the endpoint exposes (>= 1). With a single
+  /// track, bulk data and eager packets share one multiplexing unit.
+  std::size_t track_count = 2;
+
+  /// Maximum packets in flight per track before the engine considers the
+  /// track busy. The paper's design keeps this at 1: while the NIC sends
+  /// one packet, the optimizer accumulates a backlog.
+  std::size_t track_depth = 1;
+
+  /// Cost-model parameters. The simulated driver charges time with these;
+  /// strategies use the same numbers to score candidate packings, so the
+  /// optimizer and the network agree on what "cheaper" means.
+  sim::NicModelParams cost;
+
+  sim::NicModel model() const { return sim::NicModel(cost); }
+};
+
+}  // namespace mado::drv

@@ -1,0 +1,68 @@
+// Abstract transfer-layer endpoint (one side of a point-to-point link).
+//
+// Driver contract (every implementation MUST follow it; the engine's
+// locking depends on it):
+//
+//  1. send() never invokes handler callbacks synchronously. Completions and
+//     arrivals are delivered later — from Fabric::step() for the simulated
+//     driver, from progress() for thread-backed drivers.
+//  2. Handler callbacks are invoked WITHOUT any engine lock held; the
+//     engine re-acquires its own lock inside the callback.
+//  3. Per track, completions are reported in send order, and packets are
+//     delivered to the peer in send order (tracks are FIFO channels).
+//     No ordering holds ACROSS tracks.
+//  4. The GatherList segments passed to send() remain valid until the
+//     matching on_send_complete fires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "drivers/capabilities.hpp"
+#include "util/iovec.hpp"
+#include "util/wire.hpp"
+
+namespace mado::drv {
+
+class EndpointHandler {
+ public:
+  virtual ~EndpointHandler() = default;
+
+  /// The packet identified by `token` left the NIC; the track slot is free.
+  virtual void on_send_complete(TrackId track, std::uint64_t token) = 0;
+
+  /// A packet arrived from the peer on `track`. Payload ownership moves to
+  /// the handler.
+  virtual void on_packet(TrackId track, Bytes payload) = 0;
+};
+
+class DriverEndpoint {
+ public:
+  virtual ~DriverEndpoint() = default;
+
+  DriverEndpoint(const DriverEndpoint&) = delete;
+  DriverEndpoint& operator=(const DriverEndpoint&) = delete;
+
+  virtual const Capabilities& caps() const = 0;
+
+  /// Register the engine-side handler. Must be called before first send.
+  virtual void set_handler(EndpointHandler* handler) = 0;
+
+  /// Enqueue one packet on `track`. See the contract above.
+  virtual void send(TrackId track, const GatherList& gl,
+                    std::uint64_t token) = 0;
+
+  /// Drain pending completions/arrivals (no-op for the simulated driver,
+  /// whose events run from the shared Fabric loop).
+  virtual void progress() = 0;
+
+  /// Stop background threads, if any. Idempotent.
+  virtual void close() {}
+
+  virtual std::string describe() const { return caps().name; }
+
+ protected:
+  DriverEndpoint() = default;
+};
+
+}  // namespace mado::drv

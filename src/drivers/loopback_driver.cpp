@@ -1,0 +1,70 @@
+#include "drivers/loopback_driver.hpp"
+
+#include "util/assert.hpp"
+
+namespace mado::drv {
+
+struct LoopbackEndpoint::Shared {
+  struct Completion {
+    TrackId track;
+    std::uint64_t token;
+  };
+  struct Arrival {
+    TrackId track;
+    Bytes payload;
+  };
+  EndpointHandler* handler[2] = {nullptr, nullptr};
+  bool alive[2] = {false, false};
+  std::deque<Completion> completions[2];  // indexed by sender side
+  std::deque<Arrival> inbox[2];           // indexed by receiver side
+};
+
+LoopbackEndpoint::PairResult LoopbackEndpoint::make_pair(
+    const Capabilities& caps_a, const Capabilities& caps_b) {
+  auto shared = std::make_shared<Shared>();
+  shared->alive[0] = shared->alive[1] = true;
+  PairResult r;
+  r.a.reset(new LoopbackEndpoint(caps_a, shared, 0));
+  r.b.reset(new LoopbackEndpoint(caps_b, shared, 1));
+  return r;
+}
+
+LoopbackEndpoint::LoopbackEndpoint(Capabilities caps,
+                                   std::shared_ptr<Shared> shared, int side)
+    : caps_(std::move(caps)), shared_(std::move(shared)), side_(side) {}
+
+LoopbackEndpoint::~LoopbackEndpoint() {
+  shared_->alive[side_] = false;
+  shared_->handler[side_] = nullptr;
+}
+
+void LoopbackEndpoint::set_handler(EndpointHandler* handler) {
+  shared_->handler[side_] = handler;
+}
+
+void LoopbackEndpoint::send(TrackId track, const GatherList& gl,
+                            std::uint64_t token) {
+  MADO_CHECK(track < caps_.track_count);
+  shared_->completions[side_].push_back({track, token});
+  shared_->inbox[1 - side_].push_back({track, gl.flatten()});
+  ++packets_sent_;
+}
+
+void LoopbackEndpoint::progress() {
+  EndpointHandler* h = shared_->handler[side_];
+  if (!h) return;
+  // Drain queues through a swap so handler code may trigger further sends
+  // without invalidating iteration.
+  while (!shared_->completions[side_].empty()) {
+    auto c = shared_->completions[side_].front();
+    shared_->completions[side_].pop_front();
+    h->on_send_complete(c.track, c.token);
+  }
+  while (!shared_->inbox[side_].empty()) {
+    auto a = std::move(shared_->inbox[side_].front());
+    shared_->inbox[side_].pop_front();
+    h->on_packet(a.track, std::move(a.payload));
+  }
+}
+
+}  // namespace mado::drv

@@ -1,0 +1,48 @@
+// Loopback endpoint: zero-cost, single-threaded, in-memory transport used by
+// unit tests that exercise engine logic without timing effects. Completions
+// and deliveries are queued by send() and handed to the handlers on the next
+// progress() call of the respective endpoint (never synchronously), so the
+// driver contract matches the real drivers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "drivers/driver.hpp"
+
+namespace mado::drv {
+
+class LoopbackEndpoint final : public DriverEndpoint {
+ public:
+  struct PairResult {
+    std::unique_ptr<LoopbackEndpoint> a;
+    std::unique_ptr<LoopbackEndpoint> b;
+  };
+  static PairResult make_pair(const Capabilities& caps_a,
+                              const Capabilities& caps_b);
+  static PairResult make_pair(const Capabilities& caps) {
+    return make_pair(caps, caps);
+  }
+
+  ~LoopbackEndpoint() override;
+
+  const Capabilities& caps() const override { return caps_; }
+  void set_handler(EndpointHandler* handler) override;
+  void send(TrackId track, const GatherList& gl, std::uint64_t token) override;
+  void progress() override;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  struct Shared;
+  LoopbackEndpoint(Capabilities caps, std::shared_ptr<Shared> shared, int side);
+
+  Capabilities caps_;
+  std::shared_ptr<Shared> shared_;
+  int side_;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace mado::drv

@@ -1,0 +1,102 @@
+#include "drivers/profiles.hpp"
+
+#include "drivers/shm_driver.hpp"
+#include "util/assert.hpp"
+
+namespace mado::drv {
+
+Capabilities mx_myrinet_profile() {
+  Capabilities c;
+  c.name = "mx";
+  c.max_eager = 8 * 1024;
+  c.rdv_threshold = 32 * 1024;
+  c.gather_scatter = true;
+  c.max_gather_segments = 32;
+  c.track_count = 2;
+  c.cost.pio_overhead = 300;        // ~0.3 us small-send setup
+  c.cost.dma_overhead = 1100;       // ~1.1 us DMA program cost
+  c.cost.per_segment = 80;
+  c.cost.pio_threshold = 128;
+  c.cost.pio_bytes_per_us = 320.0;
+  c.cost.link_bytes_per_us = 250.0; // Myrinet-2000: ~250 MB/s
+  c.cost.gap = 120;
+  c.cost.latency = 2900;            // ~2.9 us one-way
+  c.cost.copy_bytes_per_us = 3000.0;
+  return c;
+}
+
+Capabilities elan_quadrics_profile() {
+  Capabilities c;
+  c.name = "elan";
+  c.max_eager = 16 * 1024;
+  c.rdv_threshold = 64 * 1024;
+  c.gather_scatter = true;
+  c.max_gather_segments = 64;
+  c.track_count = 2;
+  c.cost.pio_overhead = 200;
+  c.cost.dma_overhead = 900;
+  c.cost.per_segment = 60;
+  c.cost.pio_threshold = 256;       // Elan STEN units push small msgs fast
+  c.cost.pio_bytes_per_us = 400.0;
+  c.cost.link_bytes_per_us = 900.0; // QsNet II: ~900 MB/s
+  c.cost.gap = 80;
+  c.cost.latency = 1500;            // ~1.5 us one-way
+  c.cost.copy_bytes_per_us = 3000.0;
+  return c;
+}
+
+Capabilities tcp_gige_profile() {
+  Capabilities c;
+  c.name = "tcp";
+  c.max_eager = 32 * 1024;
+  c.rdv_threshold = 64 * 1024;
+  c.gather_scatter = false;         // engine must flatten multi-segment packets
+  c.max_gather_segments = 1;
+  c.track_count = 2;
+  c.cost.pio_overhead = 8000;       // kernel path: no cheap PIO mode
+  c.cost.dma_overhead = 12000;
+  c.cost.per_segment = 0;
+  c.cost.pio_threshold = 0;         // everything takes the "DMA" path
+  c.cost.pio_bytes_per_us = 110.0;
+  c.cost.link_bytes_per_us = 110.0; // GigE effective ~110 MB/s
+  c.cost.gap = 1000;
+  c.cost.latency = 50000;           // ~50 us one-way
+  c.cost.copy_bytes_per_us = 3000.0;
+  return c;
+}
+
+Capabilities test_profile() {
+  Capabilities c;
+  c.name = "test";
+  c.max_eager = 1024;
+  c.rdv_threshold = 4096;
+  c.gather_scatter = true;
+  c.max_gather_segments = 16;
+  c.track_count = 2;
+  c.cost.pio_overhead = 10;
+  c.cost.dma_overhead = 10;
+  c.cost.per_segment = 1;
+  c.cost.pio_threshold = 64;
+  c.cost.pio_bytes_per_us = 1e6;
+  c.cost.link_bytes_per_us = 1e6;
+  c.cost.gap = 1;
+  c.cost.latency = 10;
+  c.cost.copy_bytes_per_us = 1e6;
+  return c;
+}
+
+Capabilities profile_by_name(const std::string& name) {
+  if (name == "mx") return mx_myrinet_profile();
+  if (name == "elan") return elan_quadrics_profile();
+  if (name == "tcp") return tcp_gige_profile();
+  if (name == "shm") return shm_profile();
+  if (name == "test") return test_profile();
+  MADO_CHECK_MSG(false, "unknown driver profile: " << name);
+  __builtin_unreachable();
+}
+
+std::vector<std::string> profile_names() {
+  return {"mx", "elan", "tcp", "shm", "test"};
+}
+
+}  // namespace mado::drv

@@ -1,0 +1,33 @@
+// Capability profiles for the network technologies the paper names.
+//
+// Numbers are calibrated to published 2006-era microbenchmarks (orders of
+// magnitude, not exact): Myrinet-2000/MX (~3 µs latency, ~250 MB/s, gather
+// support, small-message PIO), Quadrics QsNet II/Elan4 (~1.5 µs, ~900 MB/s,
+// native put/get), and plain GigE/TCP (~50 µs, ~110 MB/s, no gather —
+// multi-segment packets must be flattened). The engine never matches on the
+// profile name; everything flows through Capabilities fields, which is the
+// paper's "parameterized by the capabilities of the underlying network
+// drivers".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drivers/capabilities.hpp"
+
+namespace mado::drv {
+
+Capabilities mx_myrinet_profile();
+Capabilities elan_quadrics_profile();
+Capabilities tcp_gige_profile();
+/// Idealized zero-latency profile for logic-only unit tests.
+Capabilities test_profile();
+
+/// Look up a profile by name ("mx", "elan", "tcp", "test").
+/// Throws CheckError for unknown names.
+Capabilities profile_by_name(const std::string& name);
+
+/// Names accepted by profile_by_name, in a stable order.
+std::vector<std::string> profile_names();
+
+}  // namespace mado::drv

@@ -1,0 +1,105 @@
+#include "drivers/sim_driver.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mado::drv {
+
+/// Shared state of one full-duplex link. Direction d (0→1 or 1→0) has its
+/// own serialization horizon `link_free[d]`. Handlers live here (not in the
+/// endpoints) so in-flight delivery events can check liveness safely.
+struct SimEndpoint::LinkState {
+  sim::Fabric* fabric = nullptr;
+  EndpointHandler* handler[2] = {nullptr, nullptr};
+  bool alive[2] = {false, false};
+  Nanos link_free[2] = {0, 0};
+};
+
+SimEndpoint::PairResult SimEndpoint::make_pair(sim::Fabric& fabric,
+                                               const Capabilities& caps_a,
+                                               const Capabilities& caps_b) {
+  auto link = std::make_shared<LinkState>();
+  link->fabric = &fabric;
+  link->alive[0] = link->alive[1] = true;
+  PairResult r;
+  r.a.reset(new SimEndpoint(fabric, caps_a, link, 0));
+  r.b.reset(new SimEndpoint(fabric, caps_b, link, 1));
+  return r;
+}
+
+SimEndpoint::SimEndpoint(sim::Fabric& fabric, Capabilities caps,
+                         std::shared_ptr<LinkState> link, int side)
+    : fabric_(fabric), caps_(std::move(caps)), link_(std::move(link)),
+      side_(side) {}
+
+SimEndpoint::~SimEndpoint() {
+  link_->alive[side_] = false;
+  link_->handler[side_] = nullptr;
+}
+
+void SimEndpoint::set_handler(EndpointHandler* handler) {
+  link_->handler[side_] = handler;
+}
+
+void SimEndpoint::send(TrackId track, const GatherList& gl,
+                       std::uint64_t token) {
+  MADO_CHECK_MSG(track < caps_.track_count,
+                 "track " << int(track) << " out of range for " << caps_.name);
+  MADO_CHECK(link_->handler[side_] != nullptr);
+
+  // Materialize the payload now: segment buffers are only guaranteed valid
+  // until on_send_complete, and delivery happens after that.
+  Bytes payload = gl.flatten();
+  const std::size_t bytes = payload.size();
+
+  // Charge segment handling per the capabilities: a gather-capable NIC pays
+  // per-segment overhead; otherwise the host flattens first (memcpy cost).
+  const sim::NicModel model(caps_.cost);
+  std::size_t nsegs = gl.segment_count();
+  Nanos flatten_cost = 0;
+  const bool needs_flatten =
+      nsegs > 1 &&
+      (!caps_.gather_scatter || nsegs > caps_.max_gather_segments);
+  if (needs_flatten) {
+    flatten_cost = model.copy_time(bytes);
+    nsegs = 1;
+    ++flatten_copies_;
+  }
+
+  const Nanos busy = flatten_cost + model.busy_time(bytes, nsegs);
+  const int d = side_;  // direction side_ -> peer
+  const Nanos start = std::max(fabric_.now(), link_->link_free[d]);
+  const Nanos accept = start + busy;
+  link_->link_free[d] = accept;
+  const Nanos deliver = accept + model.propagation_latency();
+
+  ++packets_sent_;
+  bytes_sent_ += bytes;
+  MADO_TRACE("sim[" << caps_.name << "/" << d << "] send track="
+                    << int(track) << " bytes=" << bytes << " segs=" << nsegs
+                    << " accept@" << accept << " deliver@" << deliver);
+
+  auto link = link_;
+  const int me = side_;
+  fabric_.post_at(accept, [link, me, track, token] {
+    if (link->alive[me] && link->handler[me])
+      link->handler[me]->on_send_complete(track, token);
+  });
+  const int peer = 1 - side_;
+  fabric_.post_at(deliver,
+                  [link, peer, track, p = std::move(payload)]() mutable {
+                    if (link->alive[peer] && link->handler[peer])
+                      link->handler[peer]->on_packet(track, std::move(p));
+                  });
+}
+
+std::string SimEndpoint::describe() const {
+  std::ostringstream os;
+  os << "sim:" << caps_.name << "[side " << side_ << "]";
+  return os.str();
+}
+
+}  // namespace mado::drv

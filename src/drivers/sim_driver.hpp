@@ -1,0 +1,67 @@
+// Simulated NIC endpoint on top of the discrete-event fabric.
+//
+// Models, per direction, a NIC whose tracks share one physical link:
+// injections serialize on the link (start = max(now, link_free)), each
+// charged with the LogGP-style NicModel of the *sending* side's
+// capabilities. Completion fires when the wire accepts the last byte;
+// delivery fires one propagation latency later. Both are fabric events, so
+// the driver contract (no synchronous callbacks from send()) holds.
+//
+// Endpoints are created in pairs over a shared LinkState kept alive by
+// shared_ptr, so events in flight never dangle even if one endpoint is
+// destroyed first (delivery to a dead endpoint is dropped).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "drivers/driver.hpp"
+#include "sim/fabric.hpp"
+
+namespace mado::drv {
+
+class SimEndpoint final : public DriverEndpoint {
+ public:
+  struct PairResult {
+    std::unique_ptr<SimEndpoint> a;
+    std::unique_ptr<SimEndpoint> b;
+  };
+
+  /// Create both sides of a link. `caps_a`/`caps_b` describe each side's
+  /// NIC; pass the same value twice for a homogeneous link.
+  static PairResult make_pair(sim::Fabric& fabric, const Capabilities& caps_a,
+                              const Capabilities& caps_b);
+  static PairResult make_pair(sim::Fabric& fabric, const Capabilities& caps) {
+    return make_pair(fabric, caps, caps);
+  }
+
+  ~SimEndpoint() override;
+
+  const Capabilities& caps() const override { return caps_; }
+  void set_handler(EndpointHandler* handler) override;
+  void send(TrackId track, const GatherList& gl, std::uint64_t token) override;
+  void progress() override {}  // events run from the shared Fabric loop
+  std::string describe() const override;
+
+  // Observability for tests/benches.
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t flatten_copies() const { return flatten_copies_; }
+
+ private:
+  struct LinkState;
+
+  SimEndpoint(sim::Fabric& fabric, Capabilities caps,
+              std::shared_ptr<LinkState> link, int side);
+
+  sim::Fabric& fabric_;
+  Capabilities caps_;
+  std::shared_ptr<LinkState> link_;
+  int side_;  // 0 or 1; peer is 1 - side_
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t flatten_copies_ = 0;
+};
+
+}  // namespace mado::drv

@@ -1,0 +1,168 @@
+#include "drivers/socket_driver.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/wire.hpp"
+
+namespace mado::drv {
+
+namespace {
+constexpr std::size_t kFrameHeaderLen = 1 + 4;  // track + payload length
+constexpr std::size_t kMaxFrame = 256 * 1024 * 1024;
+}  // namespace
+
+SocketEndpoint::PairResult SocketEndpoint::make_pair(
+    const Capabilities& caps_a, const Capabilities& caps_b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw std::system_error(errno, std::generic_category(), "socketpair");
+  PairResult r;
+  r.a.reset(new SocketEndpoint(caps_a, fds[0]));
+  r.b.reset(new SocketEndpoint(caps_b, fds[1]));
+  return r;
+}
+
+SocketEndpoint::SocketEndpoint(Capabilities caps, int fd)
+    : caps_(std::move(caps)), fd_(fd) {
+  tx_thread_ = std::thread([this] { tx_loop(); });
+  rx_thread_ = std::thread([this] { rx_loop(); });
+}
+
+SocketEndpoint::~SocketEndpoint() { close(); }
+
+void SocketEndpoint::close() {
+  if (closed_.exchange(true)) return;
+  stop_.store(true, std::memory_order_release);
+  TxItem sentinel;
+  sentinel.stop = true;
+  tx_.push(std::move(sentinel));
+  // Unblock the RX thread's read().
+  ::shutdown(fd_, SHUT_RDWR);
+  if (tx_thread_.joinable()) tx_thread_.join();
+  if (rx_thread_.joinable()) rx_thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void SocketEndpoint::send(TrackId track, const GatherList& gl,
+                          std::uint64_t token) {
+  MADO_CHECK(track < caps_.track_count);
+  MADO_CHECK_MSG(!closed_.load(), "send on closed endpoint");
+  TxItem item;
+  item.track = track;
+  item.token = token;
+  item.payload = gl.flatten();  // segments only live until completion
+  tx_.push(std::move(item));
+}
+
+void SocketEndpoint::progress() {
+  if (!handler_) return;
+  std::vector<Event> drained;
+  events_.drain(drained);
+  for (auto& ev : drained) {
+    if (auto* done = std::get_if<EvSendComplete>(&ev)) {
+      handler_->on_send_complete(done->track, done->token);
+    } else {
+      auto& pkt = std::get<EvPacket>(ev);
+      handler_->on_packet(pkt.track, std::move(pkt.payload));
+    }
+  }
+}
+
+bool SocketEndpoint::write_all(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that died mid-stream must surface as an error
+    // (broken()), not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SocketEndpoint::read_all(void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd_, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void SocketEndpoint::tx_loop() {
+  for (;;) {
+    auto item = tx_.pop_wait(std::chrono::milliseconds(100));
+    if (!item) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    if (item->stop) return;
+
+    std::uint8_t hdr[kFrameHeaderLen];
+    hdr[0] = item->track;
+    const auto len = static_cast<std::uint32_t>(item->payload.size());
+    hdr[1] = static_cast<std::uint8_t>(len & 0xff);
+    hdr[2] = static_cast<std::uint8_t>((len >> 8) & 0xff);
+    hdr[3] = static_cast<std::uint8_t>((len >> 16) & 0xff);
+    hdr[4] = static_cast<std::uint8_t>((len >> 24) & 0xff);
+
+    if (!write_all(hdr, sizeof hdr) ||
+        !write_all(item->payload.data(), item->payload.size())) {
+      broken_.store(true, std::memory_order_release);
+      return;
+    }
+    packets_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(item->payload.size(), std::memory_order_relaxed);
+    events_.push(EvSendComplete{item->track, item->token});
+  }
+}
+
+void SocketEndpoint::rx_loop() {
+  for (;;) {
+    std::uint8_t hdr[kFrameHeaderLen];
+    if (!read_all(hdr, sizeof hdr)) {
+      if (!stop_.load(std::memory_order_acquire))
+        broken_.store(true, std::memory_order_release);
+      return;
+    }
+    const TrackId track = hdr[0];
+    const std::uint32_t len = static_cast<std::uint32_t>(hdr[1]) |
+                              (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                              (static_cast<std::uint32_t>(hdr[3]) << 16) |
+                              (static_cast<std::uint32_t>(hdr[4]) << 24);
+    if (len > kMaxFrame) {
+      MADO_ERROR("socket rx: oversized frame " << len << " bytes, closing");
+      broken_.store(true, std::memory_order_release);
+      return;
+    }
+    Bytes payload(len);
+    if (len > 0 && !read_all(payload.data(), len)) {
+      if (!stop_.load(std::memory_order_acquire))
+        broken_.store(true, std::memory_order_release);
+      return;
+    }
+    events_.push(EvPacket{track, std::move(payload)});
+  }
+}
+
+}  // namespace mado::drv

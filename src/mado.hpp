@@ -1,0 +1,21 @@
+// Umbrella header: everything a typical application needs.
+//
+//   #include "mado.hpp"
+//   using namespace mado::core;
+//
+// Fine-grained headers remain available (core/engine.hpp, drivers/*.hpp,
+// mw/*.hpp) for faster builds.
+#pragma once
+
+#include "core/api.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "core/message.hpp"
+#include "core/strategies.hpp"
+#include "core/strategy.hpp"
+#include "core/trace.hpp"
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "mw/dsm.hpp"
+#include "mw/mini_mpi.hpp"
+#include "mw/rpc.hpp"

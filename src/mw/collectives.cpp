@@ -1,0 +1,241 @@
+#include "mw/collectives.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace mado::mw {
+
+namespace {
+
+/// One scheduled action of a rank's collective script. Scripts execute
+/// strictly in order, so a DeferredSend that reads a buffer is guaranteed
+/// to run after the Recv/Compute that filled it.
+struct Action {
+  enum class Kind { Recv, Compute } kind = Kind::Compute;
+  // Recv:
+  Collectives::Rank peer = 0;
+  Byte* recv_buf = nullptr;
+  std::size_t recv_len = 0;
+  std::shared_ptr<Bytes> recv_scratch;  // owns recv_buf when set
+  // Compute (also used for deferred sends, which post inside the lambda):
+  std::function<void()> compute;
+};
+
+Action make_recv(Collectives::Rank peer, void* buf, std::size_t len) {
+  Action a;
+  a.kind = Action::Kind::Recv;
+  a.peer = peer;
+  a.recv_buf = static_cast<Byte*>(buf);
+  a.recv_len = len;
+  return a;
+}
+
+Action make_recv_scratch(Collectives::Rank peer,
+                         std::shared_ptr<Bytes> scratch) {
+  Action a;
+  a.kind = Action::Kind::Recv;
+  a.peer = peer;
+  a.recv_buf = scratch->data();
+  a.recv_len = scratch->size();
+  a.recv_scratch = std::move(scratch);
+  return a;
+}
+
+Action make_compute(std::function<void()> fn) {
+  Action a;
+  a.kind = Action::Kind::Compute;
+  a.compute = std::move(fn);
+  return a;
+}
+
+}  // namespace
+
+/// Sequential script executor with the non-blocking step contract.
+class CollectiveOp final : public Collectives::Op {
+ public:
+  CollectiveOp(Collectives& coll, std::vector<Action> script)
+      : coll_(coll), script_(std::move(script)) {}
+
+  bool step() override {
+    bool progressed = false;
+    while (pc_ < script_.size()) {
+      Action& a = script_[pc_];
+      if (a.kind == Action::Kind::Recv) {
+        core::Channel& ch = coll_.channel_to(a.peer);
+        if (!ch.probe()) return progressed;  // peer hasn't posted yet
+        core::IncomingMessage im = ch.begin_recv();
+        im.unpack(a.recv_buf, a.recv_len, core::RecvMode::Express);
+        im.finish();
+      } else {
+        a.compute();
+      }
+      ++pc_;
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  bool done() const override { return pc_ >= script_.size(); }
+
+ private:
+  Collectives& coll_;
+  std::vector<Action> script_;
+  std::size_t pc_ = 0;
+};
+
+Collectives::Collectives(core::Engine& engine, Rank rank, Rank size,
+                         core::ChannelId channel,
+                         std::function<core::NodeId(Rank)> rank_to_node)
+    : engine_(engine), rank_(rank), size_(size), channel_id_(channel),
+      rank_to_node_(std::move(rank_to_node)) {
+  MADO_CHECK(size > 0 && rank < size);
+  if (!rank_to_node_)
+    rank_to_node_ = [](Rank r) { return static_cast<core::NodeId>(r); };
+}
+
+core::Channel& Collectives::channel_to(Rank peer) {
+  MADO_CHECK(peer < size_ && peer != rank_);
+  auto it = channels_.find(peer);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(peer, engine_.open_channel(rank_to_node_(peer),
+                                                 channel_id_))
+             .first;
+  }
+  return it->second;
+}
+
+/// Deferred send: snapshots `len` bytes from `src` at execution time and
+/// posts them to `peer`. Sequential scripts make this safe.
+static Action make_deferred_send(Collectives& coll, Collectives::Rank peer,
+                                 const void* src, std::size_t len) {
+  return make_compute([&coll, peer, src, len] {
+    core::Message m;
+    m.pack(src, len, core::SendMode::Safe);
+    coll.channel_to(peer).post(std::move(m));
+  });
+}
+
+std::unique_ptr<Collectives::Op> Collectives::barrier() {
+  // Dissemination: in round k (dist = 2^k), notify (rank + dist) mod size
+  // and await (rank - dist) mod size. After ceil(log2 size) rounds, every
+  // rank has transitively heard from all others.
+  std::vector<Action> script;
+  for (Rank dist = 1; dist < size_; dist *= 2) {
+    const Rank to = (rank_ + dist) % size_;
+    script.push_back(make_compute([this, to] {
+      const Byte token{0x42};
+      core::Message m;
+      m.pack(&token, 1, core::SendMode::Safe);
+      channel_to(to).post(std::move(m));
+    }));
+    script.push_back(make_recv_scratch((rank_ + size_ - dist) % size_,
+                                       std::make_shared<Bytes>(1)));
+  }
+  return std::make_unique<CollectiveOp>(*this, std::move(script));
+}
+
+std::unique_ptr<Collectives::Op> Collectives::bcast(void* buf,
+                                                    std::size_t len,
+                                                    Rank root) {
+  MADO_CHECK(root < size_ && (buf != nullptr || len == 0));
+  // Binomial tree on root-relative vranks: vrank v != 0 receives from
+  // v - lowbit(v); v then forwards to v + 2^k for each 2^k below lowbit(v)
+  // (or below size for the root), largest subtree first.
+  const Rank vrank = (rank_ + size_ - root) % size_;
+  auto to_real = [this, root](Rank v) { return (v + root) % size_; };
+
+  std::vector<Action> script;
+  if (vrank != 0) {
+    const Rank lowbit = vrank & (~vrank + 1);
+    script.push_back(make_recv(to_real(vrank - lowbit), buf, len));
+  }
+  const Rank limit = vrank == 0 ? size_ : (vrank & (~vrank + 1));
+  std::vector<Rank> children;
+  for (Rank d = 1; d < limit && vrank + d < size_; d *= 2)
+    children.push_back(vrank + d);
+  for (auto it = children.rbegin(); it != children.rend(); ++it)
+    script.push_back(make_deferred_send(*this, to_real(*it), buf, len));
+  return std::make_unique<CollectiveOp>(*this, std::move(script));
+}
+
+std::unique_ptr<Collectives::Op> Collectives::reduce_sum(const double* in,
+                                                         double* out,
+                                                         std::size_t n,
+                                                         Rank root) {
+  MADO_CHECK(root < size_ && (n == 0 || (in != nullptr && out != nullptr)));
+  const Rank vrank = (rank_ + size_ - root) % size_;
+  auto to_real = [this, root](Rank v) { return (v + root) % size_; };
+
+  std::vector<Action> script;
+  script.push_back(make_compute([in, out, n] {
+    if (n > 0 && out != in) std::memcpy(out, in, n * sizeof(double));
+  }));
+  // Binomial gather: in round d, vranks with bit d set ship their partial
+  // sum to vrank - d and finish; the others fold in vrank + d's partial.
+  for (Rank d = 1; d < size_; d *= 2) {
+    if (vrank & d) {
+      script.push_back(make_deferred_send(*this, to_real(vrank - d), out,
+                                          n * sizeof(double)));
+      break;
+    }
+    if (vrank + d < size_) {
+      auto scratch = std::make_shared<Bytes>(n * sizeof(double));
+      script.push_back(make_recv_scratch(to_real(vrank + d), scratch));
+      script.push_back(make_compute([scratch, out, n] {
+        const auto* part = reinterpret_cast<const double*>(scratch->data());
+        for (std::size_t i = 0; i < n; ++i) out[i] += part[i];
+      }));
+    }
+  }
+  return std::make_unique<CollectiveOp>(*this, std::move(script));
+}
+
+namespace {
+
+/// Chains two ops sequentially.
+class SeqOp final : public Collectives::Op {
+ public:
+  SeqOp(std::unique_ptr<Collectives::Op> a, std::unique_ptr<Collectives::Op> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  bool step() override {
+    bool progressed = false;
+    if (!a_->done()) {
+      progressed = a_->step();
+      if (!a_->done()) return progressed;
+    }
+    return b_->step() || progressed;
+  }
+  bool done() const override { return a_->done() && b_->done(); }
+
+ private:
+  std::unique_ptr<Collectives::Op> a_, b_;
+};
+
+}  // namespace
+
+std::unique_ptr<Collectives::Op> Collectives::allreduce_sum(const double* in,
+                                                            double* out,
+                                                            std::size_t n) {
+  return std::make_unique<SeqOp>(
+      reduce_sum(in, out, n, /*root=*/0),
+      bcast(out, n * sizeof(double), /*root=*/0));
+}
+
+bool drive_all(const std::function<bool()>& progress,
+               const std::vector<Collectives::Op*>& ops) {
+  for (;;) {
+    bool all_done = true;
+    bool progressed = false;
+    for (Collectives::Op* op : ops) {
+      if (op->done()) continue;
+      all_done = false;
+      if (op->step()) progressed = true;
+    }
+    if (all_done) return true;
+    if (!progressed && !progress()) return false;
+  }
+}
+
+}  // namespace mado::mw

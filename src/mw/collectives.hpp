@@ -1,0 +1,87 @@
+// Collective operations over the engine: barrier (dissemination), broadcast
+// (binomial tree), reduce and allreduce (sum of doubles) — the regular
+// SPMD communication patterns an MPI-like middleware layers on top of
+// Madeleine (paper §2).
+//
+// Every operation is a NON-BLOCKING state machine: step() makes progress
+// when it can (posting sends immediately; consuming a receive only once
+// probe() shows the peer's message has arrived) and returns whether any
+// progress was made. This lets all ranks be driven cooperatively from one
+// thread in the simulated world — see drive_all() — while threaded
+// (socket-world) applications can simply loop step() per rank thread.
+//
+// Connectivity: the underlying engines need a rail between every pair of
+// ranks that exchange messages (fully connecting the SimWorld is the easy
+// default). Each ordered pair lazily opens one dedicated channel; rounds
+// are disambiguated purely by channel FIFO order, so no tags are needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/engine.hpp"
+
+namespace mado::mw {
+
+class Collectives {
+ public:
+  using Rank = std::uint32_t;
+
+  /// `rank_to_node` maps collective ranks to engine NodeIds; identity is
+  /// the common case (rank i == node i).
+  Collectives(core::Engine& engine, Rank rank, Rank size,
+              core::ChannelId channel = 0x7c00,
+              std::function<core::NodeId(Rank)> rank_to_node = {});
+
+  class Op {
+   public:
+    virtual ~Op() = default;
+    /// Advance as far as possible without blocking. Returns true if any
+    /// progress was made (actions executed).
+    virtual bool step() = 0;
+    virtual bool done() const = 0;
+  };
+
+  /// Dissemination barrier: ceil(log2(size)) rounds.
+  std::unique_ptr<Op> barrier();
+
+  /// Binomial-tree broadcast of `len` bytes from `root`. Non-root buffers
+  /// are overwritten; all buffers must stay valid until done().
+  std::unique_ptr<Op> bcast(void* buf, std::size_t len, Rank root);
+
+  /// Binomial-tree sum-reduction of `n` doubles into `out` at `root`
+  /// (out may alias in; on non-roots out is scratch).
+  std::unique_ptr<Op> reduce_sum(const double* in, double* out,
+                                 std::size_t n, Rank root);
+
+  /// reduce_sum to rank 0 followed by bcast.
+  std::unique_ptr<Op> allreduce_sum(const double* in, double* out,
+                                    std::size_t n);
+
+  Rank rank() const { return rank_; }
+  Rank size() const { return size_; }
+
+  /// The lazily opened point-to-point channel toward `peer` (exposed for
+  /// custom collective algorithms built on the same pairwise channels).
+  core::Channel& channel_to(Rank peer);
+
+ private:
+  core::Engine& engine_;
+  Rank rank_;
+  Rank size_;
+  core::ChannelId channel_id_;
+  std::function<core::NodeId(Rank)> rank_to_node_;
+  std::map<Rank, core::Channel> channels_;
+};
+
+/// Drive several ranks' operations to completion cooperatively: alternates
+/// op steps with `progress` (e.g. [&]{ return fabric.step(); }). Returns
+/// false if nothing can make progress anymore (deadlock / drained world).
+bool drive_all(const std::function<bool()>& progress,
+               const std::vector<Collectives::Op*>& ops);
+
+}  // namespace mado::mw

@@ -1,0 +1,129 @@
+#include "mw/dsm.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace mado::mw {
+
+namespace {
+
+enum class DsmOp : std::uint32_t { Get = 1, Put = 2, GetReply = 3, PutAck = 4 };
+
+struct DsmHeader {
+  DsmOp op;
+  std::uint32_t page;
+  std::uint32_t len;  // payload bytes following (page data or 0)
+};
+
+void post_with_payload(core::Channel& ch, const DsmHeader& hdr,
+                       ByteSpan payload) {
+  core::Message m;
+  m.pack(&hdr, sizeof hdr, core::SendMode::Safe);
+  m.pack(payload.data(), payload.size(), core::SendMode::Safe);
+  ch.post(std::move(m));
+}
+
+DsmHeader recv_header_then(core::IncomingMessage& im, Bytes& payload) {
+  DsmHeader hdr{};
+  im.unpack(&hdr, sizeof hdr, core::RecvMode::Express);
+  payload.resize(hdr.len);
+  im.unpack(payload.data(), hdr.len, core::RecvMode::Cheaper);
+  im.finish();
+  return hdr;
+}
+
+}  // namespace
+
+// ---- home -------------------------------------------------------------------
+
+DsmHome::DsmHome(core::Engine& engine, core::NodeId client,
+                 core::ChannelId channel, std::size_t page_size,
+                 std::size_t page_count, core::TrafficClass cls)
+    : engine_(engine), channel_(engine.open_channel(client, channel, cls)),
+      page_size_(page_size), pages_(page_count, Bytes(page_size, Byte{0})) {
+  MADO_CHECK(page_size > 0 && page_count > 0);
+}
+
+Bytes& DsmHome::page(std::size_t idx) {
+  MADO_CHECK(idx < pages_.size());
+  return pages_[idx];
+}
+
+void DsmHome::serve_one() {
+  core::IncomingMessage im = channel_.begin_recv();
+  Bytes payload;
+  const DsmHeader hdr = recv_header_then(im, payload);
+  MADO_CHECK_MSG(hdr.page < pages_.size(), "page " << hdr.page
+                                                   << " out of range");
+  switch (hdr.op) {
+    case DsmOp::Get: {
+      MADO_CHECK(hdr.len == 0);
+      const Bytes& pg = pages_[hdr.page];
+      DsmHeader reply{DsmOp::GetReply, hdr.page,
+                      static_cast<std::uint32_t>(pg.size())};
+      post_with_payload(channel_, reply, ByteSpan(pg));
+      ++gets_;
+      break;
+    }
+    case DsmOp::Put: {
+      MADO_CHECK_MSG(hdr.len == page_size_, "partial page put");
+      pages_[hdr.page] = std::move(payload);
+      DsmHeader ack{DsmOp::PutAck, hdr.page, 0};
+      post_with_payload(channel_, ack, {});
+      ++puts_;
+      break;
+    }
+    default:
+      MADO_CHECK_MSG(false, "unexpected DSM op at home node");
+  }
+}
+
+// ---- client ------------------------------------------------------------------
+
+DsmClient::DsmClient(core::Engine& engine, core::NodeId home,
+                     core::ChannelId channel, std::size_t page_size,
+                     core::TrafficClass cls)
+    : engine_(engine), channel_(engine.open_channel(home, channel, cls)),
+      page_size_(page_size) {
+  MADO_CHECK(page_size > 0);
+}
+
+void DsmClient::issue_get(std::uint32_t page) {
+  DsmHeader req{DsmOp::Get, page, 0};
+  post_with_payload(channel_, req, {});
+}
+
+Bytes DsmClient::complete_get(std::uint32_t page) {
+  core::IncomingMessage im = channel_.begin_recv();
+  Bytes payload;
+  const DsmHeader hdr = recv_header_then(im, payload);
+  MADO_CHECK(hdr.op == DsmOp::GetReply && hdr.page == page);
+  MADO_CHECK(payload.size() == page_size_);
+  return payload;
+}
+
+void DsmClient::issue_put(std::uint32_t page, ByteSpan data) {
+  MADO_CHECK_MSG(data.size() == page_size_, "put must cover a whole page");
+  DsmHeader req{DsmOp::Put, page, static_cast<std::uint32_t>(data.size())};
+  post_with_payload(channel_, req, data);
+}
+
+void DsmClient::complete_put(std::uint32_t page) {
+  core::IncomingMessage im = channel_.begin_recv();
+  Bytes payload;
+  const DsmHeader hdr = recv_header_then(im, payload);
+  MADO_CHECK(hdr.op == DsmOp::PutAck && hdr.page == page);
+}
+
+Bytes DsmClient::get(std::uint32_t page) {
+  issue_get(page);
+  return complete_get(page);
+}
+
+void DsmClient::put(std::uint32_t page, ByteSpan data) {
+  issue_put(page, data);
+  complete_put(page);
+}
+
+}  // namespace mado::mw

@@ -1,0 +1,77 @@
+// DSM middleware: a page-based distributed shared memory — the third
+// middleware family the paper names (§2: "RPC or DSM"). One node is the
+// page home; clients fetch and write back whole pages. Page traffic mixes
+// small control messages (requests, acks) with page-sized payloads, which
+// is exactly the irregular flow mix the optimizer targets.
+//
+// Protocol (all on one channel, bidirectional):
+//   client → home : DsmRequest { op=Get|Put, page, len } [+ page data if Put]
+//   home → client : DsmReply   { op, page, len }          [+ page data if Get]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/engine.hpp"
+
+namespace mado::mw {
+
+class DsmHome {
+ public:
+  DsmHome(core::Engine& engine, core::NodeId client, core::ChannelId channel,
+          std::size_t page_size, std::size_t page_count,
+          core::TrafficClass cls = core::TrafficClass::PutGet);
+
+  /// Serve one Get or Put (blocking until a request arrives).
+  void serve_one();
+  void serve(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) serve_one();
+  }
+  bool pending() const { return channel_.probe(); }
+
+  /// Direct access for tests / initialization.
+  Bytes& page(std::size_t idx);
+  std::size_t page_size() const { return page_size_; }
+  std::size_t page_count() const { return pages_.size(); }
+  std::uint64_t gets_served() const { return gets_; }
+  std::uint64_t puts_served() const { return puts_; }
+
+ private:
+  core::Engine& engine_;
+  mutable core::Channel channel_;
+  std::size_t page_size_;
+  std::vector<Bytes> pages_;
+  std::uint64_t gets_ = 0;
+  std::uint64_t puts_ = 0;
+};
+
+class DsmClient {
+ public:
+  DsmClient(core::Engine& engine, core::NodeId home, core::ChannelId channel,
+            std::size_t page_size,
+            core::TrafficClass cls = core::TrafficClass::PutGet);
+
+  /// Fetch a page from the home node (blocking). Requires the home to be
+  /// served from another thread (SocketWorld) — in cooperative simulation
+  /// use the split-phase variants below.
+  Bytes get(std::uint32_t page);
+  /// Write a page back to the home node (blocking until acknowledged).
+  void put(std::uint32_t page, ByteSpan data);
+
+  /// Split-phase variants for cooperative (single-threaded sim) driving:
+  /// issue the request, let the home serve, then complete.
+  void issue_get(std::uint32_t page);
+  Bytes complete_get(std::uint32_t page);
+  void issue_put(std::uint32_t page, ByteSpan data);
+  void complete_put(std::uint32_t page);
+
+  std::size_t page_size() const { return page_size_; }
+
+ private:
+  core::Engine& engine_;
+  core::Channel channel_;
+  std::size_t page_size_;
+};
+
+}  // namespace mado::mw

@@ -1,0 +1,92 @@
+#include "mw/mini_mpi.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/wire.hpp"
+
+namespace mado::mw {
+
+namespace {
+struct MpiHeader {
+  std::int32_t tag;
+  std::uint32_t len;
+};
+}  // namespace
+
+MpiEndpoint::MpiEndpoint(core::Engine& engine, core::NodeId peer,
+                         core::ChannelId channel, core::TrafficClass cls)
+    : engine_(engine), channel_(engine.open_channel(peer, channel, cls)) {}
+
+core::SendHandle MpiEndpoint::isend(Tag tag, const void* buf,
+                                    std::size_t len) {
+  MpiHeader hdr{tag, static_cast<std::uint32_t>(len)};
+  core::Message m;
+  m.pack(&hdr, sizeof hdr, core::SendMode::Safe);
+  m.pack(buf, len, core::SendMode::Cheaper);
+  return channel_.post(std::move(m));
+}
+
+void MpiEndpoint::send(Tag tag, const void* buf, std::size_t len) {
+  core::SendHandle h = isend(tag, buf, len);
+  MADO_CHECK_MSG(engine_.wait_send(h), "mini-mpi send timed out");
+}
+
+MpiEndpoint::Pending MpiEndpoint::pull_one() {
+  core::IncomingMessage im = channel_.begin_recv();
+  MpiHeader hdr{};
+  im.unpack(&hdr, sizeof hdr, core::RecvMode::Express);
+  Pending p;
+  p.tag = hdr.tag;
+  p.payload.resize(hdr.len);
+  im.unpack(p.payload.data(), hdr.len, core::RecvMode::Cheaper);
+  im.finish();
+  return p;
+}
+
+void MpiEndpoint::recv(Tag tag, void* buf, std::size_t len) {
+  // Check the unexpected queue first.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->tag == tag) {
+      MADO_CHECK_MSG(it->payload.size() == len,
+                     "recv size " << len << " != message size "
+                                  << it->payload.size());
+      if (len > 0) std::memcpy(buf, it->payload.data(), len);
+      unexpected_.erase(it);
+      return;
+    }
+  }
+  for (;;) {
+    Pending p = pull_one();
+    if (p.tag == tag) {
+      MADO_CHECK_MSG(p.payload.size() == len,
+                     "recv size " << len << " != message size "
+                                  << p.payload.size());
+      if (len > 0) std::memcpy(buf, p.payload.data(), len);
+      return;
+    }
+    unexpected_.push_back(std::move(p));
+  }
+}
+
+MpiEndpoint::AnyMessage MpiEndpoint::recv_any() {
+  AnyMessage out;
+  if (!unexpected_.empty()) {
+    out.tag = unexpected_.front().tag;
+    out.payload = std::move(unexpected_.front().payload);
+    unexpected_.pop_front();
+    return out;
+  }
+  Pending p = pull_one();
+  out.tag = p.tag;
+  out.payload = std::move(p.payload);
+  return out;
+}
+
+bool MpiEndpoint::has_buffered(Tag tag) const {
+  for (const Pending& p : unexpected_)
+    if (p.tag == tag) return true;
+  return false;
+}
+
+}  // namespace mado::mw

@@ -1,0 +1,74 @@
+// Mini-MPI: a tag-matching message-passing middleware on the public engine
+// API — the "regular communication schemes commonly encountered with
+// MPI-like programming environments" of paper §2.
+//
+// Every MPI message travels as a structured mado message:
+//   fragment 0 (express): MpiHeader { tag, payload length }
+//   fragment 1 (cheaper): payload
+// so even this regular middleware produces the header+payload fragment
+// pattern the optimizer aggregates across flows.
+//
+// Tag matching is receiver-side: recv(tag) drains incoming messages into an
+// unexpected queue until the requested tag shows up, like a real MPI's
+// unexpected-message queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/api.hpp"
+#include "core/engine.hpp"
+
+namespace mado::mw {
+
+class MpiEndpoint {
+ public:
+  using Tag = std::int32_t;
+
+  /// Opens channel `channel` toward `peer` (both sides must construct with
+  /// the same channel id, like every mado channel).
+  MpiEndpoint(core::Engine& engine, core::NodeId peer,
+              core::ChannelId channel,
+              core::TrafficClass cls = core::TrafficClass::SmallEager);
+
+  /// Non-blocking send; the returned handle completes when the data has
+  /// left this node. The buffer must stay valid until then.
+  core::SendHandle isend(Tag tag, const void* buf, std::size_t len);
+
+  /// Blocking send (isend + wait).
+  void send(Tag tag, const void* buf, std::size_t len);
+
+  /// Blocking receive of a message with exactly `tag`. `len` must equal the
+  /// sender's payload size (checked). Messages with other tags encountered
+  /// while waiting are buffered.
+  void recv(Tag tag, void* buf, std::size_t len);
+
+  /// Blocking receive of the next message regardless of tag.
+  struct AnyMessage {
+    Tag tag = 0;
+    Bytes payload;
+  };
+  AnyMessage recv_any();
+
+  /// True if a message with `tag` can be received without blocking
+  /// (already buffered). Does not poll the network.
+  bool has_buffered(Tag tag) const;
+
+  core::Engine& engine() { return engine_; }
+  core::Channel& channel() { return channel_; }
+
+ private:
+  struct Pending {
+    Tag tag;
+    Bytes payload;
+  };
+  /// Pull exactly one message off the wire into `out` (blocking).
+  Pending pull_one();
+
+  core::Engine& engine_;
+  core::Channel channel_;
+  std::deque<Pending> unexpected_;
+};
+
+}  // namespace mado::mw

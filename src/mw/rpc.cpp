@@ -1,0 +1,93 @@
+#include "mw/rpc.hpp"
+
+#include "util/assert.hpp"
+
+namespace mado::mw {
+
+namespace {
+
+struct RequestHeader {
+  std::uint64_t req_id;
+  RpcFunctionId fn;
+  std::uint32_t len;
+};
+
+struct ResponseHeader {
+  std::uint64_t req_id;
+  std::uint32_t len;
+};
+
+}  // namespace
+
+// ---- client -------------------------------------------------------------
+
+RpcClient::RpcClient(core::Engine& engine, core::NodeId server,
+                     core::ChannelId channel, core::TrafficClass cls)
+    : engine_(engine), channel_(engine.open_channel(server, channel, cls)) {}
+
+std::uint64_t RpcClient::issue(RpcFunctionId fn, ByteSpan args) {
+  const std::uint64_t id = next_req_++;
+  RequestHeader hdr{id, fn, static_cast<std::uint32_t>(args.size())};
+  core::Message m;
+  m.pack(&hdr, sizeof hdr, core::SendMode::Safe);
+  m.pack(args.data(), args.size(), core::SendMode::Safe);
+  channel_.post(std::move(m));
+  return id;
+}
+
+Bytes RpcClient::collect(std::uint64_t request_id) {
+  for (;;) {
+    auto it = ready_.find(request_id);
+    if (it != ready_.end()) {
+      Bytes out = std::move(it->second);
+      ready_.erase(it);
+      return out;
+    }
+    // Responses arrive in request order on the channel; buffer any that
+    // belong to other outstanding requests.
+    core::IncomingMessage im = channel_.begin_recv();
+    ResponseHeader hdr{};
+    im.unpack(&hdr, sizeof hdr, core::RecvMode::Express);
+    Bytes payload(hdr.len);
+    im.unpack(payload.data(), hdr.len, core::RecvMode::Cheaper);
+    im.finish();
+    ready_.emplace(hdr.req_id, std::move(payload));
+  }
+}
+
+Bytes RpcClient::call(RpcFunctionId fn, ByteSpan args) {
+  return collect(issue(fn, args));
+}
+
+// ---- server -------------------------------------------------------------
+
+RpcServer::RpcServer(core::Engine& engine, core::NodeId client,
+                     core::ChannelId channel, core::TrafficClass cls)
+    : engine_(engine), channel_(engine.open_channel(client, channel, cls)) {}
+
+void RpcServer::register_handler(RpcFunctionId fn, Handler h) {
+  MADO_CHECK(h != nullptr);
+  handlers_[fn] = std::move(h);
+}
+
+void RpcServer::serve_one() {
+  core::IncomingMessage im = channel_.begin_recv();
+  RequestHeader hdr{};
+  im.unpack(&hdr, sizeof hdr, core::RecvMode::Express);
+  Bytes args(hdr.len);
+  im.unpack(args.data(), hdr.len, core::RecvMode::Cheaper);
+  im.finish();
+
+  auto it = handlers_.find(hdr.fn);
+  MADO_CHECK_MSG(it != handlers_.end(), "no RPC handler for fn " << hdr.fn);
+  Bytes result = it->second(ByteSpan(args));
+
+  ResponseHeader rh{hdr.req_id, static_cast<std::uint32_t>(result.size())};
+  core::Message m;
+  m.pack(&rh, sizeof rh, core::SendMode::Safe);
+  m.pack(result.data(), result.size(), core::SendMode::Safe);
+  channel_.post(std::move(m));
+  ++served_;
+}
+
+}  // namespace mado::mw

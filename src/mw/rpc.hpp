@@ -1,0 +1,77 @@
+// RPC middleware: request/response with header-first demultiplexing — the
+// "programming models involving irregular communication schemes such as
+// RPC" of paper §2.
+//
+// A request is a structured message:
+//   fragment 0 (express): RpcRequestHeader { request id, function id, len }
+//   fragment 1 (cheaper): argument bytes
+// The server unpacks the header first (express) and only then knows how to
+// dispatch — exactly the "message internal dependency" the optimizer must
+// respect. Responses flow on the same (bidirectional) channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/api.hpp"
+#include "core/engine.hpp"
+
+namespace mado::mw {
+
+using RpcFunctionId = std::uint32_t;
+
+class RpcClient {
+ public:
+  RpcClient(core::Engine& engine, core::NodeId server,
+            core::ChannelId channel,
+            core::TrafficClass cls = core::TrafficClass::SmallEager);
+
+  /// Blocking call: send request, wait for the matching response.
+  Bytes call(RpcFunctionId fn, ByteSpan args);
+  Bytes call(RpcFunctionId fn, const void* args, std::size_t len) {
+    return call(fn, as_bytes(args, len));
+  }
+
+  /// Fire-and-collect pipelining: issue a request now...
+  std::uint64_t issue(RpcFunctionId fn, ByteSpan args);
+  /// ...and collect responses later, in issue order.
+  Bytes collect(std::uint64_t request_id);
+
+ private:
+  core::Engine& engine_;
+  core::Channel channel_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t next_collect_ = 1;
+  std::map<std::uint64_t, Bytes> ready_;  // out-of-order collected responses
+};
+
+class RpcServer {
+ public:
+  using Handler = std::function<Bytes(ByteSpan args)>;
+
+  RpcServer(core::Engine& engine, core::NodeId client,
+            core::ChannelId channel,
+            core::TrafficClass cls = core::TrafficClass::SmallEager);
+
+  void register_handler(RpcFunctionId fn, Handler h);
+
+  /// Serve exactly one request (blocking until it arrives).
+  void serve_one();
+  /// Serve n requests.
+  void serve(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) serve_one();
+  }
+  /// True if a request is already waiting.
+  bool pending() const { return channel_.probe(); }
+
+  std::uint64_t served() const { return served_; }
+
+ private:
+  core::Engine& engine_;
+  mutable core::Channel channel_;
+  std::map<RpcFunctionId, Handler> handlers_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace mado::mw

@@ -1,0 +1,87 @@
+#include "mw/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mado::mw {
+
+namespace {
+void sort_schedule(Schedule& s) {
+  std::stable_sort(s.begin(), s.end(),
+                   [](const Submission& a, const Submission& b) {
+                     return a.at < b.at;
+                   });
+}
+}  // namespace
+
+Schedule make_uniform(const UniformSpec& spec) {
+  MADO_CHECK(spec.flows > 0 && spec.msgs_per_flow > 0);
+  Schedule s;
+  for (std::size_t f = 0; f < spec.flows; ++f)
+    for (int i = 0; i < spec.msgs_per_flow; ++i)
+      s.push_back({static_cast<Nanos>(i) * spec.interval +
+                       static_cast<Nanos>(f) * spec.stagger,
+                   static_cast<core::ChannelId>(f), spec.size});
+  sort_schedule(s);
+  return s;
+}
+
+Schedule make_bursty(const BurstySpec& spec) {
+  MADO_CHECK(spec.flows > 0 && spec.bursts > 0 && spec.burst_len > 0);
+  Schedule s;
+  Nanos t = 0;
+  for (int b = 0; b < spec.bursts; ++b) {
+    for (int i = 0; i < spec.burst_len; ++i) {
+      for (std::size_t f = 0; f < spec.flows; ++f)
+        s.push_back({t, static_cast<core::ChannelId>(f), spec.size});
+      t += spec.intra_gap;
+    }
+    t += spec.inter_gap;
+  }
+  sort_schedule(s);
+  return s;
+}
+
+Schedule make_poisson(const PoissonSpec& spec) {
+  MADO_CHECK(spec.flows > 0 && spec.msgs_per_flow > 0 &&
+             spec.mean_gap_us > 0);
+  Schedule s;
+  Rng rng(spec.seed);
+  for (std::size_t f = 0; f < spec.flows; ++f) {
+    double t_us = 0;
+    for (int i = 0; i < spec.msgs_per_flow; ++i) {
+      // Inverse-CDF exponential sampling; clamp u away from 0.
+      const double u = std::max(rng.uniform(), 1e-12);
+      t_us += -spec.mean_gap_us * std::log(u);
+      s.push_back({usec(t_us), static_cast<core::ChannelId>(f), spec.size});
+    }
+  }
+  sort_schedule(s);
+  return s;
+}
+
+Schedule make_mixed(const MixedSpec& spec) {
+  MADO_CHECK(!spec.flow_sizes.empty() && spec.msgs_per_flow > 0);
+  Schedule s;
+  for (std::size_t f = 0; f < spec.flow_sizes.size(); ++f)
+    for (int i = 0; i < spec.msgs_per_flow; ++i)
+      s.push_back({static_cast<Nanos>(i) * spec.interval,
+                   static_cast<core::ChannelId>(f), spec.flow_sizes[f]});
+  sort_schedule(s);
+  return s;
+}
+
+std::vector<int> per_flow_counts(const Schedule& s) {
+  std::vector<int> counts;
+  for (const Submission& sub : s) {
+    if (sub.flow >= counts.size()) counts.resize(sub.flow + std::size_t{1}, 0);
+    ++counts[sub.flow];
+  }
+  return counts;
+}
+
+std::size_t flow_count(const Schedule& s) { return per_flow_counts(s).size(); }
+
+}  // namespace mado::mw

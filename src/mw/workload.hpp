@@ -1,0 +1,74 @@
+// Synthetic workload generators: deterministic traffic schedules used by
+// benchmarks and stress tests. A schedule is a list of (virtual time,
+// flow, size) submissions that a driver function replays into a SimWorld —
+// separating "what the application does" from "how the engine handles it".
+//
+// Generators model the paper's motivating application mix knobs:
+//   uniform   — fixed-rate, fixed-size messages per flow
+//   bursty    — alternating bursts and silences (burstiness is the lever
+//               that moves a workload between the aggregation regime and
+//               the Nagle regime)
+//   poisson   — exponential inter-arrival times (deterministic via Rng)
+//   mixed     — per-flow size classes like a middleware conglomerate
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace mado::mw {
+
+struct Submission {
+  Nanos at = 0;
+  core::ChannelId flow = 0;
+  std::size_t size = 0;
+};
+
+/// A full schedule, sorted by time.
+using Schedule = std::vector<Submission>;
+
+struct UniformSpec {
+  std::size_t flows = 4;
+  int msgs_per_flow = 50;
+  std::size_t size = 64;
+  Nanos interval = usec(1);  ///< spacing between a flow's submissions
+  Nanos stagger = usec(0.2); ///< offset between flows
+};
+Schedule make_uniform(const UniformSpec& spec);
+
+struct BurstySpec {
+  std::size_t flows = 4;
+  int bursts = 10;
+  int burst_len = 8;          ///< messages per flow per burst
+  std::size_t size = 64;
+  Nanos intra_gap = 0;        ///< spacing inside a burst
+  Nanos inter_gap = usec(20); ///< silence between bursts
+};
+Schedule make_bursty(const BurstySpec& spec);
+
+struct PoissonSpec {
+  std::size_t flows = 4;
+  int msgs_per_flow = 50;
+  std::size_t size = 64;
+  double mean_gap_us = 2.0;
+  std::uint64_t seed = 1;
+};
+Schedule make_poisson(const PoissonSpec& spec);
+
+struct MixedSpec {
+  int msgs_per_flow = 30;
+  Nanos interval = usec(1);
+  /// One entry per flow: that flow's fixed message size (a middleware
+  /// conglomerate: control flows tiny, data flows chunky).
+  std::vector<std::size_t> flow_sizes = {32, 32, 1024, 4096};
+};
+Schedule make_mixed(const MixedSpec& spec);
+
+/// Total submissions per flow in `s` (for receivers to know what to drain).
+std::vector<int> per_flow_counts(const Schedule& s);
+std::size_t flow_count(const Schedule& s);
+
+}  // namespace mado::mw

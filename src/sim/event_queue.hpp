@@ -1,0 +1,60 @@
+// Discrete-event queue with a stable tie-break: events posted earlier run
+// earlier among equal timestamps, which keeps simulations deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace mado::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  struct Event {
+    Nanos time = 0;
+    std::uint64_t seq = 0;
+    Action action;
+  };
+
+  void post_at(Nanos t, Action fn) {
+    heap_.push_back(Event{t, seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Nanos next_time() const {
+    MADO_ASSERT(!heap_.empty());
+    return heap_.front().time;
+  }
+
+  /// Pop and return the earliest event. The caller advances the clock to
+  /// event.time and then runs event.action; running it inside pop() would
+  /// make reentrant post_at calls racy with the heap manipulation.
+  Event pop() {
+    MADO_ASSERT(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+  std::vector<Event> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace mado::sim

@@ -1,0 +1,68 @@
+// Fabric: the shared discrete-event world connecting simulated drivers.
+//
+// One Fabric instance holds the virtual clock and the event queue for all
+// simulated nodes in a test/benchmark. Drivers post timed actions (send
+// completions, packet deliveries, Nagle timers); the test harness pumps the
+// loop with step()/run_until_idle(). Everything is single-threaded and
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/clock.hpp"
+
+namespace mado::sim {
+
+class Fabric {
+ public:
+  Nanos now() const { return clock_.now(); }
+  const Clock& clock() const { return clock_; }
+
+  void post_at(Nanos t, EventQueue::Action fn) {
+    events_.post_at(t < clock_.now() ? clock_.now() : t, std::move(fn));
+  }
+  void post_in(Nanos dt, EventQueue::Action fn) {
+    events_.post_at(clock_.now() + dt, std::move(fn));
+  }
+
+  bool has_events() const { return !events_.empty(); }
+  Nanos next_event_time() const { return events_.next_time(); }
+
+  /// Run the earliest event (advancing the clock). Returns false if idle.
+  bool step() {
+    if (events_.empty()) return false;
+    auto ev = events_.pop();
+    clock_.advance_to(ev.time);
+    ev.action();
+    return true;
+  }
+
+  /// Run events until the queue drains or `max_events` is hit (a runaway
+  /// guard for tests). Returns the number of events executed.
+  std::size_t run_until_idle(std::size_t max_events = 100'000'000) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  void run_until(Nanos t) {
+    while (!events_.empty() && events_.next_time() <= t) step();
+    clock_.advance_to(t);
+  }
+
+  /// Run until `pred` becomes true or the queue drains. Returns pred().
+  bool run_while_pending(const std::function<bool()>& pred) {
+    while (!pred() && step()) {
+    }
+    return pred();
+  }
+
+ private:
+  VirtualClock clock_;
+  EventQueue events_;
+};
+
+}  // namespace mado::sim

@@ -1,0 +1,54 @@
+// Lightweight assertion/check macros used across the library.
+//
+// MADO_ASSERT: debug-only invariant check (compiled out in NDEBUG builds).
+// MADO_CHECK:  always-on check for conditions that indicate API misuse or
+//              corrupted wire data; throws mado::CheckError so tests can
+//              assert on failure instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mado {
+
+/// Thrown by MADO_CHECK on failure. Deriving from logic_error keeps the
+/// distinction clear: these are programming/protocol errors, not IO errors.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MADO_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mado
+
+#define MADO_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::mado::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define MADO_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream mado_os_;                                        \
+      mado_os_ << msg;                                                    \
+      ::mado::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                   mado_os_.str());                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MADO_ASSERT(expr) ((void)0)
+#else
+#define MADO_ASSERT(expr) MADO_CHECK(expr)
+#endif

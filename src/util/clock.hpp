@@ -1,0 +1,60 @@
+// Time base abstraction.
+//
+// The engine and simulator express all time as nanoseconds in a uint64
+// (`Nanos`). The simulator advances a VirtualClock deterministically; the
+// socket driver path uses SteadyClock (wraps steady_clock). Engine code is
+// written against the Clock interface so the two modes share one code path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mado {
+
+using Nanos = std::uint64_t;
+
+constexpr Nanos kNanosPerMicro = 1000;
+constexpr Nanos kNanosPerMilli = 1000 * 1000;
+constexpr Nanos kNanosPerSec = 1000ull * 1000 * 1000;
+
+constexpr Nanos usec(double us) {
+  return static_cast<Nanos>(us * static_cast<double>(kNanosPerMicro));
+}
+constexpr double to_usec(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerMicro);
+}
+constexpr double to_sec(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerSec);
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Nanos now() const = 0;
+};
+
+/// Deterministic clock advanced by the simulation event loop.
+class VirtualClock final : public Clock {
+ public:
+  Nanos now() const override { return now_; }
+  void advance_to(Nanos t) {
+    if (t > now_) now_ = t;
+  }
+  void advance_by(Nanos dt) { now_ += dt; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// Wall-clock time base for real (socket) drivers.
+class SteadyClock final : public Clock {
+ public:
+  Nanos now() const override {
+    return static_cast<Nanos>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace mado

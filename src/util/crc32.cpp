@@ -1,0 +1,31 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace mado {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i)
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  state_ = c;
+}
+
+}  // namespace mado

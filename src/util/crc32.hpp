@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to protect packet headers
+// on byte-moving drivers. Table is generated at static-init time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/wire.hpp"
+
+namespace mado {
+
+/// Incremental CRC-32. Usage: Crc32 c; c.update(p, n); c.value();
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len);
+  void update(ByteSpan data) { update(data.data(), data.size()); }
+  std::uint32_t value() const { return ~state_; }
+  void reset() { state_ = 0xffffffffu; }
+
+  static std::uint32_t of(const void* data, std::size_t len) {
+    Crc32 c;
+    c.update(data, len);
+    return c.value();
+  }
+  static std::uint32_t of(ByteSpan data) { return of(data.data(), data.size()); }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace mado

@@ -1,0 +1,84 @@
+// Minimal command-line flag parser for the example/CLI binaries.
+//
+// Accepted forms: --key=value, --key value, --switch (boolean true),
+// and bare positionals. No registration step: callers query by name with a
+// default. Unknown flags are kept (queryable), so tools can layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mado {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoll(it->second);
+    } catch (...) {
+      MADO_CHECK_MSG(false, "flag --" << name << " expects an integer, got '"
+                                      << it->second << "'");
+    }
+    return fallback;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      MADO_CHECK_MSG(false, "flag --" << name << " expects a number, got '"
+                                      << it->second << "'");
+    }
+    return fallback;
+  }
+
+  bool get_bool(const std::string& name, bool fallback = false) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0" && it->second != "no";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mado

@@ -1,0 +1,83 @@
+// Gather/scatter segment lists.
+//
+// A GatherList describes a logical byte sequence as a list of (pointer, len)
+// segments. Drivers that advertise gather/scatter capability consume the
+// list directly; others require the engine to flatten it into one staging
+// buffer first (an extra copy the simulator charges for).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "util/small_vector.hpp"
+#include "util/wire.hpp"
+
+namespace mado {
+
+struct Segment {
+  const Byte* data = nullptr;
+  std::size_t len = 0;
+};
+
+class GatherList {
+ public:
+  GatherList() = default;
+
+  void add(const void* data, std::size_t len) {
+    if (len == 0) return;
+    segs_.push_back(Segment{static_cast<const Byte*>(data), len});
+    total_ += len;
+  }
+  void add(ByteSpan s) { add(s.data(), s.size()); }
+
+  std::size_t segment_count() const { return segs_.size(); }
+  std::size_t total_bytes() const { return total_; }
+  const Segment& operator[](std::size_t i) const { return segs_[i]; }
+  const Segment* begin() const { return segs_.begin(); }
+  const Segment* end() const { return segs_.end(); }
+  bool empty() const { return segs_.empty(); }
+
+  /// Serialize all segments into one contiguous buffer.
+  Bytes flatten() const {
+    Bytes out;
+    out.reserve(total_);
+    for (const Segment& s : segs_) out.insert(out.end(), s.data, s.data + s.len);
+    return out;
+  }
+
+  /// Copy all segments into caller-provided memory (must hold total_bytes()).
+  void flatten_into(void* dst) const {
+    auto* p = static_cast<Byte*>(dst);
+    for (const Segment& s : segs_) {
+      std::memcpy(p, s.data, s.len);
+      p += s.len;
+    }
+  }
+
+  void clear() {
+    segs_.clear();
+    total_ = 0;
+  }
+
+ private:
+  SmallVector<Segment, 8> segs_;
+  std::size_t total_ = 0;
+};
+
+/// Scatter a contiguous byte span across a list of destination buffers.
+struct ScatterDest {
+  Byte* data = nullptr;
+  std::size_t len = 0;
+};
+
+inline void scatter(ByteSpan src, std::span<const ScatterDest> dests) {
+  std::size_t off = 0;
+  for (const ScatterDest& d : dests) {
+    MADO_CHECK(off + d.len <= src.size());
+    std::memcpy(d.data, src.data() + off, d.len);
+    off += d.len;
+  }
+  MADO_CHECK_MSG(off == src.size(), "scatter length mismatch");
+}
+
+}  // namespace mado

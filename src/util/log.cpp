@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mado {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("MADO_LOG");
+  if (!env) return LogLevel::Warn;
+  if (!std::strcmp(env, "trace")) return LogLevel::Trace;
+  if (!std::strcmp(env, "debug")) return LogLevel::Debug;
+  if (!std::strcmp(env, "info")) return LogLevel::Info;
+  if (!std::strcmp(env, "warn")) return LogLevel::Warn;
+  if (!std::strcmp(env, "error")) return LogLevel::Error;
+  if (!std::strcmp(env, "off")) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<int> g_level{-1};
+std::mutex g_io_mu;
+
+const char* name_of(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = static_cast<int>(level_from_env());
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void set_log_level(LogLevel lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lk(g_io_mu);
+  std::cerr << "[mado " << name_of(lvl) << "] " << msg << "\n";
+}
+
+}  // namespace mado

@@ -1,0 +1,37 @@
+// Minimal leveled logger. Off by default (Warn); tests and debugging sessions
+// raise the level via mado::set_log_level or the MADO_LOG env var
+// ("trace"|"debug"|"info"|"warn"|"error").
+//
+// The macro evaluates its stream expression only when the level is enabled,
+// so trace logging in the optimizer hot path costs one branch when disabled.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mado {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+/// Reads MADO_LOG once and applies it; called lazily on first query.
+void log_line(LogLevel lvl, const std::string& msg);
+
+}  // namespace mado
+
+#define MADO_LOG(lvl, expr)                                      \
+  do {                                                           \
+    if (static_cast<int>(lvl) >= static_cast<int>(::mado::log_level())) { \
+      std::ostringstream mado_log_os_;                           \
+      mado_log_os_ << expr;                                      \
+      ::mado::log_line(lvl, mado_log_os_.str());                 \
+    }                                                            \
+  } while (0)
+
+#define MADO_TRACE(expr) MADO_LOG(::mado::LogLevel::Trace, expr)
+#define MADO_DEBUG(expr) MADO_LOG(::mado::LogLevel::Debug, expr)
+#define MADO_INFO(expr) MADO_LOG(::mado::LogLevel::Info, expr)
+#define MADO_WARN(expr) MADO_LOG(::mado::LogLevel::Warn, expr)
+#define MADO_ERROR(expr) MADO_LOG(::mado::LogLevel::Error, expr)

@@ -1,0 +1,125 @@
+// Queues used at the driver/engine boundary.
+//
+// SpscRing<T>:  lock-free single-producer single-consumer ring with a fixed
+//               power-of-two capacity; used between a driver IO thread and
+//               the engine's progress loop.
+// MpscQueue<T>: mutex-protected multi-producer single-consumer queue with
+//               optional blocking pop; used for completion delivery where
+//               multiple IO threads feed one progress loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mado {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// capacity must be a power of two; the ring holds capacity-1 elements.
+  explicit SpscRing(std::size_t capacity) : buf_(capacity), mask_(capacity - 1) {
+    MADO_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "capacity must be a power of two");
+  }
+
+  /// Producer side. Returns false if full.
+  bool try_push(T v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = std::move(v);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt if empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T v = std::move(buf_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return v;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return (h - t) & mask_;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+template <typename T>
+class MpscQueue {
+ public:
+  void push(T v) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      q_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  /// Pop, waiting up to `timeout`. Returns nullopt on timeout.
+  std::optional<T> pop_wait(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return !q_.empty(); }))
+      return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  /// Drain everything currently queued into `out`; returns count.
+  std::size_t drain(std::vector<T>& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t n = q_.size();
+    for (auto& v : q_) out.push_back(std::move(v));
+    q_.clear();
+    return n;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+};
+
+}  // namespace mado

@@ -1,0 +1,183 @@
+// SmallVector<T, N>: vector with inline storage for the first N elements.
+//
+// Packet builds typically gather a handful of segments; keeping those inline
+// avoids a heap allocation per packet on the hot path. Only the operations
+// the library needs are provided; the container is not a full std::vector
+// replacement.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mado {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  T& operator[](std::size_t i) {
+    MADO_ASSERT(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    MADO_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return heap_ ? heap_ : inline_ptr(); }
+  const T* data() const { return heap_ ? heap_ : inline_ptr(); }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+  bool is_inline() const { return heap_ == nullptr; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(cap_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    MADO_ASSERT(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() {
+    T* p = data();
+    for (std::size_t i = 0; i < size_; ++i) p[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_) {
+      T* p = data();
+      for (std::size_t i = n; i < size_; ++i) p[i].~T();
+      size_ = n;
+    } else {
+      reserve(n);
+      while (size_ < n) emplace_back();
+    }
+  }
+
+ private:
+  T* inline_ptr() { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+  const T* inline_ptr() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow(std::size_t new_cap) {
+    new_cap = std::max(new_cap, N + 1);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* src = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    if (heap_) ::operator delete(heap_);
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void destroy() {
+    clear();
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  void move_from(SmallVector&& other) noexcept {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      size_ = 0;
+      T* src = other.data();
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        emplace_back(std::move(src[i]));
+        src[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace mado

@@ -1,0 +1,17 @@
+#include "util/stats.hpp"
+
+#include <sstream>
+
+namespace mado {
+
+std::string StatsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_)
+    os << name << "=" << value << "\n";
+  for (const auto& [name, h] : histograms_)
+    os << name << ": count=" << h.count() << " mean=" << h.mean()
+       << " p99<=" << h.quantile_upper_bound(0.99) << "\n";
+  return os.str();
+}
+
+}  // namespace mado

@@ -1,0 +1,121 @@
+// Statistics primitives: counters, log2-bucketed histograms, Welford
+// mean/variance accumulation, and a named-stats registry that the engine
+// exposes so benchmarks can report aggregation ratios, transaction counts,
+// latency distributions, etc.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace mado {
+
+/// Online mean/variance (Welford).
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Histogram with log2 buckets: bucket i counts values in [2^i, 2^(i+1)).
+/// Value 0 lands in bucket 0. Suited to latency (ns) and size distributions.
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t v) {
+    buckets_[bucket_of(v)]++;
+    ++count_;
+    sum_ += v;
+  }
+
+  static int bucket_of(std::uint64_t v) {
+    if (v <= 1) return 0;
+    return 63 - static_cast<int>(__builtin_clzll(v));
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+  std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0,1]).
+  std::uint64_t quantile_upper_bound(double q) const {
+    if (count_ == 0) return 0;
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    if (target >= count_) target = count_ - 1;  // q = 1.0 → last sample
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[static_cast<std::size_t>(i)];
+      if (seen > target) return i >= 63 ? ~0ull : (1ull << (i + 1)) - 1;
+    }
+    return ~0ull;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Named counters + histograms. Not thread-safe by design: each engine owns
+/// one and all mutation happens under the engine lock.
+class StatsRegistry {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void observe(const std::string& name, std::uint64_t v) {
+    histograms_[name].add(v);
+  }
+  const Log2Histogram* histogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  void reset() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+  /// Render "name=value" lines, sorted by name (for logs and debugging).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Log2Histogram> histograms_;
+};
+
+}  // namespace mado

@@ -1,0 +1,37 @@
+// Shared helpers for engine tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "util/wire.hpp"
+
+namespace mado::core::testing {
+
+inline Bytes pattern(std::size_t n, std::uint32_t seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<Byte>((seed * 2654435761u + i * 40503u) >> 13);
+  return b;
+}
+
+/// Post a single-fragment message.
+inline SendHandle send_bytes(Channel& ch, const Bytes& data,
+                             SendMode mode = SendMode::Safe) {
+  Message m;
+  m.pack(data.data(), data.size(), mode);
+  return ch.post(std::move(m));
+}
+
+/// Receive a single-fragment message of known size.
+inline Bytes recv_bytes(Channel& ch, std::size_t n) {
+  Bytes out(n);
+  IncomingMessage im = ch.begin_recv();
+  im.unpack(out.data(), n, RecvMode::Express);
+  im.finish();
+  return out;
+}
+
+}  // namespace mado::core::testing

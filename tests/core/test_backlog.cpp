@@ -1,0 +1,140 @@
+#include "core/backlog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mado::core {
+namespace {
+
+TxFrag make_frag(ChannelId ch, MsgSeq seq, FragIdx idx, std::size_t len,
+                 std::uint64_t order) {
+  TxFrag f;
+  f.channel = ch;
+  f.msg_seq = seq;
+  f.idx = idx;
+  f.nfrags_total = static_cast<std::uint16_t>(idx + 1);
+  f.last = true;
+  f.owned.assign(len, Byte{0xab});
+  f.len = len;
+  f.order = order;
+  f.submit_time = order * 10;
+  return f;
+}
+
+TEST(TxBacklog, StartsEmpty) {
+  TxBacklog b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.frag_count(), 0u);
+  EXPECT_EQ(b.byte_count(), 0u);
+  EXPECT_FALSE(b.has_control());
+  EXPECT_TRUE(b.active_flows().empty());
+  EXPECT_EQ(b.oldest_submit_time(), 0u);
+}
+
+TEST(TxBacklog, PushPopAccounting) {
+  TxBacklog b;
+  b.push(make_frag(1, 0, 0, 100, 1));
+  b.push(make_frag(1, 1, 0, 50, 2));
+  EXPECT_EQ(b.frag_count(), 2u);
+  EXPECT_EQ(b.byte_count(), 150u);
+  TxFrag f = b.pop(1);
+  EXPECT_EQ(f.len, 100u);
+  EXPECT_EQ(b.frag_count(), 1u);
+  EXPECT_EQ(b.byte_count(), 50u);
+  b.pop(1);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(TxBacklog, PerFlowFifo) {
+  TxBacklog b;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    b.push(make_frag(3, static_cast<MsgSeq>(i), 0, 8, i));
+  for (std::uint64_t i = 0; i < 5; ++i)
+    EXPECT_EQ(b.pop(3).msg_seq, static_cast<MsgSeq>(i));
+}
+
+TEST(TxBacklog, ActiveFlowsOrderedByHeadAge) {
+  TxBacklog b;
+  b.push(make_frag(5, 0, 0, 8, 10));
+  b.push(make_frag(2, 0, 0, 8, 5));
+  b.push(make_frag(9, 0, 0, 8, 7));
+  b.push(make_frag(2, 1, 0, 8, 20));  // behind flow 2's head
+  const auto flows = b.active_flows();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0], 2u);
+  EXPECT_EQ(flows[1], 9u);
+  EXPECT_EQ(flows[2], 5u);
+}
+
+TEST(TxBacklog, PeekDepth) {
+  TxBacklog b;
+  b.push(make_frag(1, 0, 0, 8, 1));
+  b.push(make_frag(1, 1, 0, 16, 2));
+  EXPECT_EQ(b.flow_depth(1), 2u);
+  EXPECT_EQ(b.peek(1, 0).len, 8u);
+  EXPECT_EQ(b.peek(1, 1).len, 16u);
+  EXPECT_EQ(b.flow_depth(42), 0u);
+}
+
+TEST(TxBacklog, ControlQueueSeparateAndPrioritizable) {
+  TxBacklog b;
+  b.push(make_frag(1, 0, 0, 8, 1));
+  TxFrag ctrl = make_frag(1, 0, 0, 4, 2);
+  ctrl.kind = FragKind::RdvCts;
+  b.push_control(std::move(ctrl));
+  EXPECT_TRUE(b.has_control());
+  EXPECT_EQ(b.frag_count(), 2u);
+  EXPECT_EQ(b.peek_control().kind, FragKind::RdvCts);
+  TxFrag out = b.pop_control();
+  EXPECT_EQ(out.kind, FragKind::RdvCts);
+  EXPECT_FALSE(b.has_control());
+  EXPECT_EQ(b.frag_count(), 1u);
+}
+
+TEST(TxBacklog, OldestSubmitTimeAcrossQueues) {
+  TxBacklog b;
+  b.push(make_frag(1, 0, 0, 8, 5));   // t = 50
+  b.push(make_frag(2, 0, 0, 8, 3));   // t = 30
+  EXPECT_EQ(b.oldest_submit_time(), 30u);
+  TxFrag ctrl = make_frag(9, 0, 0, 4, 1);  // t = 10
+  b.push_control(std::move(ctrl));
+  EXPECT_EQ(b.oldest_submit_time(), 10u);
+}
+
+TEST(TxBacklog, FlowDisappearsWhenDrained) {
+  TxBacklog b;
+  b.push(make_frag(1, 0, 0, 8, 1));
+  b.pop(1);
+  EXPECT_TRUE(b.active_flows().empty());
+  EXPECT_EQ(b.flow_depth(1), 0u);
+}
+
+TEST(SendState, PendingCountsDown) {
+  auto s = std::make_shared<SendState>();
+  s->pending = 3;
+  EXPECT_NE(s->pending, 0u);
+  s->pending -= 3;
+  EXPECT_EQ(s->pending, 0u);
+}
+
+TEST(TxFrag, HeaderReflectsFields) {
+  TxFrag f = make_frag(7, 3, 0, 16, 1);
+  const FragHeader fh = f.header();
+  EXPECT_EQ(fh.channel, 7u);
+  EXPECT_EQ(fh.msg_seq, 3u);
+  EXPECT_EQ(fh.len, 16u);
+  EXPECT_TRUE(fh.last());
+  EXPECT_EQ(fh.kind, FragKind::Data);
+}
+
+TEST(TxFrag, DataPointsToOwnedOrExt) {
+  TxFrag f;
+  Bytes ext = {1, 2, 3};
+  f.ext = ext.data();
+  f.len = 3;
+  EXPECT_EQ(f.data(), ext.data());
+  f.owned = {9, 9};
+  EXPECT_EQ(f.data(), f.owned.data());
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,310 @@
+// End-to-end engine tests on the simulated fabric (single rail).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+class EngineBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override { build({}); }
+
+  void build(const EngineConfig& cfg) {
+    world_ = std::make_unique<SimWorld>(2, cfg);
+    world_->connect(0, 1, drv::test_profile());
+  }
+
+  std::unique_ptr<SimWorld> world_;
+};
+
+TEST_F(EngineBasicTest, SingleFragmentRoundTrip) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  const Bytes data = pattern(100);
+  SendHandle h = send_bytes(a, data);
+  EXPECT_EQ(recv_bytes(b, 100), data);
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+}
+
+TEST_F(EngineBasicTest, PostReturnsImmediately) {
+  Channel a = world_->node(0).open_channel(1, 1);
+  world_->node(1).open_channel(0, 1);
+  const Bytes data = pattern(64);
+  SendHandle h = send_bytes(a, data);
+  // The collect layer enqueued and the first packet may be in flight, but
+  // post() must not have waited for completion events (no fabric steps ran).
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(world_->now(), 0u);
+}
+
+TEST_F(EngineBasicTest, MultiFragmentMessage) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  const Bytes h1 = pattern(16, 1), h2 = pattern(32, 2), body = pattern(200, 3);
+  Message m;
+  m.pack(h1.data(), h1.size(), SendMode::Safe);
+  m.pack(h2.data(), h2.size(), SendMode::Safe);
+  m.pack(body.data(), body.size(), SendMode::Safe);
+  a.post(std::move(m));
+
+  Bytes r1(16), r2(32), rbody(200);
+  IncomingMessage im = b.begin_recv();
+  im.unpack(r1.data(), r1.size(), RecvMode::Express);
+  im.unpack(r2.data(), r2.size(), RecvMode::Express);
+  im.unpack(rbody.data(), rbody.size(), RecvMode::Cheaper);
+  im.finish();
+  EXPECT_EQ(r1, h1);
+  EXPECT_EQ(r2, h2);
+  EXPECT_EQ(rbody, body);
+}
+
+TEST_F(EngineBasicTest, ManyMessagesInOrder) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  constexpr int kN = 50;
+  for (int i = 0; i < kN; ++i)
+    send_bytes(a, pattern(64, static_cast<std::uint32_t>(i)));
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(recv_bytes(b, 64), pattern(64, static_cast<std::uint32_t>(i)))
+        << "message " << i;
+  a.flush();
+}
+
+TEST_F(EngineBasicTest, BidirectionalTraffic) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64, 1));
+  send_bytes(b, pattern(64, 2));
+  EXPECT_EQ(recv_bytes(b, 64), pattern(64, 1));
+  EXPECT_EQ(recv_bytes(a, 64), pattern(64, 2));
+}
+
+TEST_F(EngineBasicTest, SafeModeBufferReusableImmediately) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  Bytes buf = pattern(64, 1);
+  const Bytes expect = buf;
+  Message m;
+  m.pack(buf.data(), buf.size(), SendMode::Safe);
+  a.post(std::move(m));
+  std::fill(buf.begin(), buf.end(), Byte{0xee});  // clobber after post
+  EXPECT_EQ(recv_bytes(b, 64), expect);
+}
+
+TEST_F(EngineBasicTest, LaterModeReadsBufferAtPacketBuildTime) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  Bytes buf = pattern(64, 1);
+  Message m;
+  m.pack(buf.data(), buf.size(), SendMode::Later);
+  SendHandle h = a.post(std::move(m));
+  EXPECT_EQ(recv_bytes(b, 64), pattern(64, 1));
+  EXPECT_TRUE(world_->node(0).wait_send(h));  // buf must outlive completion
+}
+
+TEST_F(EngineBasicTest, ZeroLengthFragment) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  const Bytes body = pattern(10);
+  Message m;
+  m.pack(nullptr, 0, SendMode::Safe);
+  m.pack(body.data(), body.size(), SendMode::Safe);
+  a.post(std::move(m));
+  Bytes rbody(10);
+  IncomingMessage im = b.begin_recv();
+  im.unpack(nullptr, 0, RecvMode::Express);
+  im.unpack(rbody.data(), 10, RecvMode::Express);
+  im.finish();
+  EXPECT_EQ(rbody, body);
+}
+
+TEST_F(EngineBasicTest, UnexpectedArrivalBuffered) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64));
+  world_->run();  // deliver before any recv is posted
+  EXPECT_GE(world_->node(1).stats().counter("rx.unexpected_frags"), 1u);
+  EXPECT_EQ(recv_bytes(b, 64), pattern(64));
+}
+
+TEST_F(EngineBasicTest, EmptyMessageRejected) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Message m;
+  EXPECT_THROW(a.post(std::move(m)), CheckError);
+}
+
+TEST_F(EngineBasicTest, WrongUnpackSizeThrows) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64));
+  world_->run();
+  Bytes out(63);
+  IncomingMessage im = b.begin_recv();
+  EXPECT_THROW(im.unpack(out.data(), out.size(), RecvMode::Express),
+               CheckError);
+}
+
+TEST_F(EngineBasicTest, FinishWithoutUnpackingAllThrows) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  Message m;
+  const Bytes d = pattern(8);
+  m.pack(d.data(), d.size(), SendMode::Safe);
+  m.pack(d.data(), d.size(), SendMode::Safe);
+  a.post(std::move(m));
+  Bytes out(8);
+  IncomingMessage im = b.begin_recv();
+  im.unpack(out.data(), 8, RecvMode::Express);
+  EXPECT_THROW(im.finish(), CheckError);
+}
+
+TEST_F(EngineBasicTest, InvalidHandlesRejected) {
+  Channel unbound;
+  EXPECT_FALSE(unbound.valid());
+  Message m;
+  const Bytes d = pattern(4);
+  m.pack(d.data(), d.size(), SendMode::Safe);
+  EXPECT_THROW(unbound.post(std::move(m)), CheckError);
+  EXPECT_THROW(unbound.begin_recv(), CheckError);
+  EXPECT_THROW(unbound.flush(), CheckError);
+  SendHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_THROW(world_->node(0).wait_send(h), CheckError);
+  EXPECT_THROW(world_->node(0).send_done(h), CheckError);
+}
+
+TEST_F(EngineBasicTest, ZeroRdvChunkConfigClampedToOne) {
+  EngineConfig cfg;
+  cfg.rdv_chunk = 0;  // engine must not divide by zero or loop forever
+  cfg.rdv_threshold_override = 64;
+  build(cfg);
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  const Bytes data = pattern(80);  // 80 one-byte chunks
+  send_bytes(a, data);
+  EXPECT_EQ(recv_bytes(b, 80), data);
+}
+
+TEST_F(EngineBasicTest, ReservedRmaChannelIdRejected) {
+  EXPECT_THROW(world_->node(0).open_channel(1, kRmaChannel), CheckError);
+}
+
+TEST_F(EngineBasicTest, DoubleChannelOpenRejected) {
+  world_->node(0).open_channel(1, 7);
+  EXPECT_THROW(world_->node(0).open_channel(1, 7), CheckError);
+}
+
+TEST_F(EngineBasicTest, PostOnUnopenedChannelRejected) {
+  // Channel handle forged for a peer with rails but no such channel state
+  // cannot be constructed through the public API; instead check that using
+  // a channel toward an unknown peer fails cleanly at open time.
+  EXPECT_THROW(world_->node(0).open_channel(9, 1), CheckError);
+}
+
+TEST_F(EngineBasicTest, MultipleChannelsIndependentStreams) {
+  Channel a1 = world_->node(0).open_channel(1, 1);
+  Channel a2 = world_->node(0).open_channel(1, 2);
+  Channel b1 = world_->node(1).open_channel(0, 1);
+  Channel b2 = world_->node(1).open_channel(0, 2);
+  send_bytes(a1, pattern(32, 1));
+  send_bytes(a2, pattern(32, 2));
+  send_bytes(a1, pattern(32, 3));
+  EXPECT_EQ(recv_bytes(b2, 32), pattern(32, 2));
+  EXPECT_EQ(recv_bytes(b1, 32), pattern(32, 1));
+  EXPECT_EQ(recv_bytes(b1, 32), pattern(32, 3));
+}
+
+TEST_F(EngineBasicTest, FlushDrainsEverything) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  world_->node(1).open_channel(0, 7);
+  for (int i = 0; i < 20; ++i) send_bytes(a, pattern(64));
+  EXPECT_TRUE(world_->node(0).flush());
+  EXPECT_EQ(world_->node(0).inflight_packets(), 0u);
+  EXPECT_EQ(world_->node(0).backlog_frags(1, 0), 0u);
+}
+
+TEST_F(EngineBasicTest, StatsCountPacketsAndFrags) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64));
+  recv_bytes(b, 64);
+  auto& s = world_->node(0).stats();
+  EXPECT_EQ(s.counter("tx.msgs"), 1u);
+  EXPECT_GE(s.counter("tx.packets"), 1u);
+  EXPECT_EQ(s.counter("tx.frags"), 1u);
+  EXPECT_EQ(world_->node(1).stats().counter("rx.msgs_completed"), 1u);
+}
+
+TEST_F(EngineBasicTest, SendDoneReflectsCompletion) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  world_->node(1).open_channel(0, 7);
+  SendHandle h = send_bytes(a, pattern(64));
+  EXPECT_FALSE(world_->node(0).send_done(h));
+  world_->run();
+  EXPECT_TRUE(world_->node(0).send_done(h));
+}
+
+TEST_F(EngineBasicTest, CheaperModeSmallFragmentIsCopied) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  Bytes buf = pattern(32, 5);
+  Message m;
+  m.pack(buf.data(), buf.size(), SendMode::Cheaper);  // 32 <= copy bound
+  a.post(std::move(m));
+  std::fill(buf.begin(), buf.end(), Byte{0});
+  EXPECT_EQ(recv_bytes(b, 32), pattern(32, 5));
+}
+
+TEST_F(EngineBasicTest, ProbeReflectsPendingMessage) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  EXPECT_FALSE(b.probe());
+  send_bytes(a, pattern(64));
+  EXPECT_FALSE(b.probe());  // not delivered yet (no fabric steps)
+  world_->run();
+  EXPECT_TRUE(b.probe());
+  recv_bytes(b, 64);
+  EXPECT_FALSE(b.probe());
+}
+
+TEST_F(EngineBasicTest, SnapshotTracksQueuesAndQuiescence) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  EXPECT_TRUE(world_->node(0).snapshot().quiescent());
+  for (int i = 0; i < 5; ++i) send_bytes(a, pattern(64));
+  const auto busy = world_->node(0).snapshot();
+  EXPECT_FALSE(busy.quiescent());
+  ASSERT_EQ(busy.peers.size(), 1u);
+  EXPECT_EQ(busy.peers[0].open_channels, 1u);
+  ASSERT_EQ(busy.peers[0].rails.size(), 1u);
+  EXPECT_EQ(busy.peers[0].rails[0].driver, "test");
+  EXPECT_EQ(busy.peers[0].rails[0].outstanding_packets, 1u);
+  EXPECT_GT(busy.peers[0].rails[0].backlog_frags, 0u);
+  EXPECT_NE(busy.to_string().find("rail 0 (test)"), std::string::npos);
+  for (int i = 0; i < 5; ++i) recv_bytes(b, 64);
+  world_->node(0).flush();
+  EXPECT_TRUE(world_->node(0).snapshot().quiescent());
+}
+
+TEST_F(EngineBasicTest, BacklogAccumulatesWhileNicBusy) {
+  // With track depth 1, only one packet is in flight; remaining fragments
+  // pile up in the collect layer until the completion pump drains them.
+  Channel a = world_->node(0).open_channel(1, 7);
+  world_->node(1).open_channel(0, 7);
+  for (int i = 0; i < 10; ++i) send_bytes(a, pattern(64));
+  EXPECT_EQ(world_->node(0).inflight_packets(), 1u);
+  EXPECT_GE(world_->node(0).backlog_frags(1, 0), 1u);
+  world_->node(0).flush();
+  EXPECT_EQ(world_->node(0).backlog_frags(1, 0), 0u);
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,186 @@
+// One-sided put/get tests: window exposure, eager and rendezvous puts with
+// remote-completion acks, gets (eager and bulk reply), bounds checking,
+// and mixing one-sided traffic with two-sided channels.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+// test_profile: rdv threshold 4096.
+class EngineRmaTest : public ::testing::Test {
+ protected:
+  void SetUp() override { build({}); }
+
+  void build(EngineConfig cfg) {
+    world_ = std::make_unique<SimWorld>(2, cfg);
+    world_->connect(0, 1, drv::test_profile());
+    window_.assign(64 * 1024, Byte{0});
+    world_->node(1).expose_window(5, window_.data(), window_.size());
+  }
+
+  std::unique_ptr<SimWorld> world_;
+  Bytes window_;
+};
+
+TEST_F(EngineRmaTest, EagerPutWritesWindow) {
+  const Bytes data = pattern(256);
+  SendHandle h = world_->node(0).rma_put(1, 5, 100, data.data(), data.size());
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  EXPECT_EQ(Bytes(window_.begin() + 100, window_.begin() + 356), data);
+  EXPECT_EQ(world_->node(0).stats().counter("rma.puts_completed"), 1u);
+  EXPECT_EQ(world_->node(1).stats().counter("rx.rma_puts"), 1u);
+}
+
+TEST_F(EngineRmaTest, PutCompletionMeansRemoteCompletion) {
+  const Bytes data = pattern(64);
+  SendHandle h = world_->node(0).rma_put(1, 5, 0, data.data(), data.size());
+  EXPECT_FALSE(world_->node(0).send_done(h));
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  // Handle completed → the bytes are already visible in the window.
+  EXPECT_EQ(Bytes(window_.begin(), window_.begin() + 64), data);
+}
+
+TEST_F(EngineRmaTest, LargePutUsesRendezvousBulkPath) {
+  const Bytes data = pattern(32 * 1024);  // >= 4096 threshold
+  SendHandle h = world_->node(0).rma_put(1, 5, 0, data.data(), data.size());
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  EXPECT_EQ(Bytes(window_.begin(), window_.begin() + 32 * 1024), data);
+  EXPECT_GE(world_->node(1).stats().counter("rx.bulk_chunks"), 1u);
+  EXPECT_EQ(world_->node(1).stats().counter("rx.rma_put_rts"), 1u);
+  // No application receive was ever posted on node 1.
+  EXPECT_EQ(world_->node(1).stats().counter("rx.msgs_completed"), 0u);
+}
+
+TEST_F(EngineRmaTest, EagerGetReadsWindow) {
+  const Bytes data = pattern(512, 9);
+  std::copy(data.begin(), data.end(), window_.begin() + 1000);
+  Bytes out(512);
+  SendHandle h = world_->node(0).rma_get(1, 5, 1000, out.data(), out.size());
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(world_->node(1).stats().counter("rx.rma_gets"), 1u);
+}
+
+TEST_F(EngineRmaTest, LargeGetUsesRendezvousReply) {
+  const Bytes data = pattern(48 * 1024, 3);
+  std::copy(data.begin(), data.end(), window_.begin());
+  Bytes out(data.size());
+  SendHandle h = world_->node(0).rma_get(1, 5, 0, out.data(), out.size());
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  EXPECT_EQ(out, data);
+  EXPECT_GE(world_->node(0).stats().counter("rx.bulk_chunks"), 1u);
+}
+
+TEST_F(EngineRmaTest, PutThenGetRoundTrip) {
+  const Bytes data = pattern(2048, 4);
+  world_->node(0).wait_send(
+      world_->node(0).rma_put(1, 5, 4096, data.data(), data.size()));
+  Bytes out(2048);
+  world_->node(0).wait_send(
+      world_->node(0).rma_get(1, 5, 4096, out.data(), out.size()));
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(EngineRmaTest, ManyConcurrentPuts) {
+  constexpr int kN = 16;
+  std::vector<Bytes> bufs;
+  std::vector<SendHandle> handles;
+  for (int i = 0; i < kN; ++i) {
+    bufs.push_back(pattern(128, static_cast<std::uint32_t>(i)));
+    handles.push_back(world_->node(0).rma_put(
+        1, 5, static_cast<std::uint64_t>(i) * 128, bufs.back().data(), 128));
+  }
+  for (auto& h : handles) EXPECT_TRUE(world_->node(0).wait_send(h));
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(Bytes(window_.begin() + i * 128,
+                    window_.begin() + (i + 1) * 128),
+              bufs[static_cast<std::size_t>(i)]);
+}
+
+TEST_F(EngineRmaTest, PutsToSameRegionKeepOrder) {
+  // Puts travel one flow (per-flow FIFO) — the last write wins.
+  Bytes a = pattern(64, 1), b = pattern(64, 2);
+  world_->node(0).rma_put(1, 5, 0, a.data(), a.size());
+  SendHandle h = world_->node(0).rma_put(1, 5, 0, b.data(), b.size());
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  world_->run();
+  EXPECT_EQ(Bytes(window_.begin(), window_.begin() + 64), b);
+}
+
+TEST_F(EngineRmaTest, OutOfBoundsPutRejectedAtTarget) {
+  const Bytes data = pattern(128);
+  SendHandle h = world_->node(0).rma_put(1, 5, window_.size() - 64,
+                                         data.data(), data.size());
+  world_->run();
+  // The target dropped the malformed access; the ack never comes.
+  EXPECT_FALSE(world_->node(0).send_done(h));
+  EXPECT_EQ(world_->node(1).stats().counter("rx.malformed"), 1u);
+}
+
+TEST_F(EngineRmaTest, UnknownWindowRejectedAtTarget) {
+  const Bytes data = pattern(16);
+  world_->node(0).rma_put(1, 99, 0, data.data(), data.size());
+  world_->run();
+  EXPECT_EQ(world_->node(1).stats().counter("rx.malformed"), 1u);
+}
+
+TEST_F(EngineRmaTest, DuplicateWindowExposureRejected) {
+  EXPECT_THROW(world_->node(1).expose_window(5, window_.data(), 16),
+               CheckError);
+}
+
+TEST_F(EngineRmaTest, RmaAggregatesWithTwoSidedTraffic) {
+  Channel a = world_->node(0).open_channel(1, 7);
+  Channel b = world_->node(1).open_channel(0, 7);
+  // Interleave sends and puts while the NIC is busy: they should share
+  // packets (all are small eager fragments on the same rail).
+  const Bytes msg = pattern(64, 1), put = pattern(64, 2);
+  for (int i = 0; i < 10; ++i) {
+    send_bytes(a, msg);
+    world_->node(0).rma_put(1, 5, static_cast<std::uint64_t>(i) * 64,
+                            put.data(), put.size());
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(recv_bytes(b, 64), msg);
+  world_->node(0).flush();
+  const auto* h = world_->node(0).stats().histogram("tx.pkt_frags");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->quantile_upper_bound(1.0), 3u);  // mixed packets existed
+}
+
+TEST_F(EngineRmaTest, GetChunkingRespectsConfig) {
+  EngineConfig cfg;
+  cfg.rdv_chunk = 1024;
+  build(cfg);
+  const Bytes data = pattern(8 * 1024, 5);
+  std::copy(data.begin(), data.end(), window_.begin());
+  Bytes out(data.size());
+  SendHandle h = world_->node(0).rma_get(1, 5, 0, out.data(), out.size());
+  EXPECT_TRUE(world_->node(0).wait_send(h));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(world_->node(0).stats().counter("rx.bulk_chunks"), 8u);
+}
+
+TEST_F(EngineRmaTest, PutGetOverSockets) {
+  SocketWorld sw({}, drv::mx_myrinet_profile());
+  Bytes win(1 << 20, Byte{0});
+  sw.node(1).expose_window(3, win.data(), win.size());
+  const Bytes data = pattern(256 * 1024, 6);
+  SendHandle h = sw.node(0).rma_put(1, 3, 0, data.data(), data.size());
+  EXPECT_TRUE(sw.node(0).wait_send(h));
+  Bytes out(data.size());
+  SendHandle g = sw.node(0).rma_get(1, 3, 0, out.data(), out.size());
+  EXPECT_TRUE(sw.node(0).wait_send(g));
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace mado::core

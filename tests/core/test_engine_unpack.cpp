@@ -1,0 +1,206 @@
+// Incremental-unpack semantics: express vs cheaper interleavings, multiple
+// attached receives, messages split across several packets, and consumption
+// ordering across concurrent messages.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::send_bytes;
+
+class UnpackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<SimWorld>(2);
+    world_->connect(0, 1, drv::test_profile());  // max_eager = 1024
+    a_ = world_->node(0).open_channel(1, 7);
+    b_ = world_->node(1).open_channel(0, 7);
+  }
+
+  void post_frags(std::initializer_list<std::uint32_t> sizes,
+                  std::uint32_t seed = 1) {
+    Message m;
+    std::uint32_t i = 0;
+    for (std::uint32_t s : sizes) {
+      const Bytes d = pattern(s, seed + i++);
+      m.pack(d.data(), d.size(), SendMode::Safe);
+    }
+    a_.post(std::move(m));
+  }
+
+  std::unique_ptr<SimWorld> world_;
+  Channel a_, b_;
+};
+
+TEST_F(UnpackTest, AllCheaperThenFinish) {
+  post_frags({16, 32, 64});
+  Bytes r1(16), r2(32), r3(64);
+  IncomingMessage im = b_.begin_recv();
+  im.unpack(r1.data(), 16, RecvMode::Cheaper);
+  im.unpack(r2.data(), 32, RecvMode::Cheaper);
+  im.unpack(r3.data(), 64, RecvMode::Cheaper);
+  im.finish();  // the only blocking point
+  EXPECT_EQ(r1, pattern(16, 1));
+  EXPECT_EQ(r2, pattern(32, 2));
+  EXPECT_EQ(r3, pattern(64, 3));
+}
+
+TEST_F(UnpackTest, ExpressAfterFullArrivalIsInstant) {
+  post_frags({64});
+  world_->run();  // everything delivered and buffered
+  const Nanos before = world_->now();
+  Bytes r(64);
+  IncomingMessage im = b_.begin_recv();
+  im.unpack(r.data(), 64, RecvMode::Express);
+  im.finish();
+  EXPECT_EQ(world_->now(), before);  // no extra virtual time consumed
+  EXPECT_EQ(r, pattern(64, 1));
+}
+
+TEST_F(UnpackTest, MessageSplitAcrossPackets) {
+  // 5 x 400 B with a 1024 B eager limit: at least 3 packets.
+  post_frags({400, 400, 400, 400, 400});
+  IncomingMessage im = b_.begin_recv();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Bytes r(400);
+    im.unpack(r.data(), 400, RecvMode::Express);
+    EXPECT_EQ(r, pattern(400, 1 + i)) << i;
+  }
+  im.finish();
+  EXPECT_GE(world_->node(0).stats().counter("tx.packets"), 3u);
+}
+
+TEST_F(UnpackTest, ManyFragments) {
+  Message m;
+  std::vector<Bytes> frags;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    frags.push_back(pattern(20, 100 + i));
+    m.pack(frags.back().data(), frags.back().size(), SendMode::Safe);
+  }
+  a_.post(std::move(m));
+  IncomingMessage im = b_.begin_recv();
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    Bytes r(20);
+    im.unpack(r.data(), 20, RecvMode::Express);
+    EXPECT_EQ(r, pattern(20, 100 + i)) << i;
+  }
+  im.finish();
+}
+
+TEST_F(UnpackTest, TwoAttachedReceivesServedOutOfAttachOrder) {
+  send_bytes(a_, pattern(32, 1));
+  send_bytes(a_, pattern(32, 2));
+  IncomingMessage im0 = b_.begin_recv();
+  IncomingMessage im1 = b_.begin_recv();
+  Bytes r1(32), r0(32);
+  im1.unpack(r1.data(), 32, RecvMode::Express);  // consume seq 1 first
+  EXPECT_EQ(r1, pattern(32, 2));
+  im0.unpack(r0.data(), 32, RecvMode::Express);
+  EXPECT_EQ(r0, pattern(32, 1));
+  im1.finish();
+  im0.finish();
+}
+
+TEST_F(UnpackTest, MixedExpressCheaperInterleavedMessages) {
+  post_frags({16, 256}, 10);
+  post_frags({16, 256}, 20);
+  IncomingMessage first = b_.begin_recv();
+  IncomingMessage second = b_.begin_recv();
+  Bytes h1(16), h2(16), p1(256), p2(256);
+  first.unpack(h1.data(), 16, RecvMode::Express);
+  second.unpack(h2.data(), 16, RecvMode::Express);
+  first.unpack(p1.data(), 256, RecvMode::Cheaper);
+  second.unpack(p2.data(), 256, RecvMode::Cheaper);
+  second.finish();
+  first.finish();
+  EXPECT_EQ(h1, pattern(16, 10));
+  EXPECT_EQ(p1, pattern(256, 11));
+  EXPECT_EQ(h2, pattern(16, 20));
+  EXPECT_EQ(p2, pattern(256, 21));
+}
+
+TEST_F(UnpackTest, NextSizeDiscoversEagerFragmentLength) {
+  post_frags({123, 456});
+  IncomingMessage im = b_.begin_recv();
+  EXPECT_EQ(im.next_size(), 123u);
+  Bytes r1 = im.unpack_bytes();
+  EXPECT_EQ(r1, pattern(123, 1));
+  EXPECT_EQ(im.next_size(), 456u);
+  Bytes r2 = im.unpack_bytes();
+  EXPECT_EQ(r2, pattern(456, 2));
+  im.finish();
+}
+
+TEST_F(UnpackTest, NextSizeFromRtsWithoutWaitingForBulk) {
+  // 16 KiB rendezvous fragment: the size must be learnable from the RTS
+  // alone (before any bulk data could have flowed — no CTS yet).
+  post_frags({16 * 1024});
+  IncomingMessage im = b_.begin_recv();
+  EXPECT_EQ(im.next_size(), 16u * 1024);
+  EXPECT_EQ(world_->node(1).stats().counter("rx.bulk_chunks"), 0u);
+  Bytes r = im.unpack_bytes();
+  EXPECT_EQ(r, pattern(16 * 1024, 1));
+  im.finish();
+}
+
+TEST_F(UnpackTest, UnknownSizeProtocolWithoutHeaderFragment) {
+  // A sender that packs arbitrary-size payloads with no size header: the
+  // receiver discovers each message's shape from the wire.
+  for (std::uint32_t s : {7u, 900u, 5000u})
+    send_bytes(a_, pattern(s, s));
+  for (std::uint32_t s : {7u, 900u, 5000u}) {
+    IncomingMessage im = b_.begin_recv();
+    Bytes r = im.unpack_bytes();
+    im.finish();
+    EXPECT_EQ(r.size(), s);
+    EXPECT_EQ(r, pattern(s, s));
+  }
+}
+
+TEST_F(UnpackTest, FinishWithNothingUnpackedThrows) {
+  send_bytes(a_, pattern(8));
+  IncomingMessage im = b_.begin_recv();
+  EXPECT_THROW(im.finish(), CheckError);
+}
+
+TEST_F(UnpackTest, UnpackAfterFinishThrows) {
+  send_bytes(a_, pattern(8));
+  Bytes r(8);
+  IncomingMessage im = b_.begin_recv();
+  im.unpack(r.data(), 8, RecvMode::Express);
+  im.finish();
+  EXPECT_THROW(im.unpack(r.data(), 8, RecvMode::Express), CheckError);
+}
+
+TEST_F(UnpackTest, DoubleFinishThrows) {
+  send_bytes(a_, pattern(8));
+  Bytes r(8);
+  IncomingMessage im = b_.begin_recv();
+  im.unpack(r.data(), 8, RecvMode::Express);
+  im.finish();
+  EXPECT_THROW(im.finish(), CheckError);
+}
+
+TEST_F(UnpackTest, ExpressHeaderWhilePayloadStillInFlight) {
+  // Header and payload in separate packets (payload exceeds eager budget,
+  // below rdv threshold): the express header must be deliverable before
+  // the payload packet lands.
+  post_frags({16, 2000});
+  IncomingMessage im = b_.begin_recv();
+  Bytes h(16);
+  im.unpack(h.data(), 16, RecvMode::Express);
+  EXPECT_EQ(h, pattern(16, 1));
+  Bytes p(2000);
+  im.unpack(p.data(), 2000, RecvMode::Cheaper);
+  im.finish();
+  EXPECT_EQ(p, pattern(2000, 2));
+}
+
+}  // namespace
+}  // namespace mado::core

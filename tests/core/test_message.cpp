@@ -1,0 +1,87 @@
+#include "core/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mado::core {
+namespace {
+
+TEST(Message, StartsEmpty) {
+  Message m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.fragment_count(), 0u);
+  EXPECT_EQ(m.total_bytes(), 0u);
+}
+
+TEST(Message, SafeModeCopiesAtPackTime) {
+  Bytes buf = {1, 2, 3, 4};
+  Message m;
+  m.pack(buf.data(), buf.size(), SendMode::Safe);
+  buf[0] = 99;  // mutate after pack
+  const auto& f = m.fragments()[0];
+  EXPECT_EQ(f.owned[0], 1);  // copy unaffected
+  EXPECT_EQ(f.data()[0], 1);
+  EXPECT_EQ(f.len, 4u);
+}
+
+TEST(Message, LaterModeReferences) {
+  Bytes buf = {5, 6};
+  Message m;
+  m.pack(buf.data(), buf.size(), SendMode::Later);
+  const auto& f = m.fragments()[0];
+  EXPECT_TRUE(f.owned.empty());
+  EXPECT_EQ(f.ext, buf.data());
+  EXPECT_EQ(f.data(), buf.data());
+}
+
+TEST(Message, CheaperModeDefersDecision) {
+  Bytes buf = {7};
+  Message m;
+  m.pack(buf.data(), buf.size());  // default Cheaper
+  const auto& f = m.fragments()[0];
+  EXPECT_EQ(f.mode, SendMode::Cheaper);
+  EXPECT_TRUE(f.owned.empty());  // decision happens at submit, not pack
+}
+
+TEST(Message, AccountsTotals) {
+  Bytes a(10), b(20);
+  Message m;
+  m.pack(a.data(), a.size(), SendMode::Safe);
+  m.pack(b.data(), b.size(), SendMode::Later);
+  EXPECT_EQ(m.fragment_count(), 2u);
+  EXPECT_EQ(m.total_bytes(), 30u);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(Message, ZeroLengthFragmentAllowed) {
+  Message m;
+  m.pack(nullptr, 0, SendMode::Safe);
+  EXPECT_EQ(m.fragment_count(), 1u);
+  EXPECT_EQ(m.total_bytes(), 0u);
+}
+
+TEST(Message, NullDataWithLengthRejected) {
+  Message m;
+  EXPECT_THROW(m.pack(nullptr, 4, SendMode::Safe), CheckError);
+}
+
+TEST(Message, MoveTransfersFragments) {
+  Bytes buf = {1, 2};
+  Message m;
+  m.pack(buf.data(), buf.size(), SendMode::Safe);
+  Message n = std::move(m);
+  EXPECT_EQ(n.fragment_count(), 1u);
+}
+
+TEST(Message, PackOrderPreserved) {
+  Message m;
+  Bytes bufs[5];
+  for (std::size_t i = 0; i < 5; ++i) {
+    bufs[i].assign(i + 1, static_cast<Byte>(i));
+    m.pack(bufs[i].data(), bufs[i].size(), SendMode::Safe);
+  }
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(m.fragments()[i].len, i + 1);
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,250 @@
+#include "core/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mado::core {
+namespace {
+
+FragHeader make_frag(ChannelId ch, MsgSeq seq, FragIdx idx,
+                     std::uint16_t total, std::uint32_t len,
+                     FragKind kind = FragKind::Data) {
+  FragHeader fh;
+  fh.channel = ch;
+  fh.msg_seq = seq;
+  fh.frag_idx = idx;
+  fh.nfrags_total = total;
+  fh.kind = kind;
+  fh.flags = (idx + 1 == total) ? kFlagLastFrag : std::uint8_t{0};
+  fh.len = len;
+  return fh;
+}
+
+Bytes encode_full_packet(const PacketHeader& ph,
+                         const std::vector<FragHeader>& fhs,
+                         const std::vector<Bytes>& payloads) {
+  Bytes out;
+  encode_header_block(out, ph, fhs);
+  for (const auto& p : payloads) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+TEST(Packet, HeaderSizesMatchWireConstants) {
+  PacketHeader ph;
+  ph.nfrags = 0;
+  Bytes out;
+  encode_header_block(out, ph, {});
+  EXPECT_EQ(out.size(), PacketHeader::kWireSize);
+
+  Bytes out2;
+  PacketHeader ph2;
+  ph2.nfrags = 2;
+  encode_header_block(
+      out2, ph2,
+      {make_frag(1, 0, 0, 2, 0), make_frag(1, 0, 1, 2, 0)});
+  EXPECT_EQ(out2.size(),
+            PacketHeader::kWireSize + 2 * FragHeader::kWireSize);
+}
+
+TEST(Packet, RoundTripSingleFragment) {
+  PacketHeader ph;
+  ph.nfrags = 1;
+  ph.pkt_seq = 42;
+  ph.src_node = 3;
+  Bytes payload = {1, 2, 3, 4, 5};
+  Bytes pkt = encode_full_packet(
+      ph, {make_frag(7, 9, 0, 1, 5)}, {payload});
+
+  DecodedPacket d = parse_packet(ByteSpan(pkt), true);
+  EXPECT_EQ(d.header.nfrags, 1u);
+  EXPECT_EQ(d.header.pkt_seq, 42u);
+  EXPECT_EQ(d.header.src_node, 3u);
+  ASSERT_EQ(d.frags.size(), 1u);
+  EXPECT_EQ(d.frags[0].channel, 7u);
+  EXPECT_EQ(d.frags[0].msg_seq, 9u);
+  EXPECT_EQ(d.frags[0].frag_idx, 0u);
+  EXPECT_TRUE(d.frags[0].last());
+  ASSERT_EQ(d.payloads[0].size(), 5u);
+  EXPECT_EQ(Bytes(d.payloads[0].begin(), d.payloads[0].end()), payload);
+}
+
+TEST(Packet, RoundTripAggregatedFragments) {
+  PacketHeader ph;
+  ph.nfrags = 3;
+  std::vector<FragHeader> fhs = {
+      make_frag(1, 0, 0, 1, 4),
+      make_frag(2, 5, 1, 3, 0),  // zero-length middle fragment
+      make_frag(3, 2, 2, 3, 8),
+  };
+  std::vector<Bytes> payloads = {{9, 9, 9, 9}, {}, {1, 2, 3, 4, 5, 6, 7, 8}};
+  Bytes pkt = encode_full_packet(ph, fhs, payloads);
+  DecodedPacket d = parse_packet(ByteSpan(pkt), true);
+  ASSERT_EQ(d.frags.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.frags[i].channel, fhs[i].channel);
+    EXPECT_EQ(d.frags[i].len, fhs[i].len);
+    EXPECT_EQ(Bytes(d.payloads[i].begin(), d.payloads[i].end()), payloads[i]);
+  }
+}
+
+TEST(Packet, KindsRoundTrip) {
+  PacketHeader ph;
+  ph.nfrags = 2;
+  Bytes rts_body, cts_body;
+  encode_rts(rts_body, RtsBody{0xdeadbeefcafeull, 1 << 20});
+  encode_cts(cts_body, CtsBody{0xdeadbeefcafeull});
+  std::vector<FragHeader> fhs = {
+      make_frag(1, 0, 0, 1, static_cast<std::uint32_t>(rts_body.size()),
+                FragKind::RdvRts),
+      make_frag(2, 0, 0, 1, static_cast<std::uint32_t>(cts_body.size()),
+                FragKind::RdvCts),
+  };
+  Bytes pkt = encode_full_packet(ph, fhs, {rts_body, cts_body});
+  DecodedPacket d = parse_packet(ByteSpan(pkt), true);
+  EXPECT_EQ(d.frags[0].kind, FragKind::RdvRts);
+  EXPECT_EQ(d.frags[1].kind, FragKind::RdvCts);
+  const RtsBody rts = decode_rts(d.payloads[0]);
+  EXPECT_EQ(rts.token, 0xdeadbeefcafeull);
+  EXPECT_EQ(rts.total_len, 1u << 20);
+  EXPECT_EQ(decode_cts(d.payloads[1]).token, 0xdeadbeefcafeull);
+}
+
+TEST(Packet, CorruptedHeaderCrcDetected) {
+  PacketHeader ph;
+  ph.nfrags = 1;
+  Bytes pkt = encode_full_packet(ph, {make_frag(1, 0, 0, 1, 2)}, {{7, 7}});
+  for (std::size_t byte : {0u, 5u, 21u, 30u}) {  // magic, header, fraghdr
+    Bytes bad = pkt;
+    bad[byte] ^= 0x40;
+    EXPECT_THROW(parse_packet(ByteSpan(bad), true), CheckError)
+        << "flip at byte " << byte;
+  }
+}
+
+TEST(Packet, CrcCheckCanBeDisabled) {
+  PacketHeader ph;
+  ph.nfrags = 1;
+  Bytes pkt = encode_full_packet(ph, {make_frag(1, 0, 0, 1, 2)}, {{7, 7}});
+  // Flip a bit inside the frag header's reserved area — harmless content,
+  // but it breaks the CRC.
+  pkt[PacketHeader::kWireSize + 14] ^= 0x01;
+  EXPECT_THROW(parse_packet(ByteSpan(pkt), true), CheckError);
+  EXPECT_NO_THROW(parse_packet(ByteSpan(pkt), false));
+}
+
+TEST(Packet, TruncatedPacketThrows) {
+  PacketHeader ph;
+  ph.nfrags = 1;
+  Bytes pkt = encode_full_packet(ph, {make_frag(1, 0, 0, 1, 8)},
+                                 {{1, 2, 3, 4, 5, 6, 7, 8}});
+  for (std::size_t cut = 1; cut < pkt.size(); cut += 5) {
+    Bytes bad(pkt.begin(), pkt.begin() + static_cast<long>(cut));
+    EXPECT_THROW(parse_packet(ByteSpan(bad), true), CheckError);
+  }
+}
+
+TEST(Packet, TrailingGarbageThrows) {
+  PacketHeader ph;
+  ph.nfrags = 1;
+  Bytes pkt = encode_full_packet(ph, {make_frag(1, 0, 0, 1, 2)}, {{7, 7}});
+  pkt.push_back(0);
+  EXPECT_THROW(parse_packet(ByteSpan(pkt), true), CheckError);
+}
+
+TEST(Packet, BadMagicThrows) {
+  Bytes pkt(64, 0);
+  EXPECT_THROW(parse_packet(ByteSpan(pkt), true), CheckError);
+}
+
+TEST(Packet, BadFragKindThrows) {
+  PacketHeader ph;
+  ph.nfrags = 1;
+  Bytes pkt = encode_full_packet(ph, {make_frag(1, 0, 0, 1, 0)}, {{}});
+  pkt[PacketHeader::kWireSize + 12] = 0x77;  // kind byte
+  EXPECT_THROW(parse_packet(ByteSpan(pkt), false), CheckError);
+}
+
+TEST(Packet, BulkRoundTrip) {
+  BulkHeader bh;
+  bh.src_node = 2;
+  bh.token = 0x123456789abcull;
+  bh.offset = 65536;
+  bh.len = 5;
+  Bytes pkt;
+  encode_bulk_header(pkt, bh);
+  EXPECT_EQ(pkt.size(), BulkHeader::kWireSize);
+  const Bytes data = {10, 20, 30, 40, 50};
+  pkt.insert(pkt.end(), data.begin(), data.end());
+
+  ByteSpan view;
+  const BulkHeader out = decode_bulk(ByteSpan(pkt), view, true);
+  EXPECT_EQ(out.src_node, 2u);
+  EXPECT_EQ(out.token, 0x123456789abcull);
+  EXPECT_EQ(out.offset, 65536u);
+  EXPECT_EQ(out.len, 5u);
+  EXPECT_EQ(Bytes(view.begin(), view.end()), data);
+}
+
+TEST(Packet, BulkCrcDetectsCorruption) {
+  BulkHeader bh;
+  bh.token = 7;
+  bh.len = 1;
+  Bytes pkt;
+  encode_bulk_header(pkt, bh);
+  pkt.push_back(0xaa);
+  Bytes bad = pkt;
+  bad[8] ^= 0x01;  // token byte
+  ByteSpan view;
+  EXPECT_THROW(decode_bulk(ByteSpan(bad), view, true), CheckError);
+  EXPECT_NO_THROW(decode_bulk(ByteSpan(bad), view, false));
+}
+
+TEST(Packet, BulkLengthMismatchThrows) {
+  BulkHeader bh;
+  bh.len = 10;
+  Bytes pkt;
+  encode_bulk_header(pkt, bh);
+  pkt.resize(pkt.size() + 5);  // five bytes short
+  ByteSpan view;
+  EXPECT_THROW(decode_bulk(ByteSpan(pkt), view, false), CheckError);
+}
+
+// Property: random packets survive encode → parse byte-exactly.
+TEST(Packet, RandomRoundTripProperty) {
+  Rng rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto nfrags = static_cast<std::uint16_t>(rng.range(1, 16));
+    PacketHeader ph;
+    ph.nfrags = nfrags;
+    ph.pkt_seq = static_cast<std::uint32_t>(rng.next());
+    ph.src_node = static_cast<NodeId>(rng.below(8));
+    std::vector<FragHeader> fhs;
+    std::vector<Bytes> payloads;
+    for (std::uint16_t i = 0; i < nfrags; ++i) {
+      const auto len = static_cast<std::uint32_t>(rng.below(512));
+      Bytes p(len);
+      for (auto& c : p) c = static_cast<Byte>(rng.next());
+      const auto total = static_cast<std::uint16_t>(rng.range(i + 1, i + 4));
+      fhs.push_back(make_frag(static_cast<ChannelId>(rng.below(100)),
+                              static_cast<MsgSeq>(rng.below(1000)), i, total,
+                              len));
+      payloads.push_back(std::move(p));
+    }
+    const Bytes pkt = encode_full_packet(ph, fhs, payloads);
+    const DecodedPacket d = parse_packet(ByteSpan(pkt), true);
+    ASSERT_EQ(d.frags.size(), nfrags);
+    for (std::uint16_t i = 0; i < nfrags; ++i) {
+      EXPECT_EQ(d.frags[i].channel, fhs[i].channel);
+      EXPECT_EQ(d.frags[i].msg_seq, fhs[i].msg_seq);
+      EXPECT_EQ(d.frags[i].frag_idx, fhs[i].frag_idx);
+      EXPECT_EQ(d.frags[i].nfrags_total, fhs[i].nfrags_total);
+      EXPECT_EQ(d.frags[i].len, fhs[i].len);
+      EXPECT_EQ(Bytes(d.payloads[i].begin(), d.payloads[i].end()),
+                payloads[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,86 @@
+// RMA property test: a randomized sequence of puts and gets against one
+// window must behave exactly like the same sequence applied to a local
+// shadow buffer — for every strategy, spanning eager and rendezvous sizes.
+//
+// Operations are issued one at a time and waited (puts complete on remote
+// application, so the shadow stays in lockstep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+
+using Params = std::tuple<std::string, std::uint64_t>;
+
+class RmaPropertyTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RmaPropertyTest, MatchesShadowBufferModel) {
+  const auto& [strategy, seed] = GetParam();
+  EngineConfig cfg;
+  cfg.strategy = strategy;
+  cfg.nagle_delay = strategy == "nagle" ? usec(1) : 0;
+  SimWorld w(2, cfg);
+  w.connect(0, 1, drv::test_profile());  // rdv threshold 4096
+
+  constexpr std::size_t kWin = 64 * 1024;
+  Bytes window(kWin, Byte{0});
+  Bytes shadow(kWin, Byte{0});
+  w.node(1).expose_window(1, window.data(), window.size());
+
+  Rng rng(seed);
+  for (int op = 0; op < 60; ++op) {
+    // Sizes: mostly eager, sometimes rendezvous, occasionally tiny.
+    std::size_t len;
+    const double roll = rng.uniform();
+    if (roll < 0.5) len = 1 + rng.below(256);
+    else if (roll < 0.85) len = 1024 + rng.below(2048);
+    else len = 4096 + rng.below(16 * 1024);
+    const std::uint64_t off = rng.below(kWin - len + 1);
+
+    if (rng.chance(0.6)) {  // put
+      const Bytes data = pattern(len, static_cast<std::uint32_t>(op + 1));
+      SendHandle h = w.node(0).rma_put(1, 1, off, data.data(), len);
+      ASSERT_TRUE(w.node(0).wait_send(h)) << "op " << op;
+      std::copy(data.begin(), data.end(),
+                shadow.begin() + static_cast<long>(off));
+    } else {  // get
+      Bytes out(len);
+      SendHandle h = w.node(0).rma_get(1, 1, off, out.data(), len);
+      ASSERT_TRUE(w.node(0).wait_send(h)) << "op " << op;
+      ASSERT_EQ(out, Bytes(shadow.begin() + static_cast<long>(off),
+                           shadow.begin() + static_cast<long>(off + len)))
+          << "op " << op << " off " << off << " len " << len;
+    }
+  }
+  // Final: the whole window matches the shadow.
+  Bytes out(kWin);
+  SendHandle h = w.node(0).rma_get(1, 1, 0, out.data(), kWin);
+  ASSERT_TRUE(w.node(0).wait_send(h));
+  EXPECT_EQ(out, shadow);
+  EXPECT_EQ(w.node(0).stats().counter("rx.malformed"), 0u);
+  EXPECT_EQ(w.node(1).stats().counter("rx.malformed"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategySeedMatrix, RmaPropertyTest,
+    ::testing::Combine(::testing::Values("fifo", "aggreg",
+                                         "aggreg_exhaustive", "nagle",
+                                         "adaptive"),
+                       ::testing::Values(std::uint64_t{11},
+                                         std::uint64_t{23},
+                                         std::uint64_t{31})),
+    [](const ::testing::TestParamInfo<Params>& pi) {
+      return std::get<0>(pi.param) + "_s" +
+             std::to_string(std::get<1>(pi.param));
+    });
+
+}  // namespace
+}  // namespace mado::core

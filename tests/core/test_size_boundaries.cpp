@@ -1,0 +1,111 @@
+// Size-boundary matrix: byte-exact round trips at every interesting edge of
+// each driver profile — around the eager packet budget (single-fragment
+// packets may exceed it), the PIO/DMA threshold, and the rendezvous
+// threshold — where off-by-one bugs in packing and protocol selection live.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+using Params = std::tuple<std::string /*profile*/, int /*edge*/>;
+
+/// The interesting sizes for a profile, derived from its capabilities.
+std::vector<std::size_t> edge_sizes(const drv::Capabilities& caps) {
+  std::vector<std::size_t> sizes = {
+      1,
+      caps.cost.pio_threshold > 1 ? caps.cost.pio_threshold - 1 : 1,
+      caps.cost.pio_threshold + 1,
+      caps.max_eager - FragHeader::kWireSize - 1,  // last size that packs
+      caps.max_eager,      // single-fragment oversized packet
+      caps.max_eager + 1,
+      caps.rdv_threshold - 1,  // largest eager
+      caps.rdv_threshold,      // smallest rendezvous
+      caps.rdv_threshold + 1,
+      caps.rdv_threshold * 3 + 7,  // several chunks, non-aligned tail
+  };
+  for (auto& s : sizes)
+    if (s == 0) s = 1;
+  return sizes;
+}
+
+class SizeBoundaryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SizeBoundaryTest, RoundTripAtEveryEdge) {
+  const drv::Capabilities caps = drv::profile_by_name(GetParam());
+  SimWorld w(2);
+  w.connect(0, 1, caps);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  std::uint32_t seed = 1;
+  for (const std::size_t size : edge_sizes(caps)) {
+    const Bytes data = pattern(size, seed++);
+    send_bytes(a, data, SendMode::Later);
+    ASSERT_EQ(recv_bytes(b, size), data)
+        << GetParam() << " size " << size;
+  }
+  EXPECT_TRUE(w.node(0).flush());
+  // Rendezvous fired exactly for the sizes at/above the threshold.
+  EXPECT_EQ(w.node(0).stats().counter("tx.rdv_rts"), 3u);
+}
+
+TEST_P(SizeBoundaryTest, EdgesInsideOneMultiFragmentMessage) {
+  const drv::Capabilities caps = drv::profile_by_name(GetParam());
+  SimWorld w(2);
+  w.connect(0, 1, caps);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  const auto sizes = edge_sizes(caps);
+  Message m;
+  std::vector<Bytes> frags;
+  std::uint32_t seed = 100;
+  for (const std::size_t size : sizes) frags.push_back(pattern(size, seed++));
+  for (const Bytes& f : frags) m.pack(f.data(), f.size(), SendMode::Later);
+  a.post(std::move(m));
+  IncomingMessage im = b.begin_recv();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    Bytes out(sizes[i]);
+    im.unpack(out.data(), out.size(), RecvMode::Express);
+    ASSERT_EQ(out, frags[i]) << GetParam() << " frag " << i;
+  }
+  im.finish();
+  EXPECT_TRUE(w.node(0).flush());
+}
+
+TEST_P(SizeBoundaryTest, RmaPutAtEveryEdge) {
+  const drv::Capabilities caps = drv::profile_by_name(GetParam());
+  SimWorld w(2);
+  w.connect(0, 1, caps);
+  const auto sizes = edge_sizes(caps);
+  const std::size_t win_len = *std::max_element(sizes.begin(), sizes.end());
+  Bytes window(win_len, Byte{0});
+  w.node(1).expose_window(1, window.data(), window.size());
+  std::uint32_t seed = 200;
+  for (const std::size_t size : sizes) {
+    const Bytes data = pattern(size, seed++);
+    SendHandle h = w.node(0).rma_put(1, 1, 0, data.data(), size);
+    ASSERT_TRUE(w.node(0).wait_send(h)) << GetParam() << " size " << size;
+    ASSERT_EQ(Bytes(window.begin(), window.begin() + static_cast<long>(size)),
+              data)
+        << GetParam() << " size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, SizeBoundaryTest,
+                         ::testing::Values("mx", "elan", "tcp", "shm",
+                                           "test"),
+                         [](const ::testing::TestParamInfo<std::string>& pi) {
+                           return pi.param;
+                         });
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,82 @@
+#include "core/timer_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mado::core {
+namespace {
+
+TEST(SimTimerHost, DelegatesToFabric) {
+  sim::Fabric fabric;
+  SimTimerHost timers(fabric);
+  EXPECT_EQ(timers.now(), 0u);
+  std::vector<int> fired;
+  timers.schedule_at(100, [&] { fired.push_back(1); });
+  timers.schedule_at(50, [&] { fired.push_back(0); });
+  EXPECT_EQ(timers.run_due(), 0u);  // sim timers run via the fabric
+  fabric.run_until_idle();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  EXPECT_EQ(timers.now(), 100u);
+}
+
+TEST(RealTimerHost, NowAdvances) {
+  RealTimerHost timers;
+  const Nanos t0 = timers.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(timers.now(), t0);
+}
+
+TEST(RealTimerHost, DueTimersRunInDeadlineOrder) {
+  RealTimerHost timers;
+  std::vector<int> fired;
+  const Nanos now = timers.now();
+  timers.schedule_at(now, [&] { fired.push_back(0); });
+  timers.schedule_at(now + 1, [&] { fired.push_back(1); });
+  timers.schedule_at(now + 2, [&] { fired.push_back(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(timers.run_due(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(timers.has_pending());
+}
+
+TEST(RealTimerHost, FutureTimersNotRunEarly) {
+  RealTimerHost timers;
+  bool fired = false;
+  timers.schedule_at(timers.now() + kNanosPerSec * 3600, [&] { fired = true; });
+  EXPECT_EQ(timers.run_due(), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(timers.has_pending());
+}
+
+TEST(RealTimerHost, TimerMayScheduleAnotherTimer) {
+  RealTimerHost timers;
+  int count = 0;
+  timers.schedule_at(timers.now(), [&] {
+    ++count;
+    timers.schedule_at(timers.now(), [&] { ++count; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  timers.run_due();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(RealTimerHost, ConcurrentSchedulersAreSafe) {
+  RealTimerHost timers;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i)
+        timers.schedule_at(timers.now(), [&] { ++fired; });
+    });
+  for (auto& t : threads) t.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  while (timers.has_pending()) timers.run_due();
+  EXPECT_EQ(fired.load(), 4000);
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,143 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+TraceRecord make_rec(Nanos t, TraceEvent ev) {
+  TraceRecord r;
+  r.time = t;
+  r.event = ev;
+  return r;
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer tr(16);
+  tr.record(make_rec(1, TraceEvent::MsgSubmit));
+  tr.record(make_rec(2, TraceEvent::PacketTx));
+  auto snap = tr.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].time, 1u);
+  EXPECT_EQ(snap[1].event, TraceEvent::PacketTx);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldest) {
+  Tracer tr(4);
+  for (Nanos t = 0; t < 10; ++t) tr.record(make_rec(t, TraceEvent::PacketTx));
+  auto snap = tr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].time, 6u);
+  EXPECT_EQ(snap[3].time, 9u);
+  EXPECT_EQ(tr.dropped(), 6u);
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer tr(4);
+  tr.record(make_rec(1, TraceEvent::MsgSubmit));
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_TRUE(tr.snapshot().empty());
+}
+
+TEST(Tracer, ZeroCapacityRejected) { EXPECT_THROW(Tracer(0), CheckError); }
+
+TEST(Tracer, EventNamesDistinct) {
+  EXPECT_STREQ(Tracer::event_name(TraceEvent::PacketTx), "PacketTx");
+  EXPECT_STREQ(Tracer::event_name(TraceEvent::RdvCts), "RdvCts");
+  EXPECT_STREQ(Tracer::event_name(TraceEvent::NagleWait), "NagleWait");
+}
+
+TEST(Tracer, RenderContainsFields) {
+  TraceRecord r;
+  r.time = 1500;
+  r.event = TraceEvent::PacketTx;
+  r.node = 0;
+  r.peer = 1;
+  r.a = 42;
+  const std::string line = Tracer::render(r);
+  EXPECT_NE(line.find("PacketTx"), std::string::npos);
+  EXPECT_NE(line.find("1.500us"), std::string::npos);
+  EXPECT_NE(line.find("a=42"), std::string::npos);
+}
+
+TEST(TracerEngine, EngineEmitsFullMessageLifecycle) {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Tracer tr;
+  w.node(0).set_tracer(&tr);
+  w.node(1).set_tracer(&tr);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64));
+  recv_bytes(b, 64);
+
+  bool submit = false, decision = false, tx = false, rx = false;
+  for (const auto& rec : tr.snapshot()) {
+    submit |= rec.event == TraceEvent::MsgSubmit;
+    decision |= rec.event == TraceEvent::Decision;
+    tx |= rec.event == TraceEvent::PacketTx;
+    rx |= rec.event == TraceEvent::PacketRx;
+  }
+  EXPECT_TRUE(submit && decision && tx && rx);
+}
+
+TEST(TracerEngine, RendezvousEventsTraced) {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Tracer tr;
+  w.node(0).set_tracer(&tr);
+  w.node(1).set_tracer(&tr);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  send_bytes(a, pattern(16 * 1024));
+  recv_bytes(b, 16 * 1024);
+  bool cts = false, bulk_tx = false, bulk_rx = false;
+  for (const auto& rec : tr.snapshot()) {
+    cts |= rec.event == TraceEvent::RdvCts;
+    bulk_tx |= rec.event == TraceEvent::BulkTx;
+    bulk_rx |= rec.event == TraceEvent::BulkRx;
+  }
+  EXPECT_TRUE(cts && bulk_tx && bulk_rx);
+}
+
+TEST(TracerEngine, TimestampsMonotonicInVirtualTime) {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Tracer tr;
+  w.node(0).set_tracer(&tr);
+  Channel a = w.node(0).open_channel(1, 7);
+  w.node(1).open_channel(0, 7);
+  for (int i = 0; i < 5; ++i) send_bytes(a, pattern(64));
+  w.node(0).flush();
+  Nanos last = 0;
+  for (const auto& rec : tr.snapshot()) {
+    EXPECT_GE(rec.time, last);
+    last = rec.time;
+  }
+}
+
+TEST(TracerEngine, DetachStopsEmission) {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Tracer tr;
+  w.node(0).set_tracer(&tr);
+  w.node(0).set_tracer(nullptr);
+  Channel a = w.node(0).open_channel(1, 7);
+  w.node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64));
+  w.run();
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,104 @@
+#include "core/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+TEST(SimWorld, RejectsEmpty) {
+  EXPECT_THROW(SimWorld(std::vector<EngineConfig>{}), CheckError);
+}
+
+TEST(SimWorld, NodesGetSequentialIds) {
+  SimWorld w(3);
+  EXPECT_EQ(w.size(), 3u);
+  for (NodeId i = 0; i < 3; ++i) EXPECT_EQ(w.node(i).self(), i);
+}
+
+TEST(SimWorld, PerNodeConfigs) {
+  EngineConfig fifo_cfg;
+  fifo_cfg.strategy = "fifo";
+  EngineConfig aggreg_cfg;
+  aggreg_cfg.strategy = "aggreg";
+  SimWorld w({fifo_cfg, aggreg_cfg});
+  EXPECT_EQ(w.node(0).strategy_name(), "fifo");
+  EXPECT_EQ(w.node(1).strategy_name(), "aggreg");
+}
+
+TEST(SimWorld, ConnectRejectsSelfAndOutOfRange) {
+  SimWorld w(2);
+  EXPECT_THROW(w.connect(0, 0, drv::test_profile()), CheckError);
+  EXPECT_THROW(w.connect(0, 5, drv::test_profile()), CheckError);
+}
+
+TEST(SimWorld, ThreeNodeStar) {
+  // Node 0 talks to nodes 1 and 2 over separate links; multi-peer routing
+  // must keep the streams apart.
+  SimWorld w(3);
+  w.connect(0, 1, drv::test_profile());
+  w.connect(0, 2, drv::test_profile());
+  Channel to1 = w.node(0).open_channel(1, 7);
+  Channel to2 = w.node(0).open_channel(2, 7);
+  Channel at1 = w.node(1).open_channel(0, 7);
+  Channel at2 = w.node(2).open_channel(0, 7);
+  send_bytes(to1, pattern(64, 1));
+  send_bytes(to2, pattern(64, 2));
+  EXPECT_EQ(recv_bytes(at1, 64), pattern(64, 1));
+  EXPECT_EQ(recv_bytes(at2, 64), pattern(64, 2));
+}
+
+TEST(SimWorld, RingOfFourAllPairsCommunicate) {
+  SimWorld w(4);
+  for (NodeId i = 0; i < 4; ++i)
+    w.connect(i, (i + 1) % 4, drv::test_profile());
+  std::vector<Channel> fwd, back;
+  for (NodeId i = 0; i < 4; ++i) {
+    fwd.push_back(w.node(i).open_channel((i + 1) % 4, 1));
+    back.push_back(w.node((i + 1) % 4).open_channel(i, 1));
+  }
+  for (NodeId i = 0; i < 4; ++i) send_bytes(fwd[i], pattern(32, i));
+  for (NodeId i = 0; i < 4; ++i)
+    EXPECT_EQ(recv_bytes(back[i], 32), pattern(32, i));
+}
+
+TEST(SimWorld, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    EngineConfig cfg;
+    cfg.strategy = "aggreg";
+    SimWorld w(2, cfg);
+    w.connect(0, 1, drv::mx_myrinet_profile());
+    Channel a = w.node(0).open_channel(1, 7);
+    Channel b = w.node(1).open_channel(0, 7);
+    for (int i = 0; i < 20; ++i)
+      send_bytes(a, pattern(64, static_cast<std::uint32_t>(i)));
+    for (int i = 0; i < 20; ++i) recv_bytes(b, 64);
+    w.node(0).flush();
+    return std::tuple(w.now(), w.node(0).stats().counter("tx.packets"),
+                      w.node(0).stats().counter("tx.bytes"));
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SocketWorld, TwoNodesTalk) {
+  SocketWorld w({}, drv::test_profile());
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  send_bytes(a, pattern(64));
+  EXPECT_EQ(recv_bytes(b, 64), pattern(64));
+}
+
+TEST(SocketWorld, MultiRailConstruction) {
+  SocketWorld w({}, drv::test_profile(), /*rails=*/3);
+  EXPECT_EQ(w.node(0).rail_count(1), 3u);
+  EXPECT_EQ(w.node(1).rail_count(0), 3u);
+}
+
+}  // namespace
+}  // namespace mado::core

@@ -1,0 +1,38 @@
+// Shared test handler that records driver callbacks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "drivers/driver.hpp"
+
+namespace mado::drv::testing {
+
+struct RecordingHandler final : EndpointHandler {
+  struct Sent {
+    TrackId track;
+    std::uint64_t token;
+  };
+  struct Got {
+    TrackId track;
+    Bytes payload;
+  };
+  std::vector<Sent> completions;
+  std::vector<Got> packets;
+
+  void on_send_complete(TrackId track, std::uint64_t token) override {
+    completions.push_back({track, token});
+  }
+  void on_packet(TrackId track, Bytes payload) override {
+    packets.push_back({track, std::move(payload)});
+  }
+};
+
+inline Bytes make_payload(std::size_t n, std::uint8_t seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return b;
+}
+
+}  // namespace mado::drv::testing

@@ -1,0 +1,65 @@
+#include "drivers/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace mado::drv {
+namespace {
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("mx").name, "mx");
+  EXPECT_EQ(profile_by_name("elan").name, "elan");
+  EXPECT_EQ(profile_by_name("tcp").name, "tcp");
+  EXPECT_EQ(profile_by_name("test").name, "test");
+}
+
+TEST(Profiles, UnknownNameThrows) {
+  EXPECT_THROW(profile_by_name("infiniband-verbs"), CheckError);
+}
+
+TEST(Profiles, NamesListMatchesLookups) {
+  for (const auto& n : profile_names())
+    EXPECT_EQ(profile_by_name(n).name, n);
+}
+
+TEST(Profiles, RelativePerformanceOrdering) {
+  const auto mx = mx_myrinet_profile();
+  const auto elan = elan_quadrics_profile();
+  const auto tcp = tcp_gige_profile();
+  // Elan: lowest latency; TCP: highest. Matches 2006-era hardware.
+  EXPECT_LT(elan.cost.latency, mx.cost.latency);
+  EXPECT_LT(mx.cost.latency, tcp.cost.latency);
+  // Elan: highest bandwidth; TCP: lowest.
+  EXPECT_GT(elan.cost.link_bytes_per_us, mx.cost.link_bytes_per_us);
+  EXPECT_GT(mx.cost.link_bytes_per_us, tcp.cost.link_bytes_per_us);
+}
+
+TEST(Profiles, TcpLacksGatherSupport) {
+  EXPECT_FALSE(tcp_gige_profile().gather_scatter);
+  EXPECT_TRUE(mx_myrinet_profile().gather_scatter);
+  EXPECT_TRUE(elan_quadrics_profile().gather_scatter);
+}
+
+TEST(Profiles, SaneStructure) {
+  for (const auto& n : profile_names()) {
+    const auto c = profile_by_name(n);
+    EXPECT_GE(c.track_count, 2u) << n;
+    EXPECT_GT(c.max_eager, 0u) << n;
+    EXPECT_GT(c.rdv_threshold, c.max_eager) << n
+        << ": rendezvous must kick in above the eager packet limit";
+    EXPECT_GT(c.cost.link_bytes_per_us, 0.0) << n;
+  }
+}
+
+TEST(Profiles, EagerBelowRdvThresholdFitsAggregation) {
+  // Aggregation only makes sense if several small fragments fit in one
+  // eager packet.
+  for (const auto& n : profile_names()) {
+    const auto c = profile_by_name(n);
+    EXPECT_GE(c.max_eager, 1024u) << n;
+  }
+}
+
+}  // namespace
+}  // namespace mado::drv

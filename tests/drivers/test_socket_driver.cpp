@@ -1,0 +1,152 @@
+#include "drivers/socket_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "drivers/profiles.hpp"
+#include "tests/drivers/test_helpers.hpp"
+
+namespace mado::drv {
+namespace {
+
+using testing::RecordingHandler;
+using testing::make_payload;
+using namespace std::chrono_literals;
+
+class SocketDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pair = SocketEndpoint::make_pair(test_profile());
+    a_ = std::move(pair.a);
+    b_ = std::move(pair.b);
+    a_->set_handler(&ha_);
+    b_->set_handler(&hb_);
+  }
+
+  void TearDown() override {
+    if (a_) a_->close();
+    if (b_) b_->close();
+  }
+
+  void send(SocketEndpoint& ep, TrackId track, const Bytes& payload,
+            std::uint64_t token) {
+    GatherList gl;
+    gl.add(payload.data(), payload.size());
+    ep.send(track, gl, token);
+  }
+
+  /// Pump progress on both ends until pred() or timeout.
+  bool pump_until(const std::function<bool()>& pred,
+                  std::chrono::milliseconds timeout = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      a_->progress();
+      b_->progress();
+      std::this_thread::sleep_for(100us);
+    }
+    return true;
+  }
+
+  std::unique_ptr<SocketEndpoint> a_, b_;
+  RecordingHandler ha_, hb_;
+};
+
+TEST_F(SocketDriverTest, RoundTripSmallPacket) {
+  Bytes p = make_payload(64);
+  send(*a_, kTrackEager, p, 5);
+  ASSERT_TRUE(pump_until([&] {
+    return ha_.completions.size() == 1 && hb_.packets.size() == 1;
+  }));
+  EXPECT_EQ(ha_.completions[0].token, 5u);
+  EXPECT_EQ(hb_.packets[0].track, kTrackEager);
+  EXPECT_EQ(hb_.packets[0].payload, p);
+}
+
+TEST_F(SocketDriverTest, EmptyPayload) {
+  Bytes p;
+  GatherList gl;
+  a_->send(kTrackEager, gl, 1);
+  ASSERT_TRUE(pump_until([&] { return hb_.packets.size() == 1; }));
+  EXPECT_TRUE(hb_.packets[0].payload.empty());
+}
+
+TEST_F(SocketDriverTest, LargePayloadCrossesPartialIo) {
+  // 8 MiB comfortably exceeds socket buffer sizes, forcing partial
+  // reads/writes inside the IO threads.
+  Bytes p = make_payload(8 * 1024 * 1024);
+  send(*a_, kTrackBulk, p, 9);
+  ASSERT_TRUE(pump_until([&] { return hb_.packets.size() == 1; }));
+  EXPECT_EQ(hb_.packets[0].payload, p);
+  EXPECT_EQ(a_->bytes_sent(), p.size());
+}
+
+TEST_F(SocketDriverTest, ManyPacketsKeepFifoOrder) {
+  constexpr std::uint64_t kN = 200;
+  for (std::uint64_t i = 0; i < kN; ++i)
+    send(*a_, kTrackEager, make_payload(32, static_cast<std::uint8_t>(i)), i);
+  ASSERT_TRUE(pump_until([&] { return hb_.packets.size() == kN; }));
+  for (std::uint64_t i = 0; i < kN; ++i)
+    EXPECT_EQ(hb_.packets[i].payload,
+              make_payload(32, static_cast<std::uint8_t>(i)));
+  ASSERT_EQ(ha_.completions.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i)
+    EXPECT_EQ(ha_.completions[i].token, i);
+}
+
+TEST_F(SocketDriverTest, TracksMultiplexOverOneStream) {
+  send(*a_, kTrackEager, make_payload(8, 1), 1);
+  send(*a_, kTrackBulk, make_payload(8, 2), 2);
+  ASSERT_TRUE(pump_until([&] { return hb_.packets.size() == 2; }));
+  EXPECT_EQ(hb_.packets[0].track, kTrackEager);
+  EXPECT_EQ(hb_.packets[1].track, kTrackBulk);
+}
+
+TEST_F(SocketDriverTest, BidirectionalTraffic) {
+  send(*a_, kTrackEager, make_payload(16, 1), 1);
+  send(*b_, kTrackEager, make_payload(16, 2), 2);
+  ASSERT_TRUE(pump_until([&] {
+    return ha_.packets.size() == 1 && hb_.packets.size() == 1;
+  }));
+  EXPECT_EQ(ha_.packets[0].payload, make_payload(16, 2));
+  EXPECT_EQ(hb_.packets[0].payload, make_payload(16, 1));
+}
+
+TEST_F(SocketDriverTest, PeerCloseMarksBroken) {
+  b_->close();
+  // a_'s RX thread observes EOF.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!a_->broken() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(a_->broken());
+}
+
+TEST_F(SocketDriverTest, CloseIsIdempotent) {
+  a_->close();
+  EXPECT_NO_THROW(a_->close());
+}
+
+TEST_F(SocketDriverTest, SendAfterCloseThrows) {
+  a_->close();
+  GatherList gl;
+  Bytes p = make_payload(4);
+  gl.add(p.data(), p.size());
+  EXPECT_THROW(a_->send(kTrackEager, gl, 1), CheckError);
+}
+
+TEST_F(SocketDriverTest, GatherSegmentsConcatenated) {
+  Bytes p1 = make_payload(16, 3), p2 = make_payload(16, 4);
+  GatherList gl;
+  gl.add(p1.data(), p1.size());
+  gl.add(p2.data(), p2.size());
+  a_->send(kTrackEager, gl, 1);
+  ASSERT_TRUE(pump_until([&] { return hb_.packets.size() == 1; }));
+  Bytes expect = p1;
+  expect.insert(expect.end(), p2.begin(), p2.end());
+  EXPECT_EQ(hb_.packets[0].payload, expect);
+}
+
+}  // namespace
+}  // namespace mado::drv

@@ -1,0 +1,112 @@
+#include "mw/dsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::mw {
+namespace {
+
+using core::testing::pattern;
+
+constexpr std::size_t kPage = 4096;
+constexpr std::size_t kPages = 16;
+
+class DsmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<core::SimWorld>(2);
+    world_->connect(0, 1, drv::test_profile());
+    home_ = std::make_unique<DsmHome>(world_->node(1), 0, 60, kPage, kPages);
+    client_ = std::make_unique<DsmClient>(world_->node(0), 1, 60, kPage);
+  }
+
+  std::unique_ptr<core::SimWorld> world_;
+  std::unique_ptr<DsmHome> home_;
+  std::unique_ptr<DsmClient> client_;
+};
+
+TEST_F(DsmTest, GetReturnsHomeContents) {
+  home_->page(3) = pattern(kPage, 33);
+  client_->issue_get(3);
+  home_->serve_one();
+  EXPECT_EQ(client_->complete_get(3), pattern(kPage, 33));
+  EXPECT_EQ(home_->gets_served(), 1u);
+}
+
+TEST_F(DsmTest, PutUpdatesHomeAndAcks) {
+  const Bytes data = pattern(kPage, 7);
+  client_->issue_put(5, ByteSpan(data));
+  home_->serve_one();
+  client_->complete_put(5);
+  EXPECT_EQ(home_->page(5), data);
+  EXPECT_EQ(home_->puts_served(), 1u);
+}
+
+TEST_F(DsmTest, PutThenGetRoundTrip) {
+  const Bytes data = pattern(kPage, 11);
+  client_->issue_put(0, ByteSpan(data));
+  home_->serve_one();
+  client_->complete_put(0);
+  client_->issue_get(0);
+  home_->serve_one();
+  EXPECT_EQ(client_->complete_get(0), data);
+}
+
+TEST_F(DsmTest, FreshPagesAreZero) {
+  client_->issue_get(9);
+  home_->serve_one();
+  EXPECT_EQ(client_->complete_get(9), Bytes(kPage, Byte{0}));
+}
+
+TEST_F(DsmTest, ManyPagesSweep) {
+  for (std::uint32_t p = 0; p < kPages; ++p) {
+    client_->issue_put(p, ByteSpan(pattern(kPage, p)));
+    home_->serve_one();
+    client_->complete_put(p);
+  }
+  for (std::uint32_t p = 0; p < kPages; ++p) {
+    client_->issue_get(p);
+    home_->serve_one();
+    EXPECT_EQ(client_->complete_get(p), pattern(kPage, p));
+  }
+}
+
+TEST_F(DsmTest, PageOutOfRangeCaughtAtHome) {
+  client_->issue_get(kPages + 5);
+  EXPECT_THROW(home_->serve_one(), CheckError);
+}
+
+TEST_F(DsmTest, PartialPagePutRejectedClientSide) {
+  const Bytes small = pattern(kPage / 2);
+  EXPECT_THROW(client_->issue_put(1, ByteSpan(small)), CheckError);
+}
+
+TEST_F(DsmTest, PendingProbe) {
+  EXPECT_FALSE(home_->pending());
+  client_->issue_get(1);
+  world_->run();
+  EXPECT_TRUE(home_->pending());
+  home_->serve_one();
+  client_->complete_get(1);
+}
+
+TEST_F(DsmTest, BlockingApiWorksOverThreads) {
+  // Real-driver world: the home is served from its own thread, so the
+  // client's blocking get/put can be used directly.
+  core::SocketWorld sw({}, drv::mx_myrinet_profile());
+  DsmHome home(sw.node(1), 0, 61, kPage, kPages);
+  DsmClient client(sw.node(0), 1, 61, kPage);
+  std::thread server([&] { home.serve(4); });
+  const Bytes data = pattern(kPage, 1);
+  client.put(2, ByteSpan(data));
+  EXPECT_EQ(client.get(2), data);
+  client.put(3, ByteSpan(pattern(kPage, 2)));
+  EXPECT_EQ(client.get(3), pattern(kPage, 2));
+  server.join();
+}
+
+}  // namespace
+}  // namespace mado::mw

@@ -1,0 +1,124 @@
+#include "mw/mini_mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::mw {
+namespace {
+
+using core::testing::pattern;
+
+class MiniMpiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<core::SimWorld>(2);
+    world_->connect(0, 1, drv::test_profile());
+    a_ = std::make_unique<MpiEndpoint>(world_->node(0), 1, 42);
+    b_ = std::make_unique<MpiEndpoint>(world_->node(1), 0, 42);
+  }
+
+  std::unique_ptr<core::SimWorld> world_;
+  std::unique_ptr<MpiEndpoint> a_, b_;
+};
+
+TEST_F(MiniMpiTest, SendRecvSameTag) {
+  const Bytes data = pattern(100);
+  a_->isend(5, data.data(), data.size());
+  Bytes out(100);
+  b_->recv(5, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(MiniMpiTest, BlockingSendCompletesForEager) {
+  const Bytes data = pattern(64);
+  a_->send(1, data.data(), data.size());
+  Bytes out(64);
+  b_->recv(1, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(MiniMpiTest, TagMatchingOutOfOrder) {
+  const Bytes d1 = pattern(32, 1), d2 = pattern(48, 2);
+  a_->isend(10, d1.data(), d1.size());
+  a_->isend(20, d2.data(), d2.size());
+  // Receive tag 20 first: the tag-10 message must be buffered, not lost.
+  Bytes o2(48), o1(32);
+  b_->recv(20, o2.data(), o2.size());
+  EXPECT_EQ(o2, d2);
+  EXPECT_TRUE(b_->has_buffered(10));
+  b_->recv(10, o1.data(), o1.size());
+  EXPECT_EQ(o1, d1);
+  EXPECT_FALSE(b_->has_buffered(10));
+}
+
+TEST_F(MiniMpiTest, SameTagFifoOrder) {
+  for (int i = 0; i < 10; ++i) {
+    const Bytes d = pattern(16, static_cast<std::uint32_t>(i));
+    a_->isend(7, d.data(), d.size());
+  }
+  for (int i = 0; i < 10; ++i) {
+    Bytes o(16);
+    b_->recv(7, o.data(), o.size());
+    EXPECT_EQ(o, pattern(16, static_cast<std::uint32_t>(i)));
+  }
+}
+
+TEST_F(MiniMpiTest, RecvAny) {
+  const Bytes d = pattern(24, 9);
+  a_->isend(33, d.data(), d.size());
+  auto msg = b_->recv_any();
+  EXPECT_EQ(msg.tag, 33);
+  EXPECT_EQ(msg.payload, d);
+}
+
+TEST_F(MiniMpiTest, RecvAnyDrainsUnexpectedFirst) {
+  const Bytes d1 = pattern(8, 1), d2 = pattern(8, 2);
+  a_->isend(1, d1.data(), d1.size());
+  a_->isend(2, d2.data(), d2.size());
+  Bytes o2(8);
+  b_->recv(2, o2.data(), o2.size());  // buffers tag 1
+  auto msg = b_->recv_any();
+  EXPECT_EQ(msg.tag, 1);
+  EXPECT_EQ(msg.payload, d1);
+}
+
+TEST_F(MiniMpiTest, LargePayloadGoesRendezvous) {
+  const Bytes data = pattern(32 * 1024);  // above test profile rdv threshold
+  a_->isend(3, data.data(), data.size());
+  Bytes out(data.size());
+  b_->recv(3, out.data(), out.size());
+  EXPECT_EQ(out, data);
+  EXPECT_GE(world_->node(0).stats().counter("tx.rdv_rts"), 1u);
+}
+
+TEST_F(MiniMpiTest, WrongSizeRecvThrows) {
+  const Bytes d = pattern(32);
+  a_->isend(1, d.data(), d.size());
+  Bytes o(16);
+  EXPECT_THROW(b_->recv(1, o.data(), o.size()), CheckError);
+}
+
+TEST_F(MiniMpiTest, ZeroLengthMessage) {
+  a_->isend(4, nullptr, 0);
+  b_->recv(4, nullptr, 0);
+  SUCCEED();
+}
+
+TEST_F(MiniMpiTest, PingPongManyRounds) {
+  for (int i = 0; i < 25; ++i) {
+    const Bytes d = pattern(64, static_cast<std::uint32_t>(i));
+    a_->isend(1, d.data(), d.size());
+    Bytes o(64);
+    b_->recv(1, o.data(), o.size());
+    b_->isend(2, o.data(), o.size());
+    Bytes back(64);
+    a_->recv(2, back.data(), back.size());
+    EXPECT_EQ(back, d);
+  }
+}
+
+}  // namespace
+}  // namespace mado::mw

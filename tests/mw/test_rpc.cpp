@@ -1,0 +1,122 @@
+#include "mw/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::mw {
+namespace {
+
+using core::testing::pattern;
+
+Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+std::string to_string(ByteSpan b) {
+  return std::string(b.begin(), b.end());
+}
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<core::SimWorld>(2);
+    world_->connect(0, 1, drv::test_profile());
+    client_ = std::make_unique<RpcClient>(world_->node(0), 1, 50);
+    server_ = std::make_unique<RpcServer>(world_->node(1), 0, 50);
+    server_->register_handler(1, [](ByteSpan args) {  // echo
+      return Bytes(args.begin(), args.end());
+    });
+    server_->register_handler(2, [](ByteSpan args) {  // upper-case
+      Bytes out(args.begin(), args.end());
+      for (auto& c : out)
+        if (c >= 'a' && c <= 'z') c = static_cast<Byte>(c - 32);
+      return out;
+    });
+  }
+
+  std::unique_ptr<core::SimWorld> world_;
+  std::unique_ptr<RpcClient> client_;
+  std::unique_ptr<RpcServer> server_;
+};
+
+TEST_F(RpcTest, EchoCallSplitPhase) {
+  const Bytes args = to_bytes("hello rpc");
+  const auto id = client_->issue(1, ByteSpan(args));
+  server_->serve_one();
+  EXPECT_EQ(client_->collect(id), args);
+}
+
+TEST_F(RpcTest, DispatchByFunctionId) {
+  const Bytes args = to_bytes("mixed Case");
+  const auto id = client_->issue(2, ByteSpan(args));
+  server_->serve_one();
+  EXPECT_EQ(to_string(ByteSpan(client_->collect(id))), "MIXED CASE");
+}
+
+TEST_F(RpcTest, PipelinedRequests) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const Bytes args = pattern(64, static_cast<std::uint32_t>(i));
+    ids.push_back(client_->issue(1, ByteSpan(args)));
+  }
+  server_->serve(10);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(client_->collect(ids[static_cast<std::size_t>(i)]),
+              pattern(64, static_cast<std::uint32_t>(i)));
+  EXPECT_EQ(server_->served(), 10u);
+}
+
+TEST_F(RpcTest, CollectOutOfIssueOrder) {
+  const Bytes a1 = pattern(16, 1), a2 = pattern(16, 2);
+  const auto id1 = client_->issue(1, ByteSpan(a1));
+  const auto id2 = client_->issue(1, ByteSpan(a2));
+  server_->serve(2);
+  EXPECT_EQ(client_->collect(id2), a2);  // later request first
+  EXPECT_EQ(client_->collect(id1), a1);
+}
+
+TEST_F(RpcTest, EmptyArgsAndResult) {
+  server_->register_handler(9, [](ByteSpan) { return Bytes{}; });
+  const auto id = client_->issue(9, {});
+  server_->serve_one();
+  EXPECT_TRUE(client_->collect(id).empty());
+}
+
+TEST_F(RpcTest, LargeArgumentsUseRendezvous) {
+  const Bytes args = pattern(64 * 1024);
+  const auto id = client_->issue(1, ByteSpan(args));
+  server_->serve_one();
+  EXPECT_EQ(client_->collect(id), args);
+  EXPECT_GE(world_->node(0).stats().counter("tx.rdv_rts"), 1u);
+}
+
+TEST_F(RpcTest, PendingReflectsArrival) {
+  EXPECT_FALSE(server_->pending());
+  client_->issue(1, {});
+  world_->run();
+  EXPECT_TRUE(server_->pending());
+  server_->serve_one();
+  EXPECT_FALSE(server_->pending());
+}
+
+TEST_F(RpcTest, UnknownFunctionThrowsOnServer) {
+  client_->issue(777, {});
+  EXPECT_THROW(server_->serve_one(), CheckError);
+}
+
+TEST_F(RpcTest, TwoClientsDifferentChannels) {
+  RpcClient c2(world_->node(0), 1, 51);
+  RpcServer s2(world_->node(1), 0, 51);
+  s2.register_handler(1, [](ByteSpan) { return to_bytes("from-s2"); });
+  const auto id1 = client_->issue(1, ByteSpan(to_bytes("x")));
+  const auto id2 = c2.issue(1, {});
+  server_->serve_one();
+  s2.serve_one();
+  EXPECT_EQ(to_string(ByteSpan(client_->collect(id1))), "x");
+  EXPECT_EQ(to_string(ByteSpan(c2.collect(id2))), "from-s2");
+}
+
+}  // namespace
+}  // namespace mado::mw

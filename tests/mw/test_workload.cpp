@@ -1,0 +1,136 @@
+#include "mw/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "drivers/profiles.hpp"
+#include "mw/workload_runner.hpp"
+
+namespace mado::mw {
+namespace {
+
+bool is_sorted_by_time(const Schedule& s) {
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i].at < s[i - 1].at) return false;
+  return true;
+}
+
+TEST(Workload, UniformShape) {
+  UniformSpec spec;
+  spec.flows = 3;
+  spec.msgs_per_flow = 5;
+  spec.size = 128;
+  spec.interval = usec(2);
+  spec.stagger = usec(0.5);
+  const Schedule s = make_uniform(spec);
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_TRUE(is_sorted_by_time(s));
+  EXPECT_EQ(flow_count(s), 3u);
+  const auto counts = per_flow_counts(s);
+  for (int c : counts) EXPECT_EQ(c, 5);
+  for (const Submission& sub : s) EXPECT_EQ(sub.size, 128u);
+  // Flow 0's messages land exactly at i * interval.
+  std::size_t seen = 0;
+  for (const Submission& sub : s) {
+    if (sub.flow == 0) {
+      EXPECT_EQ(sub.at, seen++ * usec(2));
+    }
+  }
+}
+
+TEST(Workload, BurstyShape) {
+  BurstySpec spec;
+  spec.flows = 2;
+  spec.bursts = 3;
+  spec.burst_len = 4;
+  spec.inter_gap = usec(50);
+  const Schedule s = make_bursty(spec);
+  EXPECT_EQ(s.size(), 2u * 3 * 4);
+  EXPECT_TRUE(is_sorted_by_time(s));
+  // With intra_gap 0, every submission of one burst shares a timestamp.
+  EXPECT_EQ(s[0].at, s[7].at);
+  EXPECT_GE(s[8].at, s[7].at + usec(50));
+}
+
+TEST(Workload, PoissonDeterministicPerSeed) {
+  PoissonSpec spec;
+  spec.seed = 42;
+  const Schedule a = make_poisson(spec);
+  const Schedule b = make_poisson(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].flow, b[i].flow);
+  }
+  spec.seed = 43;
+  const Schedule c = make_poisson(spec);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    differs = a[i].at != c[i].at;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, PoissonMeanGapRoughlyMatches) {
+  PoissonSpec spec;
+  spec.flows = 1;
+  spec.msgs_per_flow = 5000;
+  spec.mean_gap_us = 3.0;
+  spec.seed = 9;
+  const Schedule s = make_poisson(spec);
+  const double total_us = to_usec(s.back().at);
+  EXPECT_NEAR(total_us / 5000.0, 3.0, 0.3);
+}
+
+TEST(Workload, MixedSizesPerFlow) {
+  MixedSpec spec;
+  spec.flow_sizes = {16, 2048};
+  spec.msgs_per_flow = 3;
+  const Schedule s = make_mixed(spec);
+  EXPECT_EQ(s.size(), 6u);
+  for (const Submission& sub : s)
+    EXPECT_EQ(sub.size, sub.flow == 0 ? 16u : 2048u);
+}
+
+TEST(Workload, ReplayDeliversEverything) {
+  UniformSpec spec;
+  spec.flows = 4;
+  spec.msgs_per_flow = 20;
+  spec.interval = usec(1);
+  core::EngineConfig cfg;
+  cfg.strategy = "aggreg";
+  const ReplayResult r =
+      replay(cfg, drv::mx_myrinet_profile(), make_uniform(spec));
+  EXPECT_EQ(r.frags, 80u);
+  EXPECT_GT(r.packets, 0u);
+  EXPECT_GT(r.mean_latency_us, 0.0);
+  EXPECT_GT(r.completion, usec(19));  // last submission is at 19 us
+}
+
+TEST(Workload, ReplayShowsAggregationOnBursts) {
+  BurstySpec spec;
+  spec.flows = 4;
+  spec.bursts = 5;
+  spec.burst_len = 5;
+  core::EngineConfig fifo_cfg, aggreg_cfg;
+  fifo_cfg.strategy = "fifo";
+  aggreg_cfg.strategy = "aggreg";
+  const Schedule s = make_bursty(spec);
+  const auto fifo = replay(fifo_cfg, drv::mx_myrinet_profile(), s);
+  const auto aggreg = replay(aggreg_cfg, drv::mx_myrinet_profile(), s);
+  EXPECT_EQ(fifo.frags, aggreg.frags);
+  EXPECT_LT(aggreg.packets, fifo.packets / 2);
+}
+
+TEST(Workload, EmptySpecsRejected) {
+  UniformSpec u;
+  u.flows = 0;
+  EXPECT_THROW(make_uniform(u), CheckError);
+  PoissonSpec p;
+  p.mean_gap_us = 0;
+  EXPECT_THROW(make_poisson(p), CheckError);
+  MixedSpec m;
+  m.flow_sizes.clear();
+  EXPECT_THROW(make_mixed(m), CheckError);
+}
+
+}  // namespace
+}  // namespace mado::mw

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mado::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.post_at(30, [&] { order.push_back(3); });
+  q.post_at(10, [&] { order.push_back(1); });
+  q.post_at(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto ev = q.pop();
+    ev.action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.post_at(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.post_at(100, [] {});
+  q.post_at(50, [] {});
+  EXPECT_EQ(q.next_time(), 50u);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 100u);
+}
+
+TEST(EventQueue, ReentrantPostDuringDrain) {
+  EventQueue q;
+  std::vector<int> order;
+  q.post_at(1, [&] {
+    order.push_back(1);
+    q.post_at(2, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace mado::sim

@@ -1,0 +1,93 @@
+#include "sim/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mado::sim {
+namespace {
+
+TEST(Fabric, ClockStartsAtZero) {
+  Fabric f;
+  EXPECT_EQ(f.now(), 0u);
+  EXPECT_FALSE(f.has_events());
+}
+
+TEST(Fabric, StepAdvancesClockToEventTime) {
+  Fabric f;
+  Nanos seen = 0;
+  f.post_at(500, [&] { seen = f.now(); });
+  EXPECT_TRUE(f.step());
+  EXPECT_EQ(seen, 500u);
+  EXPECT_EQ(f.now(), 500u);
+  EXPECT_FALSE(f.step());
+}
+
+TEST(Fabric, PostInIsRelative) {
+  Fabric f;
+  f.post_at(100, [] {});
+  f.step();
+  Nanos seen = 0;
+  f.post_in(50, [&] { seen = f.now(); });
+  f.step();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Fabric, PastPostsClampToNow) {
+  Fabric f;
+  f.post_at(100, [] {});
+  f.step();
+  Nanos seen = 0;
+  f.post_at(10, [&] { seen = f.now(); });  // in the past
+  f.step();
+  EXPECT_EQ(seen, 100u);  // clamped, time never goes backwards
+}
+
+TEST(Fabric, RunUntilIdleCountsEvents) {
+  Fabric f;
+  int runs = 0;
+  for (int i = 0; i < 5; ++i)
+    f.post_at(static_cast<Nanos>(i), [&] { ++runs; });
+  EXPECT_EQ(f.run_until_idle(), 5u);
+  EXPECT_EQ(runs, 5);
+}
+
+TEST(Fabric, RunUntilIdleHonorsCap) {
+  Fabric f;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] { f.post_in(1, tick); };
+  f.post_at(0, tick);
+  EXPECT_EQ(f.run_until_idle(100), 100u);
+  EXPECT_TRUE(f.has_events());
+}
+
+TEST(Fabric, RunUntilStopsAtDeadline) {
+  Fabric f;
+  std::vector<Nanos> fired;
+  f.post_at(10, [&] { fired.push_back(10); });
+  f.post_at(20, [&] { fired.push_back(20); });
+  f.post_at(30, [&] { fired.push_back(30); });
+  f.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Nanos>{10, 20}));
+  EXPECT_EQ(f.now(), 20u);
+  f.run_until_idle();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Fabric, RunWhilePendingStopsOnPredicate) {
+  Fabric f;
+  int count = 0;
+  for (int i = 0; i < 10; ++i)
+    f.post_at(static_cast<Nanos>(i), [&] { ++count; });
+  EXPECT_TRUE(f.run_while_pending([&] { return count >= 3; }));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Fabric, RunWhilePendingReturnsFalseWhenDrained) {
+  Fabric f;
+  f.post_at(1, [] {});
+  EXPECT_FALSE(f.run_while_pending([] { return false; }));
+}
+
+}  // namespace
+}  // namespace mado::sim

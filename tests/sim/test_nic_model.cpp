@@ -1,0 +1,89 @@
+#include "sim/nic_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mado::sim {
+namespace {
+
+NicModelParams base_params() {
+  NicModelParams p;
+  p.pio_overhead = 300;
+  p.dma_overhead = 1200;
+  p.per_segment = 80;
+  p.pio_threshold = 128;
+  p.pio_bytes_per_us = 350.0;
+  p.link_bytes_per_us = 2000.0;
+  p.gap = 100;
+  p.latency = 2000;
+  p.copy_bytes_per_us = 4000.0;
+  return p;
+}
+
+TEST(NicModel, PioBelowThreshold) {
+  NicModel m(base_params());
+  EXPECT_TRUE(m.uses_pio(1));
+  EXPECT_TRUE(m.uses_pio(128));
+  EXPECT_FALSE(m.uses_pio(129));
+}
+
+TEST(NicModel, InjectionPioIncludesByteCost) {
+  NicModel m(base_params());
+  // 35 bytes at 350 B/us = 100 ns, plus 300 ns overhead.
+  EXPECT_EQ(m.injection_time(35, 1), 400u);
+}
+
+TEST(NicModel, InjectionDmaIsFlatInBytes) {
+  NicModel m(base_params());
+  EXPECT_EQ(m.injection_time(1000, 1), 1200u);
+  EXPECT_EQ(m.injection_time(100000, 1), 1200u);
+}
+
+TEST(NicModel, PerSegmentCostCharged) {
+  NicModel m(base_params());
+  EXPECT_EQ(m.injection_time(1000, 4) - m.injection_time(1000, 1), 3u * 80u);
+  // Zero segments treated as one.
+  EXPECT_EQ(m.injection_time(1000, 0), m.injection_time(1000, 1));
+}
+
+TEST(NicModel, WireTimeLinearInBytes) {
+  NicModel m(base_params());
+  EXPECT_EQ(m.wire_time(2000), 1000u);   // 2000 B at 2000 B/us
+  EXPECT_EQ(m.wire_time(4000), 2000u);
+  EXPECT_EQ(m.wire_time(0), 0u);
+}
+
+TEST(NicModel, BusyIsMaxOfInjectAndWirePlusGap) {
+  NicModel m(base_params());
+  // Large DMA: wire dominates. 200000 B / 2000 B/us = 100 us.
+  EXPECT_EQ(m.busy_time(200000, 1), 100000u + 100u);
+  // Tiny PIO: injection dominates (400 ns vs 17 ns wire for 35 B).
+  EXPECT_EQ(m.busy_time(35, 1), 400u + 100u);
+}
+
+TEST(NicModel, CopyTime) {
+  NicModel m(base_params());
+  EXPECT_EQ(m.copy_time(4000), 1000u);
+}
+
+TEST(NicModel, AggregationWinsForSmallPackets) {
+  // The core premise of the paper's headline claim, expressed on the model:
+  // sending k small fragments separately costs k full transactions, while
+  // one aggregated packet costs a single (slightly larger) transaction.
+  NicModel m(base_params());
+  const std::size_t frag = 64;
+  const std::size_t k = 8;
+  const Nanos separate = static_cast<Nanos>(k) * m.busy_time(frag, 1);
+  const Nanos aggregated = m.busy_time(frag * k, k);
+  EXPECT_LT(aggregated, separate / 2);
+}
+
+TEST(NicModel, GatherBeatsFlattenForModestSizes) {
+  NicModel m(base_params());
+  const std::size_t bytes = 4096;
+  const Nanos gather = m.busy_time(bytes, 8);
+  const Nanos flatten = m.copy_time(bytes) + m.busy_time(bytes, 1);
+  EXPECT_LT(gather, flatten);
+}
+
+}  // namespace
+}  // namespace mado::sim

@@ -1,0 +1,46 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mado {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check value.
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32::of(s.data(), s.size()), 0xcbf43926u);
+  EXPECT_EQ(Crc32::of(nullptr, 0), 0x00000000u);
+  const std::string a = "a";
+  EXPECT_EQ(Crc32::of(a.data(), a.size()), 0xe8b7be43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  Crc32 c;
+  c.update(s.data(), 10);
+  c.update(s.data() + 10, s.size() - 10);
+  EXPECT_EQ(c.value(), Crc32::of(s.data(), s.size()));
+}
+
+TEST(Crc32, ResetRestartsState) {
+  Crc32 c;
+  c.update("junk", 4);
+  c.reset();
+  c.update("123456789", 9);
+  EXPECT_EQ(c.value(), 0xcbf43926u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(64, 0x5a);
+  const std::uint32_t base = Crc32::of(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    Bytes mut = data;
+    mut[i] ^= 0x01;
+    EXPECT_NE(Crc32::of(mut.data(), mut.size()), base) << "at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mado

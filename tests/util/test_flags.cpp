@@ -1,0 +1,76 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mado {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EmptyCommandLine) {
+  Flags f = make({});
+  EXPECT_FALSE(f.has("anything"));
+  EXPECT_TRUE(f.positional().empty());
+  EXPECT_EQ(f.get("x", "d"), "d");
+}
+
+TEST(Flags, EqualsForm) {
+  Flags f = make({"--profile=elan", "--window=4"});
+  EXPECT_EQ(f.get("profile"), "elan");
+  EXPECT_EQ(f.get_int("window", 0), 4);
+}
+
+TEST(Flags, SpaceForm) {
+  Flags f = make({"--profile", "mx", "--rounds", "10"});
+  EXPECT_EQ(f.get("profile"), "mx");
+  EXPECT_EQ(f.get_int("rounds", 0), 10);
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  Flags f = make({"--verbose", "--dry-run"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_TRUE(f.get_bool("dry-run"));
+  EXPECT_FALSE(f.get_bool("absent"));
+}
+
+TEST(Flags, ExplicitFalseValues) {
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+}
+
+TEST(Flags, PositionalsKeptInOrder) {
+  Flags f = make({"pingpong", "--size=8", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pingpong");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, SwitchBeforePositionalDoesNotEatIt) {
+  // "--verbose pingpong" — a following non-flag IS consumed as the value
+  // (documented space form); callers put switches last or use =true.
+  Flags f = make({"--verbose", "--x", "pingpong"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get("x"), "pingpong");
+}
+
+TEST(Flags, GetDoubleAndErrors) {
+  Flags f = make({"--ratio=2.5", "--bad=abc"});
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0), 2.5);
+  EXPECT_DOUBLE_EQ(f.get_double("absent", 1.25), 1.25);
+  EXPECT_THROW(f.get_int("bad", 0), CheckError);
+  EXPECT_THROW(f.get_double("bad", 0), CheckError);
+}
+
+TEST(Flags, LastValueWins) {
+  Flags f = make({"--x=1", "--x=2"});
+  EXPECT_EQ(f.get_int("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace mado

@@ -1,0 +1,93 @@
+#include "util/iovec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mado {
+namespace {
+
+TEST(GatherList, EmptyList) {
+  GatherList gl;
+  EXPECT_TRUE(gl.empty());
+  EXPECT_EQ(gl.total_bytes(), 0u);
+  EXPECT_EQ(gl.segment_count(), 0u);
+  EXPECT_TRUE(gl.flatten().empty());
+}
+
+TEST(GatherList, SkipsZeroLengthSegments) {
+  GatherList gl;
+  gl.add("abc", 0);
+  EXPECT_TRUE(gl.empty());
+  gl.add("abc", 3);
+  gl.add(nullptr, 0);
+  EXPECT_EQ(gl.segment_count(), 1u);
+}
+
+TEST(GatherList, FlattenConcatenatesInOrder) {
+  const std::string a = "hello ", b = "gather ", c = "world";
+  GatherList gl;
+  gl.add(a.data(), a.size());
+  gl.add(b.data(), b.size());
+  gl.add(c.data(), c.size());
+  EXPECT_EQ(gl.segment_count(), 3u);
+  EXPECT_EQ(gl.total_bytes(), a.size() + b.size() + c.size());
+  Bytes flat = gl.flatten();
+  EXPECT_EQ(std::string(flat.begin(), flat.end()), "hello gather world");
+}
+
+TEST(GatherList, FlattenIntoCallerBuffer) {
+  const std::string a = "xy", b = "z";
+  GatherList gl;
+  gl.add(a.data(), a.size());
+  gl.add(b.data(), b.size());
+  char out[3];
+  gl.flatten_into(out);
+  EXPECT_EQ(std::string(out, 3), "xyz");
+}
+
+TEST(GatherList, ClearResets) {
+  GatherList gl;
+  gl.add("abcd", 4);
+  gl.clear();
+  EXPECT_TRUE(gl.empty());
+  EXPECT_EQ(gl.total_bytes(), 0u);
+}
+
+TEST(GatherList, IterationExposesSegments) {
+  const std::string a = "12", b = "345";
+  GatherList gl;
+  gl.add(a.data(), a.size());
+  gl.add(b.data(), b.size());
+  std::size_t total = 0;
+  for (const Segment& s : gl) total += s.len;
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(gl[1].len, 3u);
+}
+
+TEST(Scatter, SplitsAcrossDestinations) {
+  Bytes src = {'a', 'b', 'c', 'd', 'e'};
+  Byte d1[2], d2[3];
+  ScatterDest dests[] = {{d1, 2}, {d2, 3}};
+  scatter(ByteSpan(src), dests);
+  EXPECT_EQ(d1[0], 'a');
+  EXPECT_EQ(d1[1], 'b');
+  EXPECT_EQ(d2[2], 'e');
+}
+
+TEST(Scatter, LengthMismatchThrows) {
+  Bytes src = {'a', 'b', 'c'};
+  Byte d1[2];
+  ScatterDest dests[] = {{d1, 2}};
+  EXPECT_THROW(scatter(ByteSpan(src), dests), CheckError);
+}
+
+TEST(Scatter, OverrunThrows) {
+  Bytes src = {'a'};
+  Byte d1[2];
+  ScatterDest dests[] = {{d1, 2}};
+  EXPECT_THROW(scatter(ByteSpan(src), dests), CheckError);
+}
+
+}  // namespace
+}  // namespace mado

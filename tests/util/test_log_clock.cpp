@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace mado {
+namespace {
+
+TEST(VirtualClock, StartsAtZeroAndAdvances) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.advance_to(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.advance_by(50);
+  EXPECT_EQ(c.now(), 150u);
+}
+
+TEST(VirtualClock, NeverGoesBackwards) {
+  VirtualClock c;
+  c.advance_to(100);
+  c.advance_to(40);  // ignored
+  EXPECT_EQ(c.now(), 100u);
+}
+
+TEST(SteadyClock, MonotonicAndMoving) {
+  SteadyClock c;
+  const Nanos a = c.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const Nanos b = c.now();
+  EXPECT_GT(b, a);
+}
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(usec(1.0), 1000u);
+  EXPECT_EQ(usec(2.5), 2500u);
+  EXPECT_DOUBLE_EQ(to_usec(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_sec(2 * kNanosPerSec), 2.0);
+}
+
+TEST(Log, LevelFilteringAndRestore) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // A disabled-level macro must not evaluate its stream expression.
+  int evaluated = 0;
+  MADO_DEBUG("side effect " << ++evaluated);
+  EXPECT_EQ(evaluated, 0);
+  set_log_level(LogLevel::Trace);
+  MADO_DEBUG("now enabled " << ++evaluated);
+  EXPECT_EQ(evaluated, 1);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace mado

@@ -1,0 +1,125 @@
+#include "util/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mado {
+namespace {
+
+TEST(SpscRing, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(SpscRing<int>(3), CheckError);
+  EXPECT_THROW(SpscRing<int>(0), CheckError);
+  EXPECT_THROW(SpscRing<int>(1), CheckError);
+  EXPECT_NO_THROW(SpscRing<int>(2));
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> q(8);
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(7));  // capacity-1 elements
+  for (int i = 0; i < 7; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, SizeTracksOccupancy) {
+  SpscRing<int> q(4);
+  EXPECT_TRUE(q.empty());
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.try_pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SpscRing, WrapAround) {
+  SpscRing<int> q(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  SpscRing<std::uint64_t> q(1024);
+  constexpr std::uint64_t kN = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN;) {
+      if (q.try_push(i)) ++i;
+    }
+  });
+  std::uint64_t expect = 0;
+  while (expect < kN) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(*v, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueue, PushPop) {
+  MpscQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpscQueue, PopWaitTimesOut) {
+  MpscQueue<int> q;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_wait(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(15));
+}
+
+TEST(MpscQueue, PopWaitWakesOnPush) {
+  MpscQueue<int> q;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(42);
+  });
+  auto v = q.pop_wait(std::chrono::seconds(5));
+  t.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(MpscQueue, DrainTakesEverything) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out), 5u);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.drain(out), 0u);
+}
+
+TEST(MpscQueue, MultiProducerCountsMatch) {
+  MpscQueue<int> q;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t)
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerThread; ++i) q.push(i);
+    });
+  for (auto& t : producers) t.join();
+  std::vector<int> out;
+  q.drain(out);
+  EXPECT_EQ(out.size(), 4u * kPerThread);
+}
+
+}  // namespace
+}  // namespace mado

@@ -1,0 +1,164 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace mado {
+namespace {
+
+TEST(SmallVector, StartsEmptyAndInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, NonTrivialElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma-long-enough-to-defeat-sso-optimizations");
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[2], "gamma-long-enough-to-defeat-sso-optimizations");
+}
+
+TEST(SmallVector, MoveOnlyElements) {
+  SmallVector<std::unique_ptr<int>, 2> v;
+  v.push_back(std::make_unique<int>(1));
+  v.push_back(std::make_unique<int>(2));
+  v.push_back(std::make_unique<int>(3));  // forces spill with move-only T
+  EXPECT_EQ(*v[0], 1);
+  EXPECT_EQ(*v[2], 3);
+}
+
+TEST(SmallVector, CopyConstruct) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  SmallVector<int, 2> w(v);
+  EXPECT_EQ(w.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(w[static_cast<std::size_t>(i)], i);
+  w.push_back(99);
+  EXPECT_EQ(v.size(), 10u);  // deep copy
+}
+
+TEST(SmallVector, MoveConstructHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  SmallVector<int, 2> w(std::move(v));
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(SmallVector, MoveConstructInline) {
+  SmallVector<std::string, 4> v;
+  v.push_back("x");
+  v.push_back("y");
+  SmallVector<std::string, 4> w(std::move(v));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], "x");
+}
+
+TEST(SmallVector, CopyAssign) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  SmallVector<int, 2> w;
+  w.push_back(7);
+  w.push_back(8);
+  w.push_back(9);
+  w = v;
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 1);
+}
+
+TEST(SmallVector, MoveAssign) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  SmallVector<int, 2> w;
+  w.push_back(42);
+  w = std::move(v);
+  EXPECT_EQ(w.size(), 6u);
+  EXPECT_EQ(w[5], 5);
+}
+
+TEST(SmallVector, PopBack) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVector, ResizeGrowsWithDefaults) {
+  SmallVector<int, 2> v;
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i * i);
+  int idx = 0;
+  for (int x : v) {
+    EXPECT_EQ(x, idx * idx);
+    ++idx;
+  }
+  EXPECT_EQ(idx, 20);
+}
+
+TEST(SmallVector, InitializerList) {
+  SmallVector<int, 8> v{5, 6, 7};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 5);
+  EXPECT_EQ(v.back(), 7);
+}
+
+struct DtorCounter {
+  static int live;
+  DtorCounter() { ++live; }
+  DtorCounter(const DtorCounter&) { ++live; }
+  DtorCounter(DtorCounter&&) noexcept { ++live; }
+  ~DtorCounter() { --live; }
+};
+int DtorCounter::live = 0;
+
+TEST(SmallVector, DestroysAllElements) {
+  DtorCounter::live = 0;
+  {
+    SmallVector<DtorCounter, 2> v;
+    for (int i = 0; i < 9; ++i) v.emplace_back();
+    EXPECT_EQ(DtorCounter::live, 9);
+  }
+  EXPECT_EQ(DtorCounter::live, 0);
+}
+
+}  // namespace
+}  // namespace mado

@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mado {
+namespace {
+
+TEST(Welford, MeanAndVariance) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, SingleSampleHasZeroVariance) {
+  Welford w;
+  w.add(3.5);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Log2Histogram, BucketOf) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 9);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 10);
+}
+
+TEST(Log2Histogram, CountSumMean) {
+  Log2Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Log2Histogram, QuantileBounds) {
+  Log2Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(8);    // bucket 3: [8,16)
+  h.add(1 << 20);                           // one outlier
+  EXPECT_LE(h.quantile_upper_bound(0.5), 15u);
+  EXPECT_GE(h.quantile_upper_bound(0.999), (1u << 20) - 1);
+}
+
+TEST(StatsRegistry, Counters) {
+  StatsRegistry s;
+  EXPECT_EQ(s.counter("x"), 0u);
+  s.inc("x");
+  s.inc("x", 4);
+  EXPECT_EQ(s.counter("x"), 5u);
+  s.reset();
+  EXPECT_EQ(s.counter("x"), 0u);
+}
+
+TEST(StatsRegistry, Histograms) {
+  StatsRegistry s;
+  EXPECT_EQ(s.histogram("lat"), nullptr);
+  s.observe("lat", 100);
+  s.observe("lat", 200);
+  ASSERT_NE(s.histogram("lat"), nullptr);
+  EXPECT_EQ(s.histogram("lat")->count(), 2u);
+}
+
+TEST(StatsRegistry, ToStringContainsEntries) {
+  StatsRegistry s;
+  s.inc("packets", 7);
+  s.observe("lat", 4);
+  const std::string out = s.to_string();
+  EXPECT_NE(out.find("packets=7"), std::string::npos);
+  EXPECT_NE(out.find("lat:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mado

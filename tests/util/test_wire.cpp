@@ -1,0 +1,157 @@
+#include "util/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace mado {
+namespace {
+
+TEST(Wire, U8RoundTrip) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u8(0);
+  w.u8(0x7f);
+  w.u8(0xff);
+  WireReader r(buf);
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.u8(), 0x7fu);
+  EXPECT_EQ(r.u8(), 0xffu);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, U16IsLittleEndian) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u16(0x1234);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x34);
+  EXPECT_EQ(buf[1], 0x12);
+}
+
+TEST(Wire, U32IsLittleEndian) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(0xdeadbeef);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0xef);
+  EXPECT_EQ(buf[1], 0xbe);
+  EXPECT_EQ(buf[2], 0xad);
+  EXPECT_EQ(buf[3], 0xde);
+}
+
+TEST(Wire, U64IsLittleEndian) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u64(0x0102030405060708ull);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+}
+
+TEST(Wire, MixedRoundTrip) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u8(7);
+  w.u16(65535);
+  w.u32(std::numeric_limits<std::uint32_t>::max());
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  const char payload[] = "hello";
+  w.bytes(payload, 5);
+
+  WireReader r(buf);
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u16(), 65535u);
+  EXPECT_EQ(r.u32(), std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  char out[5];
+  r.copy_to(out, 5);
+  EXPECT_EQ(std::string(out, 5), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, UnderrunThrows) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u16(42);
+  WireReader r(buf);
+  EXPECT_THROW(r.u32(), CheckError);
+}
+
+TEST(Wire, SkipAndRemaining) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(1);
+  w.u32(2);
+  WireReader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.skip(4);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.u32(), 2u);
+  EXPECT_THROW(r.skip(1), CheckError);
+}
+
+TEST(Wire, BytesViewIsZeroCopy) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.bytes("abcdef", 6);
+  WireReader r(buf);
+  ByteSpan s = r.bytes(6);
+  EXPECT_EQ(s.data(), buf.data());
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(Wire, PatchU32) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32(0);  // placeholder
+  w.u8(9);
+  w.patch_u32(0, 0xabcd1234);
+  WireReader r(buf);
+  EXPECT_EQ(r.u32(), 0xabcd1234u);
+  EXPECT_EQ(r.u8(), 9u);
+}
+
+TEST(Wire, PatchOutOfRangeThrows) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u16(1);
+  EXPECT_THROW(w.patch_u32(0, 5), CheckError);
+}
+
+// Property: any sequence of writes reads back identically.
+TEST(Wire, RandomRoundTripProperty) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes buf;
+    WireWriter w(buf);
+    std::vector<std::pair<int, std::uint64_t>> ops;
+    const int n = static_cast<int>(rng.range(1, 32));
+    for (int i = 0; i < n; ++i) {
+      const int kind = static_cast<int>(rng.below(4));
+      const std::uint64_t v = rng.next();
+      ops.emplace_back(kind, v);
+      switch (kind) {
+        case 0: w.u8(static_cast<std::uint8_t>(v)); break;
+        case 1: w.u16(static_cast<std::uint16_t>(v)); break;
+        case 2: w.u32(static_cast<std::uint32_t>(v)); break;
+        default: w.u64(v); break;
+      }
+    }
+    WireReader r(buf);
+    for (const auto& [kind, v] : ops) {
+      switch (kind) {
+        case 0: EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(v)); break;
+        case 1: EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(v)); break;
+        case 2: EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(v)); break;
+        default: EXPECT_EQ(r.u64(), v); break;
+      }
+    }
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace mado
