@@ -171,6 +171,7 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
       tf.kind = FragKind::RdvRts;
       tf.rdv_token = token;
       RtsBody body{token, mf.len};
+      tf.owned = slab_.take(RtsBody::kWireSize);
       encode_rts(tf.owned, body);
       tf.len = tf.owned.size();
       stats_.inc("tx.rdv_rts");
@@ -183,7 +184,10 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
         if (!mf.owned.empty()) {
           tf.owned = std::move(mf.owned);  // Safe: already copied at pack()
         } else if (mf.len > 0) {
-          tf.owned.assign(mf.ext, mf.ext + mf.len);
+          // Cheaper-mode copy: reuse a slab buffer instead of allocating a
+          // fresh vector per fragment (pure churn in steady state).
+          tf.owned = slab_.take(mf.len);
+          tf.owned.insert(tf.owned.end(), mf.ext, mf.ext + mf.len);
         }
       } else {
         tf.ext = mf.ext ? mf.ext : mf.owned.data();
@@ -254,6 +258,13 @@ bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
                   cfg_.eval_budget, cfg_.nagle_delay, &stats_};
   PacketDecision d = strategy_->next_packet(rail.backlog, env);
   stats_.inc("opt.decisions");
+  // Surface the incremental flow-index maintenance cost (delta since the
+  // last decision on this rail) so it stays observable.
+  const std::uint64_t idx_ops = rail.backlog.flow_index_ops();
+  if (idx_ops != rail.flow_index_ops_flushed) {
+    stats_.inc("opt.flow_index_ops", idx_ops - rail.flow_index_ops_flushed);
+    rail.flow_index_ops_flushed = idx_ops;
+  }
   if (tracer_) {
     std::size_t bytes = 0;
     for (const TxFrag& f : d.frags) bytes += f.len;
@@ -299,8 +310,7 @@ bool Engine::pop_bulk_chunk_locked(PeerState& ps, Rail& rail,
   return false;
 }
 
-void Engine::send_packet_locked(PeerState& ps, Rail& rail,
-                                std::vector<TxFrag> frags) {
+void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
   const std::uint64_t token = next_pkt_token_++;
   auto [it, inserted] = inflight_.emplace(token, InFlight{});
   MADO_ASSERT(inserted);
@@ -314,10 +324,13 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail,
   ph.nfrags = static_cast<std::uint16_t>(rec.frags.size());
   ph.pkt_seq = rail.pkt_seq++;
   ph.src_node = self_;
-  std::vector<FragHeader> fhs;
+  mado::SmallVector<FragHeader, 16> fhs;
   fhs.reserve(rec.frags.size());
   for (const TxFrag& f : rec.frags) fhs.push_back(f.header());
-  encode_header_block(rec.header_block, ph, fhs);
+  rec.header_block = slab_.take(PacketHeader::kWireSize +
+                                FragHeader::kWireSize * fhs.size());
+  encode_header_block(rec.header_block, ph,
+                      std::span<const FragHeader>(fhs.data(), fhs.size()));
 
   GatherList gl;
   gl.add(rec.header_block.data(), rec.header_block.size());
@@ -360,6 +373,7 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   bh.token = chunk.token;
   bh.offset = chunk.offset;
   bh.len = chunk.len;
+  rec.header_block = slab_.take(BulkHeader::kWireSize);
   encode_bulk_header(rec.header_block, bh);
 
   GatherList gl;
@@ -378,18 +392,27 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
 
 void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
                                          Nanos when) {
-  if (rail.nagle_timer_pending) return;
+  // Keep the earliest requested deadline. The old behavior dropped `when`
+  // whenever a timer was already pending, so a strategy that asked for an
+  // EARLIER wake-up (new traffic shortening its hold window) kept sleeping
+  // until the stale, later deadline — inflating latency by the difference.
+  // TimerHost cannot cancel, so re-arming bumps the generation; the
+  // superseded callback no-ops when its generation no longer matches.
+  if (rail.nagle_timer_pending && when >= rail.nagle_deadline) return;
   rail.nagle_timer_pending = true;
+  rail.nagle_deadline = when;
+  const std::uint64_t gen = ++rail.nagle_timer_gen;
   trace_locked(TraceEvent::NagleWait, ps.id, rail.port.rail, when);
   const NodeId peer = ps.id;
   const RailId rail_id = rail.port.rail;
-  timers_.schedule_at(when, [this, alive = alive_, peer, rail_id] {
+  timers_.schedule_at(when, [this, alive = alive_, peer, rail_id, gen] {
     if (!alive->load()) return;
     {
       std::lock_guard<std::mutex> lk(mu_);
       PeerState* p = find_peer_locked(peer);
       if (!p || rail_id >= p->rails.size()) return;
       Rail& r = *p->rails[rail_id];
+      if (r.nagle_timer_gen != gen) return;  // superseded by a re-arm
       r.nagle_timer_pending = false;
       pump_rail_locked(*p, r);
     }
@@ -424,6 +447,7 @@ void Engine::complete_send_locked(PeerState& ps, Rail& rail,
   --rail.outstanding[track];
   MADO_ASSERT(rail.inflight_bytes >= rec.wire_bytes);
   rail.inflight_bytes -= rec.wire_bytes;
+  slab_.recycle(std::move(rec.header_block));
 
   if (rec.is_bulk) {
     auto rit = rdv_tx_.find(rec.rdv_token);
@@ -442,9 +466,13 @@ void Engine::complete_send_locked(PeerState& ps, Rail& rail,
     }
     return;
   }
-  for (const TxFrag& f : rec.frags)
+  for (TxFrag& f : rec.frags) {
     if (f.kind == FragKind::Data && f.state)
       complete_frag_state_locked(ps, f.channel, f.state);
+    // Return the payload copy (or control body) for reuse by future
+    // submits; referenced (Later-mode) fragments have nothing to recycle.
+    slab_.recycle(std::move(f.owned));
+  }
 }
 
 void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
@@ -632,11 +660,13 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
     body.window = window;
     body.offset = offset;
     body.aux = ack_token;
+    tf.owned = slab_.take(RtsBody::kWireSize);
     encode_rts(tf.owned, body);
     tf.len = tf.owned.size();
     rail.backlog.push(std::move(tf));
   } else {
     TxFrag tf = make_rma_frag_locked(FragKind::RmaPut);
+    tf.owned = slab_.take(RmaPutBody::kWireSize + len);
     encode_rma_put(tf.owned, RmaPutBody{window, offset, ack_token});
     const auto* p = static_cast<const Byte*>(data);
     tf.owned.insert(tf.owned.end(), p, p + len);
@@ -665,6 +695,7 @@ SendHandle Engine::rma_get(NodeId peer, WindowId window, std::uint64_t offset,
                         PendingGet{static_cast<Byte*>(dest), len, state});
 
   TxFrag tf = make_rma_frag_locked(FragKind::RmaGet);
+  tf.owned = slab_.take(RmaGetBody::kWireSize);
   encode_rma_get(tf.owned, RmaGetBody{window, offset, len, get_token});
   tf.len = tf.owned.size();
   rail.backlog.push(std::move(tf));
@@ -719,8 +750,15 @@ void Engine::set_auto_rebalance(Nanos interval) {
   // Self-re-arming tick. NOTE: in simulation this keeps the fabric event
   // queue non-empty forever; drive such runs with run_until()/wait_until()
   // rather than run_until_idle().
+  //
+  // Ownership: the engine holds the only strong reference
+  // (rebalance_tick_); the scheduled copies capture a weak_ptr. Capturing
+  // `tick` strongly here would make the closure own itself — a shared_ptr
+  // cycle that leaks the function and keeps a superseded chain re-arming
+  // after a second set_auto_rebalance call.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, alive = alive_, tick] {
+  *tick = [this, alive = alive_,
+           weak = std::weak_ptr<std::function<void()>>(tick)] {
     if (!alive->load()) return;
     rebalance_classes();
     Nanos period;
@@ -728,8 +766,14 @@ void Engine::set_auto_rebalance(Nanos interval) {
       std::lock_guard<std::mutex> lk(mu_);
       period = auto_rebalance_interval_;
     }
-    if (period > 0) timers_.schedule_at(timers_.now() + period, *tick);
+    auto self = weak.lock();  // null once the engine dropped the chain
+    if (period > 0 && self)
+      timers_.schedule_at(timers_.now() + period, *self);
   };
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rebalance_tick_ = tick;
+  }
   timers_.schedule_at(timers_.now() + interval, *tick);
 }
 

@@ -40,6 +40,7 @@
 #include "core/config.hpp"
 #include "core/message.hpp"
 #include "core/packet.hpp"
+#include "core/payload_pool.hpp"
 #include "core/strategy.hpp"
 #include "core/timer_host.hpp"
 #include "core/trace.hpp"
@@ -207,7 +208,14 @@ class Engine final {
     TxBacklog backlog;
     std::deque<BulkChunk> bulk_q;  // SingleRail / StaticSplit chunks
     bool bulk_turn = false;        // shared-track alternation
+    // Nagle timer state. TimerHost cannot cancel a scheduled timer, so a
+    // re-arm bumps the generation and the superseded callback no-ops on
+    // the mismatch. `nagle_deadline` is only meaningful while
+    // `nagle_timer_pending` is set.
     bool nagle_timer_pending = false;
+    Nanos nagle_deadline = 0;
+    std::uint64_t nagle_timer_gen = 0;
+    std::uint64_t flow_index_ops_flushed = 0;  // backlog ops already counted
     std::uint32_t pkt_seq = 0;
     std::size_t inflight_bytes = 0;
     std::uint64_t static_split_assigned = 0;  // bytes, for StaticSplit
@@ -317,7 +325,7 @@ class Engine final {
     RailId rail = 0;
     drv::TrackId track = 0;
     Bytes header_block;
-    std::vector<TxFrag> frags;
+    FragList frags;
     bool is_bulk = false;
     std::uint64_t rdv_token = 0;
     std::uint32_t chunk_len = 0;
@@ -357,8 +365,7 @@ class Engine final {
   void pump_rail_locked(PeerState& ps, Rail& rail);
   bool try_send_eager_locked(PeerState& ps, Rail& rail);
   bool try_send_bulk_locked(PeerState& ps, Rail& rail);
-  void send_packet_locked(PeerState& ps, Rail& rail,
-                          std::vector<TxFrag> frags);
+  void send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags);
   void send_bulk_chunk_locked(PeerState& ps, Rail& rail, BulkChunk chunk);
   bool pop_bulk_chunk_locked(PeerState& ps, Rail& rail, BulkChunk& out);
   void schedule_nagle_timer_locked(PeerState& ps, Rail& rail, Nanos when);
@@ -434,6 +441,9 @@ class Engine final {
 
   std::array<RailId, kTrafficClassCount> class_rail_{};
   StatsRegistry stats_;
+  /// Free-listed buffers for payload copies, control bodies and header
+  /// blocks. Declared after stats_ (it records its counters there).
+  PayloadSlab slab_{&stats_};
   Tracer* tracer_ = nullptr;
 
   std::uint64_t next_pkt_token_ = 1;
@@ -445,6 +455,10 @@ class Engine final {
   std::atomic<bool> stop_progress_{false};
   std::shared_ptr<std::atomic<bool>> alive_;
   Nanos auto_rebalance_interval_ = 0;
+  /// Owner of the self-re-arming rebalance tick. The scheduled copies hold
+  /// only a weak_ptr back to it, so no reference cycle forms and the chain
+  /// dies with the engine (see set_auto_rebalance).
+  std::shared_ptr<std::function<void()>> rebalance_tick_;
 };
 
 }  // namespace mado::core

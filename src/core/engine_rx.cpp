@@ -201,6 +201,7 @@ void Engine::send_auto_cts_locked(PeerState& ps, const FragHeader& fh,
   tf.idx = fh.frag_idx;
   tf.nfrags_total = fh.nfrags_total;
   tf.kind = FragKind::RdvCts;
+  tf.owned = slab_.take(CtsBody::kWireSize);
   encode_cts(tf.owned, CtsBody{token});
   tf.len = tf.owned.size();
   tf.submit_time = timers_.now();
@@ -221,6 +222,7 @@ void Engine::send_cts_locked(PeerState& ps, const FragHeader& fh,
   tf.nfrags_total = fh.nfrags_total;
   tf.kind = FragKind::RdvCts;
   CtsBody body{slot.token};
+  tf.owned = slab_.take(CtsBody::kWireSize);
   encode_cts(tf.owned, body);
   tf.len = tf.owned.size();
   tf.submit_time = timers_.now();
@@ -344,6 +346,7 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, const Bytes& payload) {
 
 void Engine::push_rma_ack_locked(PeerState& ps, std::uint64_t ack_token) {
   TxFrag tf = make_rma_frag_locked(FragKind::RmaAck);
+  tf.owned = slab_.take(RmaAckBody::kWireSize);
   encode_rma_ack(tf.owned, RmaAckBody{ack_token});
   tf.len = tf.owned.size();
   const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
@@ -390,11 +393,13 @@ void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
     rts.total_len = b.len;
     rts.target = RdvTarget::GetBuffer;
     rts.aux = b.get_token;
+    tf.owned = slab_.take(RtsBody::kWireSize);
     encode_rts(tf.owned, rts);
     tf.len = tf.owned.size();
     rail.backlog.push(std::move(tf));
   } else {
     TxFrag tf = make_rma_frag_locked(FragKind::RmaGetData);
+    tf.owned = slab_.take(RmaGetDataBody::kWireSize + b.len);
     encode_rma_get_data(tf.owned, RmaGetDataBody{b.get_token});
     tf.owned.insert(tf.owned.end(), win.base + b.offset,
                     win.base + b.offset + b.len);

@@ -37,7 +37,7 @@ FragHeader read_frag_header(WireReader& r) {
 }  // namespace
 
 void encode_header_block(Bytes& out, const PacketHeader& ph,
-                         const std::vector<FragHeader>& frags) {
+                         std::span<const FragHeader> frags) {
   MADO_CHECK(frags.size() == ph.nfrags);
   const std::size_t base = out.size();
   WireWriter w(out);

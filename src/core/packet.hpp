@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -141,9 +143,17 @@ struct CtsBody {
 
 /// Serialize the header block (PacketHeader + all FragHeaders, with CRC)
 /// into `out`. The payload area is NOT written — the engine gathers payload
-/// segments behind this block.
+/// segments behind this block. Takes a span so any contiguous container
+/// (std::vector, mado::SmallVector, a C array) works without a copy.
 void encode_header_block(Bytes& out, const PacketHeader& ph,
-                         const std::vector<FragHeader>& frags);
+                         std::span<const FragHeader> frags);
+
+/// Braced-list convenience: encode_header_block(out, ph, {fh}) / (…, {}).
+inline void encode_header_block(Bytes& out, const PacketHeader& ph,
+                                std::initializer_list<FragHeader> frags) {
+  encode_header_block(
+      out, ph, std::span<const FragHeader>(frags.begin(), frags.size()));
+}
 
 void encode_rts(Bytes& out, const RtsBody& rts);
 RtsBody decode_rts(ByteSpan payload);

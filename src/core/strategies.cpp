@@ -27,9 +27,11 @@ bool fits(std::size_t used, std::size_t count, std::size_t budget,
   return used + frag_footprint(f) <= budget;
 }
 
-/// A planned packet: per-flow take counts in scan order.
+/// A planned packet: per-flow take counts in scan order. Inline capacity
+/// matches the default lookahead window so planning allocates nothing on
+/// the steady-state decision path.
 struct Plan {
-  std::vector<std::pair<ChannelId, std::size_t>> takes;
+  mado::SmallVector<std::pair<ChannelId, std::size_t>, 16> takes;
   std::size_t bytes = 0;  // payload + frag header footprint
   std::size_t count = 0;  // data fragments
 };
@@ -42,12 +44,13 @@ Plan plan_greedy(const TxBacklog& backlog, const StrategyEnv& env,
   std::size_t used = used_already;
   std::size_t count = count_already;
   const std::size_t window = env.lookahead_window;
-  for (ChannelId ch : backlog.active_flows()) {
+  for (ChannelId ch : backlog.flow_index()) {
+    // One hash lookup per flow; the scan then walks the deque directly.
+    const auto& q = backlog.flow(ch);
     std::size_t take = 0;
-    const std::size_t depth = backlog.flow_depth(ch);
-    while (take < depth) {
+    while (take < q.size()) {
       if (window != 0 && count >= window) break;
-      const TxFrag& f = backlog.peek(ch, take);
+      const TxFrag& f = q[take];
       if (!fits(used, count, env.caps.max_eager, f)) break;
       used += frag_footprint(f);
       ++count;
@@ -65,17 +68,14 @@ Plan plan_greedy(const TxBacklog& backlog, const StrategyEnv& env,
   return plan;
 }
 
-void pop_plan(TxBacklog& backlog, const Plan& plan, std::vector<TxFrag>& out) {
-  for (const auto& [ch, take] : plan.takes)
-    for (std::size_t i = 0; i < take; ++i) out.push_back(backlog.pop(ch));
+void pop_plan(TxBacklog& backlog, const Plan& plan, FragList& out) {
+  for (const auto& [ch, take] : plan.takes) backlog.pop_n(ch, take, out);
 }
 
-PacketDecision send_decision(std::vector<TxFrag> frags) {
-  PacketDecision d;
-  d.action = PacketDecision::Action::Send;
-  d.frags = std::move(frags);
-  return d;
-}
+// NOTE: strategies fill `PacketDecision::frags` in place rather than
+// building a local list and moving it in. FragList's inline storage makes
+// a container move element-wise, so each avoided hand-off saves a full
+// pass of TxFrag moves on the decision path.
 
 // --------------------------------------------------------------------------
 // fifo: previous-Madeleine baseline. Deterministic: strictly follows global
@@ -87,25 +87,28 @@ class FifoStrategy final : public Strategy {
 
   PacketDecision next_packet(TxBacklog& backlog,
                              const StrategyEnv& env) override {
-    std::vector<TxFrag> out;
-    std::size_t used = take_controls(backlog, env.caps.max_eager, out);
-    if (!out.empty()) return send_decision(std::move(out));
-    if (backlog.empty()) return {};
-
-    auto flows = backlog.active_flows();
-    MADO_ASSERT(!flows.empty());
-    const ChannelId ch = flows.front();  // globally oldest head
-    const MsgSeq msg = backlog.peek(ch).msg_seq;
-    std::size_t count = 0;
-    while (backlog.flow_depth(ch) > 0) {
-      const TxFrag& head = backlog.peek(ch);
-      if (head.msg_seq != msg) break;  // never aggregates across messages
-      if (!fits(used, count, env.caps.max_eager, head)) break;
-      used += frag_footprint(head);
-      ++count;
-      out.push_back(backlog.pop(ch));
+    PacketDecision d;
+    std::size_t used = take_controls(backlog, env.caps.max_eager, d.frags);
+    if (!d.frags.empty()) {
+      d.action = PacketDecision::Action::Send;
+      return d;
     }
-    return send_decision(std::move(out));
+    if (backlog.empty()) return d;
+
+    const ChannelId ch = backlog.oldest_flow();  // globally oldest head
+    const auto& q = backlog.flow(ch);
+    const MsgSeq msg = q.front().msg_seq;
+    std::size_t take = 0;
+    while (take < q.size()) {
+      const TxFrag& head = q[take];
+      if (head.msg_seq != msg) break;  // never aggregates across messages
+      if (!fits(used, take, env.caps.max_eager, head)) break;
+      used += frag_footprint(head);
+      ++take;
+    }
+    backlog.pop_n(ch, take, d.frags);
+    d.action = PacketDecision::Action::Send;
+    return d;
   }
 };
 
@@ -118,13 +121,15 @@ class AggregStrategy final : public Strategy {
 
   PacketDecision next_packet(TxBacklog& backlog,
                              const StrategyEnv& env) override {
-    std::vector<TxFrag> out;
-    const std::size_t used = take_controls(backlog, env.caps.max_eager, out);
+    PacketDecision d;
+    const std::size_t used =
+        take_controls(backlog, env.caps.max_eager, d.frags);
     const Plan plan = plan_greedy(backlog, env, used, 0);
-    pop_plan(backlog, plan, out);
-    if (out.empty()) return {};
+    pop_plan(backlog, plan, d.frags);
+    if (d.frags.empty()) return d;
     if (env.stats && plan.count > 1) env.stats->inc("opt.aggregated_packets");
-    return send_decision(std::move(out));
+    d.action = PacketDecision::Action::Send;
+    return d;
   }
 };
 
@@ -146,62 +151,77 @@ class AggregExhaustiveStrategy final : public Strategy {
 
   PacketDecision next_packet(TxBacklog& backlog,
                              const StrategyEnv& env) override {
-    std::vector<TxFrag> out;
+    PacketDecision d;
     const std::size_t ctrl_used =
-        take_controls(backlog, env.caps.max_eager, out);
+        take_controls(backlog, env.caps.max_eager, d.frags);
     if (backlog.empty()) {
-      if (out.empty()) return {};
-      return send_decision(std::move(out));
+      if (!d.frags.empty()) d.action = PacketDecision::Action::Send;
+      return d;
     }
 
     // Visible window: per-flow depth caps so the total number of visible
-    // fragments is at most the lookahead window, oldest first.
-    const auto flows = backlog.active_flows();
-    std::vector<std::size_t> max_take(flows.size());
+    // fragments is at most the lookahead window, oldest first. Scratch is
+    // inline (SmallVector) so the search allocates nothing for realistic
+    // flow counts.
+    TxBacklog::FlowList flows;
+    FlowQueues flowq;
+    for (ChannelId ch : backlog.flow_index()) {
+      flows.push_back(ch);
+      flowq.push_back(&backlog.flow(ch));  // one hash lookup per flow
+    }
+    CountList max_take;
+    max_take.resize(flows.size());
     {
       std::size_t visible = 0;
       const std::size_t window = env.lookahead_window == 0
                                      ? std::numeric_limits<std::size_t>::max()
                                      : env.lookahead_window;
       for (std::size_t i = 0; i < flows.size() && visible < window; ++i) {
-        const std::size_t depth = backlog.flow_depth(flows[i]);
+        const std::size_t depth = flowq[i]->size();
         max_take[i] = std::min(depth, window - visible);
         visible += max_take[i];
       }
     }
 
-    Search search{backlog, env, flows, max_take, ctrl_used, {}, {}};
+    Search search{env, flowq, max_take, ctrl_used, {}, {}};
     search.run();
     if (env.stats) env.stats->inc("opt.evals", search.evals);
 
     if (search.best_total == 0) {
       // Nothing fit beside the controls (or budget 0): fall back to the
       // oldest head so the engine always makes progress.
-      if (out.empty()) out.push_back(backlog.pop(flows.front()));
-      return send_decision(std::move(out));
+      if (d.frags.empty()) d.frags.push_back(backlog.pop(flows.front()));
+      d.action = PacketDecision::Action::Send;
+      return d;
     }
     for (std::size_t i = 0; i < flows.size(); ++i)
-      for (std::size_t k = 0; k < search.best[i]; ++k)
-        out.push_back(backlog.pop(flows[i]));
-    return send_decision(std::move(out));
+      backlog.pop_n(flows[i], search.best[i], d.frags);
+    d.action = PacketDecision::Action::Send;
+    return d;
   }
 
  private:
+  using CountList = mado::SmallVector<std::size_t, 16>;
+  /// Cached per-flow queue views: the search inspects every visible
+  /// fragment many times, so it must not pay a hash lookup per peek.
+  using FlowQueues = mado::SmallVector<const std::deque<TxFrag>*, 16>;
+
   struct Search {
-    const TxBacklog& backlog;
     const StrategyEnv& env;
-    const std::vector<ChannelId>& flows;
-    const std::vector<std::size_t>& max_take;
+    const FlowQueues& flowq;
+    const CountList& max_take;
     std::size_t ctrl_used;
 
-    std::vector<std::size_t> cur, best;
+    CountList cur, best;
     std::size_t evals = 0;
     double best_score = std::numeric_limits<double>::infinity();
     std::size_t best_total = 0;
 
     void run() {
-      cur.assign(flows.size(), 0);
-      best.assign(flows.size(), 0);
+      cur.clear();
+      cur.resize(flowq.size());
+      best.clear();
+      best.resize(flowq.size());
       dfs(0, ctrl_used, 0);
     }
 
@@ -214,16 +234,17 @@ class AggregExhaustiveStrategy final : public Strategy {
     /// runs out.
     void dfs(std::size_t i, std::size_t used, std::size_t count) {
       if (!budget_left()) return;
-      if (i == flows.size()) {
+      if (i == flowq.size()) {
         if (count == 0) return;  // progress guarantee: at least one fragment
         evaluate(used, count);
         return;
       }
+      const std::deque<TxFrag>& q = *flowq[i];
       // Largest admissible take for this flow given bytes already used.
       std::size_t admissible = 0;
       std::size_t u = used;
       while (admissible < max_take[i]) {
-        const TxFrag& f = backlog.peek(flows[i], admissible);
+        const TxFrag& f = q[admissible];
         if (!fits(u, count + admissible, env.caps.max_eager, f)) break;
         u += frag_footprint(f);
         ++admissible;
@@ -232,7 +253,7 @@ class AggregExhaustiveStrategy final : public Strategy {
         cur[i] = take;
         std::size_t bytes = used;
         for (std::size_t k = 0; k < take; ++k)
-          bytes += frag_footprint(backlog.peek(flows[i], k));
+          bytes += frag_footprint(q[k]);
         dfs(i + 1, bytes, count + take);
       }
       cur[i] = 0;
@@ -247,13 +268,14 @@ class AggregExhaustiveStrategy final : public Strategy {
                                    PacketHeader::kWireSize);
       double score = static_cast<double>(t1) * static_cast<double>(count);
       Nanos t = t1;
-      for (std::size_t i = 0; i < flows.size(); ++i) {
+      for (std::size_t i = 0; i < flowq.size(); ++i) {
+        const std::deque<TxFrag>& q = *flowq[i];
         std::size_t rem = max_take[i] - cur[i];
         std::size_t off = cur[i];
         while (rem > 0) {
           std::size_t bytes = 0, n = 0;
           while (n < rem) {
-            const TxFrag& f = backlog.peek(flows[i], off + n);
+            const TxFrag& f = q[off + n];
             if (!fits(bytes, n, env.caps.max_eager, f)) break;
             bytes += frag_footprint(f);
             ++n;
@@ -302,10 +324,10 @@ class NagleStrategy final : public Strategy {
     const Nanos oldest = backlog.oldest_submit_time();
     const Nanos deadline = oldest + env.nagle_delay;
     if (window_full || packet_full || env.now >= deadline) {
-      std::vector<TxFrag> out;
-      pop_plan(backlog, plan, out);
-      if (out.empty()) return {};
-      return send_decision(std::move(out));
+      PacketDecision d;
+      pop_plan(backlog, plan, d.frags);
+      if (!d.frags.empty()) d.action = PacketDecision::Action::Send;
+      return d;
     }
     PacketDecision d;
     d.action = PacketDecision::Action::Wait;
@@ -332,31 +354,48 @@ class PriorityStrategy final : public Strategy {
 
   PacketDecision next_packet(TxBacklog& backlog,
                              const StrategyEnv& env) override {
-    std::vector<TxFrag> out;
-    std::size_t used = take_controls(backlog, env.caps.max_eager, out);
+    PacketDecision d;
+    std::size_t used = take_controls(backlog, env.caps.max_eager, d.frags);
     std::size_t count = 0;
     const std::size_t window = env.lookahead_window;
 
-    auto flows = backlog.active_flows();  // already oldest-head-first
-    std::stable_sort(flows.begin(), flows.end(),
-                     [&backlog](ChannelId a, ChannelId b) {
-                       return class_order(backlog.peek(a).cls) <
-                              class_order(backlog.peek(b).cls);
-                     });
-    for (ChannelId ch : flows) {
-      while (backlog.flow_depth(ch) > 0) {
+    // Flow index is already oldest-head-first; sort into (class, age) order
+    // with a precomputed composite key: one head lookup per flow instead of
+    // one per comparison. std::sort on the composite key is equivalent to
+    // the former stable_sort-by-class (head submit order breaks ties
+    // deterministically) but performs no heap allocation — stable_sort may
+    // allocate a temporary buffer.
+    struct Key {
+      int cls;
+      std::uint64_t order;
+      ChannelId ch;
+    };
+    mado::SmallVector<Key, 16> keys;
+    for (ChannelId ch : backlog.flow_index()) {
+      const TxFrag& head = backlog.flow(ch).front();
+      keys.push_back(Key{class_order(head.cls), head.order, ch});
+    }
+    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      return a.cls != b.cls ? a.cls < b.cls : a.order < b.order;
+    });
+    for (const Key& key : keys) {
+      const ChannelId ch = key.ch;
+      const auto& q = backlog.flow(ch);
+      std::size_t take = 0;
+      while (take < q.size()) {
         if (window != 0 && count >= window) break;
-        const TxFrag& head = backlog.peek(ch);
+        const TxFrag& head = q[take];
         const std::size_t need = FragHeader::kWireSize + head.len;
         if (count > 0 && used + need > env.caps.max_eager) break;
         used += need;
         ++count;
-        out.push_back(backlog.pop(ch));
+        ++take;
       }
+      backlog.pop_n(ch, take, d.frags);
       if (window != 0 && count >= window) break;
     }
-    if (out.empty()) return {};
-    return send_decision(std::move(out));
+    if (!d.frags.empty()) d.action = PacketDecision::Action::Send;
+    return d;
   }
 
  private:
@@ -397,9 +436,11 @@ class AdaptiveStrategy final : public Strategy {
     if (backlog.empty()) return {};
 
     const Nanos hold = hold_window(env);
+    // O(1) oldest-flow lookup: with exactly one data fragment queued, the
+    // oldest flow IS the flow holding it (the old active_flows().front()
+    // rebuilt and heap-allocated the whole flow list just to find it).
     if (companion_likely_ && backlog.frag_count() == 1 &&
-        backlog.peek(backlog.active_flows().front()).len * 4 <
-            env.caps.max_eager) {
+        backlog.peek(backlog.oldest_flow()).len * 4 < env.caps.max_eager) {
       const Nanos deadline = backlog.oldest_submit_time() + hold;
       if (env.now < deadline) {
         PacketDecision d;

@@ -50,7 +50,7 @@ std::vector<std::string> StrategyRegistry::names() const {
 namespace strategy_detail {
 
 std::size_t take_controls(TxBacklog& backlog, std::size_t budget,
-                          std::vector<TxFrag>& out) {
+                          FragList& out) {
   std::size_t used = 0;
   while (backlog.has_control()) {
     const std::size_t need =

@@ -28,9 +28,15 @@
 #include "core/backlog.hpp"
 #include "core/config.hpp"
 #include "drivers/capabilities.hpp"
+#include "util/small_vector.hpp"
 #include "util/stats.hpp"
 
 namespace mado::core {
+
+/// Fragments selected for one packet. Inline capacity covers the default
+/// lookahead window (16), so building a packet decision performs no heap
+/// allocation on the steady-state optimizer path.
+using FragList = mado::SmallVector<TxFrag, 16>;
 
 /// Everything a strategy may consult when deciding the next packet.
 struct StrategyEnv {
@@ -49,7 +55,7 @@ struct PacketDecision {
     Idle,  ///< nothing to do (backlog empty or unsendable)
   };
   Action action = Action::Idle;
-  std::vector<TxFrag> frags;
+  FragList frags;
   Nanos wait_until = 0;
 };
 
@@ -94,7 +100,7 @@ namespace strategy_detail {
 /// Pop as many control fragments as fit into `out` within `budget` bytes.
 /// Returns bytes consumed.
 std::size_t take_controls(TxBacklog& backlog, std::size_t budget,
-                          std::vector<TxFrag>& out);
+                          FragList& out);
 
 /// Estimated NIC busy time for a packet of `payload_bytes` over
 /// `payload_segs` payload segments (plus the header block) under `caps`.

@@ -46,6 +46,12 @@ class SpscRing {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
     T v = std::move(buf_[tail]);
+    // Reset the slot: a moved-from T may still own resources (e.g. a Bytes
+    // payload whose buffer the move left behind, or a shared_ptr a given
+    // type's move merely copied). Without this, a quiet ring pins the last
+    // popped element's resources until the slot is overwritten — a
+    // lifetime leak the consumer cannot see.
+    buf_[tail] = T();
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return v;
   }

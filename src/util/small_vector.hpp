@@ -104,6 +104,28 @@ class SmallVector {
     data()[--size_].~T();
   }
 
+  /// Insert `v` before `pos`. Invalidates iterators. Returns the iterator
+  /// to the inserted element.
+  iterator insert(iterator pos, T v) {
+    const std::size_t idx = static_cast<std::size_t>(pos - begin());
+    MADO_ASSERT(idx <= size_);
+    emplace_back(std::move(v));  // may reallocate; idx stays valid
+    T* p = data();
+    std::rotate(p + idx, p + size_ - 1, p + size_);
+    return p + idx;
+  }
+
+  /// Remove the element at `pos`. Invalidates iterators. Returns the
+  /// iterator to the element after the removed one.
+  iterator erase(iterator pos) {
+    const std::size_t idx = static_cast<std::size_t>(pos - begin());
+    MADO_ASSERT(idx < size_);
+    T* p = data();
+    for (std::size_t i = idx + 1; i < size_; ++i) p[i - 1] = std::move(p[i]);
+    pop_back();
+    return data() + idx;
+  }
+
   void clear() {
     T* p = data();
     for (std::size_t i = 0; i < size_; ++i) p[i].~T();

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/clock.hpp"
@@ -83,25 +84,36 @@ class Log2Histogram {
 
 /// Named counters + histograms. Not thread-safe by design: each engine owns
 /// one and all mutation happens under the engine lock.
+///
+/// Lookups are transparent (string_view keys, std::less<>): bumping an
+/// existing counter performs no heap allocation, which keeps StatsRegistry
+/// safe to use from the optimizer's zero-allocation decision loop. Only the
+/// FIRST bump of a new name allocates (the map node + key copy).
 class StatsRegistry {
  public:
-  void inc(const std::string& name, std::uint64_t by = 1) {
-    counters_[name] += by;
+  void inc(std::string_view name, std::uint64_t by = 1) {
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+      it = counters_.emplace(std::string(name), std::uint64_t{0}).first;
+    it->second += by;
   }
-  std::uint64_t counter(const std::string& name) const {
+  std::uint64_t counter(std::string_view name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
-  void observe(const std::string& name, std::uint64_t v) {
-    histograms_[name].add(v);
+  void observe(std::string_view name, std::uint64_t v) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      it = histograms_.emplace(std::string(name), Log2Histogram{}).first;
+    it->second.add(v);
   }
-  const Log2Histogram* histogram(const std::string& name) const {
+  const Log2Histogram* histogram(std::string_view name) const {
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
   }
 
-  const std::map<std::string, std::uint64_t>& counters() const {
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
   }
 
@@ -114,8 +126,8 @@ class StatsRegistry {
   std::string to_string() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, Log2Histogram> histograms_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Log2Histogram, std::less<>> histograms_;
 };
 
 }  // namespace mado

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace mado::core {
 namespace {
 
@@ -106,6 +112,106 @@ TEST(TxBacklog, FlowDisappearsWhenDrained) {
   b.pop(1);
   EXPECT_TRUE(b.active_flows().empty());
   EXPECT_EQ(b.flow_depth(1), 0u);
+}
+
+TEST(TxBacklog, FlowViewAndPopN) {
+  TxBacklog b;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    b.push(make_frag(1, static_cast<MsgSeq>(i), 0, 8, i + 1));
+  b.push(make_frag(2, 0, 0, 8, 5));
+
+  // flow() exposes the whole queue through one lookup.
+  const std::deque<TxFrag>& q = b.flow(1);
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[0].msg_seq, 0u);
+  EXPECT_EQ(q[3].msg_seq, 3u);
+
+  // pop_n consumes a prefix and keeps the index consistent: flow 1's head
+  // advances to order 4, still older than flow 2's head (order 5).
+  std::vector<TxFrag> out;
+  b.pop_n(1, 3, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_EQ(out[i].msg_seq, static_cast<MsgSeq>(i));
+  EXPECT_EQ(b.frag_count(), 2u);
+  EXPECT_EQ(b.oldest_flow(), 1u);
+
+  b.pop_n(1, 1, out);  // drains flow 1 entirely
+  EXPECT_EQ(b.flow_depth(1), 0u);
+  EXPECT_EQ(b.active_flows(), std::vector<ChannelId>{2});
+}
+
+// Property: the incrementally maintained flow index is always identical to
+// an index rebuilt from scratch — same flows, oldest head first — under an
+// arbitrary interleaving of pushes and pops. This pins the invariant every
+// strategy's fair-scan order rests on.
+TEST(TxBacklog, FlowIndexMatchesRebuildUnderRandomOps) {
+  mado::Rng rng(0xfeedface);
+  TxBacklog b;
+  // Shadow model: plain per-flow queues of submit orders.
+  std::map<ChannelId, std::deque<std::uint64_t>> shadow;
+  std::uint64_t order = 0;
+
+  auto check = [&] {
+    // Rebuild the expected index from the shadow model.
+    std::vector<std::pair<std::uint64_t, ChannelId>> expect;
+    for (const auto& [ch, q] : shadow)
+      if (!q.empty()) expect.emplace_back(q.front(), ch);
+    std::sort(expect.begin(), expect.end());
+    const auto got = b.active_flows();
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], expect[i].second);
+      ASSERT_EQ(b.peek(got[i]).order, expect[i].first);
+    }
+    if (!expect.empty()) {
+      ASSERT_EQ(b.oldest_flow(), expect.front().second);
+      // submit_time is monotone in order (order * 10 here), so the oldest
+      // head also carries the minimum submit time.
+      ASSERT_EQ(b.oldest_submit_time(), expect.front().first * 10);
+    }
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool can_pop = b.frag_count() > 0;
+    if (!can_pop || rng.chance(0.55)) {
+      const ChannelId ch = static_cast<ChannelId>(rng.below(8));
+      ++order;  // global submit order is strictly increasing
+      b.push(make_frag(ch, static_cast<MsgSeq>(order), 0, 8, order));
+      shadow[ch].push_back(order);
+    } else if (rng.chance(0.3)) {
+      // pop_n of a random prefix from a random active flow
+      const auto flows = b.active_flows();
+      const ChannelId ch =
+          flows[static_cast<std::size_t>(rng.below(flows.size()))];
+      const std::size_t n = 1 + rng.below(b.flow_depth(ch));
+      std::vector<TxFrag> out;
+      b.pop_n(ch, n, out);
+      ASSERT_EQ(out.size(), n);
+      for (const TxFrag& f : out) {
+        ASSERT_EQ(f.order, shadow[ch].front());
+        shadow[ch].pop_front();
+      }
+    } else {
+      // single pop from a random active flow
+      const auto flows = b.active_flows();
+      const ChannelId ch =
+          flows[static_cast<std::size_t>(rng.below(flows.size()))];
+      const TxFrag f = b.pop(ch);
+      ASSERT_EQ(f.order, shadow[ch].front());
+      shadow[ch].pop_front();
+    }
+    if (step % 7 == 0 || step > 1900) check();
+  }
+  // Drain completely; index must empty out cleanly.
+  while (b.frag_count() > 0) {
+    const ChannelId ch = b.oldest_flow();
+    b.pop(ch);
+    shadow[ch].pop_front();
+    check();
+  }
+  EXPECT_EQ(b.active_flow_count(), 0u);
+  EXPECT_GT(b.flow_index_ops(), 0u);
 }
 
 TEST(SendState, PendingCountsDown) {

@@ -117,5 +117,64 @@ TEST_F(NagleEngineTest, ManySparseMessagesAllDelivered) {
   world_->node(0).flush();
 }
 
+// Regression: a Wait decision carrying an EARLIER deadline than the pending
+// nagle timer must re-arm the timer. The engine used to drop any new
+// deadline while a timer was pending, so a strategy that shortened its hold
+// window on new traffic kept sleeping until the stale, later deadline —
+// inflating latency by the difference.
+TEST(NagleTimerRearm, EarlierDeadlineReArmsPendingTimer) {
+  // Scripted strategy: the first decision asks for a long speculative hold
+  // (1 ms); the next decision — triggered by a second submit — shortens the
+  // deadline to 20 us. Once virtual time reaches the short deadline it
+  // flushes everything in one packet.
+  struct Rearm final : Strategy {
+    int calls = 0;
+    Nanos short_deadline = 0;
+    std::string name() const override { return "test-rearm"; }
+    PacketDecision next_packet(TxBacklog& b, const StrategyEnv& env) override {
+      PacketDecision d;
+      if (b.empty()) return d;
+      ++calls;
+      if (calls == 1) {
+        d.action = PacketDecision::Action::Wait;
+        d.wait_until = env.now + usec(1000);
+        return d;
+      }
+      if (short_deadline == 0) short_deadline = env.now + usec(20);
+      if (env.now < short_deadline) {
+        d.action = PacketDecision::Action::Wait;
+        d.wait_until = short_deadline;  // EARLIER than the pending 1 ms
+        return d;
+      }
+      d.action = PacketDecision::Action::Send;
+      while (b.has_control()) d.frags.push_back(b.pop_control());
+      while (b.frag_count() > 0) d.frags.push_back(b.pop(b.oldest_flow()));
+      return d;
+    }
+  };
+  StrategyRegistry::instance().register_strategy(
+      "test-rearm", [] { return std::make_unique<Rearm>(); });
+
+  EngineConfig cfg;
+  cfg.strategy = "test-rearm";
+  SimWorld world(2, cfg);
+  world.connect(0, 1, drv::test_profile());
+  Channel a1 = world.node(0).open_channel(1, 7);
+  Channel a2 = world.node(0).open_channel(1, 8);
+  Channel b1 = world.node(1).open_channel(0, 7);
+  Channel b2 = world.node(1).open_channel(0, 8);
+
+  send_bytes(a1, pattern(16, 1));  // decision #1: Wait(now + 1 ms)
+  send_bytes(a2, pattern(16, 2));  // decision #2: Wait(now + 20 us)
+  EXPECT_EQ(recv_bytes(b1, 16), pattern(16, 1));
+  EXPECT_EQ(recv_bytes(b2, 16), pattern(16, 2));
+  // With the re-arm in place the flush happens at ~20 us (+ transfer
+  // costs), far below the stale 1 ms deadline. The old code delivered at
+  // >= 1 ms.
+  EXPECT_LT(world.now(), usec(500));
+  // Both fragments left in ONE packet at the short deadline.
+  EXPECT_EQ(world.node(0).stats().counter("tx.packets"), 1u);
+}
+
 }  // namespace
 }  // namespace mado::core

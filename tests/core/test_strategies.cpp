@@ -583,5 +583,51 @@ TEST_F(AdaptiveTest, ControlsNeverHeld) {
   EXPECT_EQ(d.action, PacketDecision::Action::Send);
 }
 
+TEST_F(AdaptiveTest, OldestFlowLookupMatchesFullScan) {
+  // The O(1) TxBacklog::oldest_flow() the hold check now relies on must
+  // agree with a from-scratch scan for the minimum head submit order —
+  // exactly what the old code computed by rebuilding (and heap-allocating)
+  // the whole flow list via active_flows().
+  TxBacklog b;
+  std::uint64_t order = 1;
+  for (ChannelId ch : {ChannelId{5}, ChannelId{2}, ChannelId{9}}) {
+    b.push(data_frag(ch, 0, 0, 2, 16, order, static_cast<Nanos>(order)));
+    ++order;
+    b.push(data_frag(ch, 0, 1, 2, 16, order, static_cast<Nanos>(order)));
+    ++order;
+  }
+  while (b.frag_count() > 0) {
+    ChannelId brute = 0;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (ChannelId ch : b.active_flows()) {
+      if (b.peek(ch).order < best) {
+        best = b.peek(ch).order;
+        brute = ch;
+      }
+    }
+    ASSERT_EQ(b.oldest_flow(), brute);
+    ASSERT_EQ(b.oldest_submit_time(), b.peek(brute).submit_time);
+    b.pop(b.oldest_flow());  // consume; the index must stay consistent
+  }
+}
+
+TEST_F(AdaptiveTest, LargeLoneFragmentNotHeld) {
+  // The hold-worthiness size check reads the lone fragment through
+  // oldest_flow(); a fragment already a sizable share of max_eager is sent
+  // immediately even when a companion is likely.
+  auto s = make_adaptive_strategy();
+  for (int i = 0; i < 3; ++i) {
+    TxBacklog warm;
+    warm.push(data_frag(1, static_cast<MsgSeq>(i), 0, 1, 32, 1,
+                        static_cast<Nanos>(i) * usec(1)));
+    s->next_packet(warm,
+                   env(0, 0, usec(10), static_cast<Nanos>(i) * usec(1)));
+  }
+  TxBacklog b;
+  b.push(data_frag(1, 9, 0, 1, 300, 1, usec(4)));  // 300 * 4 >= 1024
+  auto d = s->next_packet(b, env(0, 0, usec(10), usec(4)));
+  EXPECT_EQ(d.action, PacketDecision::Action::Send);
+}
+
 }  // namespace
 }  // namespace mado::core

@@ -37,6 +37,58 @@ TEST(SpscRing, SizeTracksOccupancy) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+// Instrumented element type whose move behaves like an element-wise /
+// copy-on-move type (e.g. an inline small-vector or a shared handle): the
+// moved-from source still counts as holding its resource until it is
+// destroyed or reassigned. `live` counts resource-holding instances.
+struct StickyResource {
+  static inline int live = 0;
+  int value = 0;
+  bool active = false;
+  StickyResource() = default;
+  explicit StickyResource(int v) : value(v), active(true) { ++live; }
+  StickyResource(StickyResource&& o) noexcept
+      : value(o.value), active(o.active) {
+    if (active) ++live;  // source stays active — the sticky part
+  }
+  StickyResource& operator=(StickyResource&& o) noexcept {
+    if (this == &o) return *this;
+    if (active) --live;
+    value = o.value;
+    active = o.active;
+    if (active) ++live;
+    return *this;
+  }
+  StickyResource(const StickyResource&) = delete;
+  StickyResource& operator=(const StickyResource&) = delete;
+  ~StickyResource() {
+    if (active) --live;
+  }
+};
+
+TEST(SpscRing, PopResetsSlotSoNoResourceIsPinned) {
+  // Regression: try_pop used to leave the moved-from element in its slot.
+  // For element types whose move does not empty the source, a quiet ring
+  // then pinned the last popped element's resources until the slot was
+  // overwritten a full lap later. try_pop must reset the slot to a
+  // default-constructed T.
+  StickyResource::live = 0;
+  {
+    SpscRing<StickyResource> q(8);
+    EXPECT_TRUE(q.try_push(StickyResource(7)));
+    EXPECT_EQ(StickyResource::live, 1);  // held by the ring slot only
+    {
+      auto v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(v->value, 7);
+      // Only the popped copy remains live; the ring slot was reset.
+      EXPECT_EQ(StickyResource::live, 1);
+    }
+    EXPECT_EQ(StickyResource::live, 0);  // nothing pinned in the idle ring
+  }
+  EXPECT_EQ(StickyResource::live, 0);
+}
+
 TEST(SpscRing, WrapAround) {
   SpscRing<int> q(4);
   for (int round = 0; round < 100; ++round) {

@@ -160,5 +160,44 @@ TEST(SmallVector, DestroysAllElements) {
   EXPECT_EQ(DtorCounter::live, 0);
 }
 
+TEST(SmallVector, InsertAtPositionsAndAcrossGrowth) {
+  SmallVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(3);
+  auto it = v.insert(v.begin() + 1, 2);  // middle
+  EXPECT_EQ(*it, 2);
+  v.insert(v.begin(), 0);           // front
+  v.insert(v.end(), 4);             // back (spills past inline capacity)
+  v.insert(v.begin() + 5, 5);
+  ASSERT_EQ(v.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_FALSE(v.is_inline());
+}
+
+TEST(SmallVector, EraseShiftsAndReturnsNext) {
+  SmallVector<int, 4> v{10, 20, 30, 40};
+  auto it = v.erase(v.begin() + 1);  // remove 20
+  EXPECT_EQ(*it, 30);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 30);
+  EXPECT_EQ(v[2], 40);
+  it = v.erase(v.begin() + 2);  // remove last
+  EXPECT_EQ(it, v.end());
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, InsertEraseNonTrivial) {
+  SmallVector<std::string, 2> v;
+  v.push_back("a");
+  v.push_back("c-long-enough-to-defeat-sso-optimizations");
+  v.insert(v.begin() + 1, "b-long-enough-to-defeat-sso-optimizations");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "b-long-enough-to-defeat-sso-optimizations");
+  v.erase(v.begin());
+  EXPECT_EQ(v[0], "b-long-enough-to-defeat-sso-optimizations");
+  EXPECT_EQ(v[1], "c-long-enough-to-defeat-sso-optimizations");
+}
+
 }  // namespace
 }  // namespace mado
