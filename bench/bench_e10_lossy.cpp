@@ -1,0 +1,108 @@
+// E10 — reliable delivery over lossy rails (ISSUE 2): one-way streaming
+// goodput vs wire drop rate, with the ack/retransmit layer turned on.
+//
+// Sweep: drop ∈ {0, 0.1%, 0.5%, 1%, 2%, 5%} (both directions — data AND
+// acks are lossy) for an eager size and a rendezvous size.
+//
+// Expected shape: goodput degrades gracefully with loss — go-back-N
+// retransmission costs roughly the dropped packets plus the tail they drag
+// along, so a few percent loss should cost a few (not tens of) percent of
+// bandwidth at eager sizes, more at bulk sizes where a lost chunk stalls
+// the whole stream for one RTO. `retransmits` grows with the drop rate;
+// at drop=0 it stays 0 and the reliability tax is pure header bytes.
+//
+// BM_E10_ReliabilityOverhead isolates that tax: the same clean-link stream
+// with the layer off vs on (acceptance: the off-path is untouched and the
+// on-path costs only the extra header fields + ack packets).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::bench;
+
+struct LossyResult {
+  double mbps = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rto_backoffs = 0;
+  std::uint64_t dropped = 0;
+};
+
+LossyResult run_lossy_stream(const EngineConfig& cfg, double drop,
+                             std::size_t size, std::size_t total) {
+  SimWorld w(2, cfg);
+  drv::FaultPlan plan_ab;
+  plan_ab.drop = drop;
+  plan_ab.seed = 0xe10a;
+  drv::FaultPlan plan_ba = plan_ab;
+  plan_ba.seed = 0xe10b;  // acks are lossy too
+  w.connect(0, 1, drv::mx_myrinet_profile(), plan_ab, plan_ba);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  const std::size_t n = total / size;
+  const Bytes data = payload(size);
+  for (std::size_t i = 0; i < n; ++i)
+    post_bytes(a, data, core::SendMode::Later);
+  Bytes out(size);
+  for (std::size_t i = 0; i < n; ++i) recv_into(b, out);
+  w.node(0).flush();
+  LossyResult r;
+  r.mbps = static_cast<double>(n * size) / to_usec(w.now());
+  r.retransmits = w.node(0).stats().counter("rel.retransmits");
+  r.rto_backoffs = w.node(0).stats().counter("rel.rto_backoffs");
+  r.dropped = w.endpoint(0, 1, 0).fault_stats().dropped;
+  return r;
+}
+
+void BM_E10_LossyStream(benchmark::State& state) {
+  const double drop =
+      static_cast<double>(state.range(0)) / 1000.0;  // permille → fraction
+  const auto size = static_cast<std::size_t>(state.range(1));
+  EngineConfig cfg;
+  cfg.strategy = "aggreg";
+  cfg.reliability = true;
+  cfg.payload_crc = true;
+
+  LossyResult r;
+  for (auto _ : state)
+    r = run_lossy_stream(cfg, drop, size, /*total=*/4u << 20);
+  state.counters["MBps"] = r.mbps;
+  state.counters["drop_permille"] = static_cast<double>(state.range(0));
+  state.counters["retransmits"] = static_cast<double>(r.retransmits);
+  state.counters["rto_backoffs"] = static_cast<double>(r.rto_backoffs);
+  state.counters["wire_drops"] = static_cast<double>(r.dropped);
+}
+
+void BM_E10_ReliabilityOverhead(benchmark::State& state) {
+  const bool reliable = state.range(0) != 0;
+  const auto size = static_cast<std::size_t>(state.range(1));
+  EngineConfig cfg;
+  cfg.strategy = "aggreg";
+  cfg.reliability = reliable;
+  cfg.payload_crc = reliable;
+
+  LossyResult r;
+  for (auto _ : state)
+    r = run_lossy_stream(cfg, /*drop=*/0.0, size, /*total=*/4u << 20);
+  state.counters["MBps"] = r.mbps;
+  state.counters["retransmits"] = static_cast<double>(r.retransmits);
+  state.SetLabel(reliable ? "reliable" : "baseline");
+}
+
+}  // namespace
+
+BENCHMARK(BM_E10_LossyStream)
+    ->ArgsProduct({{0, 1, 5, 10, 20, 50}, {4096, 65536}})
+    ->ArgNames({"drop_pm", "size"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_E10_ReliabilityOverhead)
+    ->ArgsProduct({{0, 1}, {4096, 65536}})
+    ->ArgNames({"rel", "size"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

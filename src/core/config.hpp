@@ -54,6 +54,37 @@ struct EngineConfig {
 
   /// Verify header CRCs on packet decode.
   bool crc_check = true;
+
+  // --- Reliability layer (off by default: lossless fabrics pay nothing) ---
+
+  /// Per-rail ack/retransmit: reliable sequence numbers on every packet,
+  /// cumulative (piggybacked + standalone) acks, retransmit timers with
+  /// exponential backoff, duplicate/out-of-order suppression on RX, and
+  /// failover of un-acked traffic when a rail dies.
+  bool reliability = false;
+
+  /// Additionally protect packet *payloads* with CRC-32 (headers always
+  /// are). A payload CRC mismatch drops the packet (`rel.payload_crc_drops`)
+  /// and lets retransmission repair it. Requires `reliability`.
+  bool payload_crc = false;
+
+  /// Go-back-N send window per (rail, stream): packets sent but not yet
+  /// cumulatively acked. Bounds both the retransmit burst after a loss (a
+  /// drop resends at most this many packets) and the retained-payload
+  /// memory. Standalone acks are unsequenced and never count against it.
+  std::size_t rel_window = 64;
+
+  /// Initial retransmit timeout for un-acked packets. The armed deadline
+  /// additionally includes the cost model's estimate of draining all
+  /// un-acked bytes, so a slow fat chunk does not trip a spurious timeout.
+  Nanos rel_rto_initial = 200 * kNanosPerMicro;
+
+  /// Ceiling for the exponential RTO backoff.
+  Nanos rel_rto_max = 10 * kNanosPerMilli;
+
+  /// Consecutive timeout rounds (backoffs without forward progress) before
+  /// a rail is declared Down and its traffic fails over.
+  std::size_t rel_max_retries = 10;
 };
 
 }  // namespace mado::core

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace mado::core {
@@ -87,8 +88,13 @@ const Engine::PeerState* Engine::find_peer_locked(NodeId peer) const {
 RailId Engine::rail_for_class_locked(const PeerState& ps,
                                      TrafficClass cls) const {
   MADO_ASSERT(!ps.rails.empty());
-  const RailId wanted = class_rail_[static_cast<std::size_t>(cls)];
-  return static_cast<RailId>(wanted % ps.rails.size());
+  const RailId wanted = static_cast<RailId>(
+      class_rail_[static_cast<std::size_t>(cls)] % ps.rails.size());
+  if (ps.rails[wanted]->state != RailState::Down) return wanted;
+  // Pinned rail is dead: fail over to any surviving rail.
+  for (std::size_t i = 0; i < ps.rails.size(); ++i)
+    if (ps.rails[i]->state != RailState::Down) return static_cast<RailId>(i);
+  return wanted;  // every rail is dead — callers fail the operation
 }
 
 RailId Engine::rail_for_submit_locked(const PeerState& ps,
@@ -98,18 +104,22 @@ RailId Engine::rail_for_submit_locked(const PeerState& ps,
     return rail_for_class_locked(ps, cls);
   // LeastLoaded: queued + in-flight bytes, normalized by link bandwidth so
   // a loaded fast rail can still beat an idle slow one.
+  bool found = false;
   std::size_t best = 0;
   double best_cost = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < ps.rails.size(); ++i) {
     const Rail& r = *ps.rails[i];
+    if (r.state == RailState::Down) continue;
     const double load =
         static_cast<double>(r.backlog.byte_count() + r.inflight_bytes);
     const double cost = load / r.ep->caps().cost.link_bytes_per_us;
     if (cost < best_cost) {
       best_cost = cost;
       best = i;
+      found = true;
     }
   }
+  if (!found) return rail_for_class_locked(ps, cls);  // all rails dead
   return static_cast<RailId>(best);
 }
 
@@ -123,14 +133,24 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
   MADO_CHECK_MSG(cit != ps.channels.end(), "channel " << ch << " not open");
   ChannelState& cs = cit->second;
 
-  const MsgSeq seq = cs.next_tx_seq++;
   const auto nfrags = static_cast<std::uint16_t>(msg.fragment_count());
+  const RailId rail_id = rail_for_submit_locked(ps, cs.cls);
+  Rail& rail = *ps.rails[rail_id];
+  if (rail.state == RailState::Down) {
+    // Every rail toward the peer is dead: fail fast instead of queueing onto
+    // a corpse (wait_send() then returns false immediately).
+    auto dead = std::make_shared<SendState>();
+    dead->pending = nfrags;
+    dead->failed = true;
+    stats_.inc("rel.failed_sends");
+    return SendHandle(dead);
+  }
+
+  const MsgSeq seq = cs.next_tx_seq++;
   auto state = std::make_shared<SendState>();
   state->pending = nfrags;
   ++cs.outstanding_sends;
 
-  const RailId rail_id = rail_for_submit_locked(ps, cs.cls);
-  Rail& rail = *ps.rails[rail_id];
   const drv::Capabilities& caps = rail.ep->caps();
   const std::size_t rdv_thr = cfg_.rdv_threshold_override != 0
                                   ? cfg_.rdv_threshold_override
@@ -222,6 +242,7 @@ void Engine::pump_peer_locked(PeerState& ps) {
 }
 
 void Engine::pump_rail_locked(PeerState& ps, Rail& rail) {
+  if (rail.state == RailState::Down) return;  // drained by the failover
   bool progressed = true;
   while (progressed) {
     progressed = false;
@@ -254,6 +275,10 @@ void Engine::pump_rail_locked(PeerState& ps, Rail& rail) {
 
 bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
   if (rail.backlog.empty()) return false;
+  // Reliability window: hold new packets while a full go-back-N window is
+  // awaiting acks (acks re-pump on arrival).
+  if (cfg_.reliability && rail.rel[0].unacked.size() >= cfg_.rel_window)
+    return false;
   StrategyEnv env{rail.ep->caps(), timers_.now(), cfg_.lookahead_window,
                   cfg_.eval_budget, cfg_.nagle_delay, &stats_};
   PacketDecision d = strategy_->next_packet(rail.backlog, env);
@@ -288,6 +313,8 @@ bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
 
 bool Engine::try_send_bulk_locked(PeerState& ps, Rail& rail) {
   if (!rail.track_free(rail.bulk_track())) return false;
+  if (cfg_.reliability && rail.rel[1].unacked.size() >= cfg_.rel_window)
+    return false;
   BulkChunk chunk;
   if (!pop_bulk_chunk_locked(ps, rail, chunk)) return false;
   send_bulk_chunk_locked(ps, rail, chunk);
@@ -322,8 +349,28 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
 
   PacketHeader ph;
   ph.nfrags = static_cast<std::uint16_t>(rec.frags.size());
-  ph.pkt_seq = rail.pkt_seq++;
   ph.src_node = self_;
+  if (cfg_.reliability) {
+    RelTrack& rt = rail.rel[0];
+    ph.flags |= kPhFlagRelSeq | kPhFlagAck;
+    ph.pkt_seq = rt.next_seq++;
+    ph.ack_eager = rail.rel[0].rx_next;
+    ph.ack_bulk = rail.rel[1].rx_next;
+    rail.ack_owed = false;
+    if (cfg_.payload_crc) {
+      Crc32 crc;
+      for (const TxFrag& f : rec.frags) crc.update(f.data(), f.len);
+      ph.flags |= kPhFlagPayloadCrc;
+      ph.payload_crc = crc.value();
+    }
+    rec.reliable = true;
+    rec.rel_stream = 0;
+    rec.rel_seq = ph.pkt_seq;
+    rec.tx_outstanding = 1;
+    rt.unacked.push_back(token);
+  } else {
+    ph.pkt_seq = rail.pkt_seq++;
+  }
   mado::SmallVector<FragHeader, 16> fhs;
   fhs.reserve(rec.frags.size());
   for (const TxFrag& f : rec.frags) fhs.push_back(f.header());
@@ -336,6 +383,7 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
   gl.add(rec.header_block.data(), rec.header_block.size());
   for (const TxFrag& f : rec.frags) gl.add(f.data(), f.len);
   rec.wire_bytes = gl.total_bytes();
+  if (rec.reliable) rail.rel[0].unacked_bytes += rec.wire_bytes;
 
   ++rail.outstanding[drv::kTrackEager];
   rail.inflight_bytes += rec.wire_bytes;
@@ -349,6 +397,7 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
   trace_locked(TraceEvent::PacketTx, ps.id, rail.port.rail, token,
                rec.wire_bytes, rec.frags.size());
   rail.ep->send(drv::kTrackEager, gl, token);
+  if (cfg_.reliability) arm_rto_locked(ps, rail, 0);
 }
 
 void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
@@ -366,6 +415,7 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   rec.track = rail.bulk_track();
   rec.is_bulk = true;
   rec.rdv_token = chunk.token;
+  rec.chunk_off = chunk.offset;
   rec.chunk_len = chunk.len;
 
   BulkHeader bh;
@@ -373,6 +423,23 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   bh.token = chunk.token;
   bh.offset = chunk.offset;
   bh.len = chunk.len;
+  if (cfg_.reliability) {
+    RelTrack& rt = rail.rel[1];
+    bh.flags |= kPhFlagRelSeq | kPhFlagAck;
+    bh.pkt_seq = rt.next_seq++;
+    bh.ack_eager = rail.rel[0].rx_next;
+    bh.ack_bulk = rail.rel[1].rx_next;
+    rail.ack_owed = false;
+    if (cfg_.payload_crc) {
+      bh.flags |= kPhFlagPayloadCrc;
+      bh.payload_crc = Crc32::of(rdv.data + chunk.offset, chunk.len);
+    }
+    rec.reliable = true;
+    rec.rel_stream = 1;
+    rec.rel_seq = bh.pkt_seq;
+    rec.tx_outstanding = 1;
+    rt.unacked.push_back(token);
+  }
   rec.header_block = slab_.take(BulkHeader::kWireSize);
   encode_bulk_header(rec.header_block, bh);
 
@@ -380,6 +447,7 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   gl.add(rec.header_block.data(), rec.header_block.size());
   gl.add(rdv.data + chunk.offset, chunk.len);
   rec.wire_bytes = gl.total_bytes();
+  if (rec.reliable) rail.rel[1].unacked_bytes += rec.wire_bytes;
 
   ++rail.outstanding[rec.track];
   rail.inflight_bytes += rec.wire_bytes;
@@ -388,6 +456,7 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   trace_locked(TraceEvent::BulkTx, ps.id, rail.port.rail, chunk.token,
                chunk.offset, chunk.len);
   rail.ep->send(rec.track, gl, token);
+  if (cfg_.reliability) arm_rto_locked(ps, rail, 1);
 }
 
 void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
@@ -429,9 +498,13 @@ void Engine::on_send_complete(NodeId peer, RailId rail_id, drv::TrackId track,
     PeerState* ps = find_peer_locked(peer);
     if (!ps) return;  // torn down
     Rail& rail = *ps->rails[rail_id];
+    // A dead rail's in-flight records were drained by the failover; late
+    // completions from its driver refer to nothing and carry no news.
+    if (rail.state == RailState::Down) return;
     complete_send_locked(*ps, rail, track, token);
     // The NIC became idle: this is the optimizer's trigger (paper §3).
     pump_rail_locked(*ps, rail);
+    maybe_send_ack_locked(*ps, rail);
   }
   cv_.notify_all();
 }
@@ -440,13 +513,27 @@ void Engine::complete_send_locked(PeerState& ps, Rail& rail,
                                   drv::TrackId track, std::uint64_t token) {
   auto it = inflight_.find(token);
   MADO_CHECK_MSG(it != inflight_.end(), "completion for unknown packet");
-  InFlight rec = std::move(it->second);
-  inflight_.erase(it);
-  MADO_ASSERT(rec.track == track);
+  InFlight& live = it->second;
+  MADO_ASSERT(live.track == track);
   MADO_ASSERT(rail.outstanding[track] > 0);
   --rail.outstanding[track];
-  MADO_ASSERT(rail.inflight_bytes >= rec.wire_bytes);
-  rail.inflight_bytes -= rec.wire_bytes;
+  MADO_ASSERT(rail.inflight_bytes >= live.wire_bytes);
+  rail.inflight_bytes -= live.wire_bytes;
+  if (cfg_.reliability && live.reliable) {
+    // The record doubles as the retransmit buffer: it survives driver
+    // completion until the peer's cumulative ack covers its sequence (and
+    // every transmission has left the driver — gather segments must stay
+    // valid until their completion fires).
+    MADO_ASSERT(live.tx_outstanding > 0);
+    --live.tx_outstanding;
+    if (!live.acked || live.tx_outstanding > 0) return;
+  }
+  InFlight rec = std::move(live);
+  inflight_.erase(it);
+  finalize_inflight_locked(ps, rec);
+}
+
+void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
   slab_.recycle(std::move(rec.header_block));
 
   if (rec.is_bulk) {
@@ -479,6 +566,9 @@ void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
                                         const SendStateRef& state) {
   MADO_ASSERT(state->pending > 0);
   if (--state->pending == 0) {
+    // A failed message already released its channel slot in
+    // fail_state_locked; a late completion must not double-release.
+    if (state->failed) return;
     auto it = ps.channels.find(ch);
     if (it != ps.channels.end()) {
       MADO_ASSERT(it->second.outstanding_sends > 0);
@@ -486,6 +576,413 @@ void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
     }
     stats_.inc("tx.msgs_completed");
   }
+}
+
+// ---- reliability layer -------------------------------------------------------
+//
+// Per-(rail, stream) go-back-N. Stream 0 carries eager packets, stream 1
+// bulk chunks; each has an independent u32 sequence space compared on the
+// serial-number circle (seq_less). Acks are cumulative ("next expected
+// seq") and piggyback on every reliable data packet; a standalone ack
+// packet (zero fragments, kPhFlagAck without kPhFlagRelSeq — so it is
+// never acked itself) goes out only when nothing else is about to carry
+// one. The retransmit timer follows the nagle-timer protocol: TimerHost
+// cannot cancel, so re-arms bump a generation and superseded callbacks
+// no-op. Everything below is inert unless cfg_.reliability.
+
+void Engine::process_acks_locked(PeerState& ps, Rail& rail,
+                                 std::uint32_t ack_eager,
+                                 std::uint32_t ack_bulk) {
+  const std::uint32_t acks[2] = {ack_eager, ack_bulk};
+  bool progressed = false;
+  for (int s = 0; s < 2; ++s) {
+    RelTrack& rt = rail.rel[s];
+    const std::uint32_t a = acks[s];
+    // Cumulative + serial comparison: stale acks (retransmitted headers
+    // carry the values current at first transmit) are simply no news.
+    if (!seq_less(rt.acked, a)) continue;
+    while (!rt.unacked.empty()) {
+      const std::uint64_t token = rt.unacked.front();
+      auto it = inflight_.find(token);
+      MADO_ASSERT(it != inflight_.end());
+      InFlight& rec = it->second;
+      if (!seq_less(rec.rel_seq, a)) break;
+      rec.acked = true;
+      rt.unacked.pop_front();
+      rt.unacked_bytes -= std::min(rt.unacked_bytes, rec.wire_bytes);
+      if (rec.tx_outstanding == 0) {
+        // All transmissions left the driver: safe to release the record
+        // (gather segments no longer referenced).
+        InFlight done = std::move(rec);
+        inflight_.erase(it);
+        finalize_inflight_locked(ps, done);
+      }
+    }
+    rt.acked = a;
+    rt.retries = 0;
+    rt.rto = cfg_.rel_rto_initial;
+    progressed = true;
+  }
+  // The peer is demonstrably hearing us again.
+  if (progressed && rail.state == RailState::Degraded)
+    rail.state = RailState::Up;
+}
+
+void Engine::arm_rto_locked(PeerState& ps, Rail& rail, int stream) {
+  RelTrack& rt = rail.rel[stream];
+  if (rt.rto_pending || rt.unacked.empty()) return;
+  if (rt.rto == 0) rt.rto = cfg_.rel_rto_initial;
+  rt.rto_pending = true;
+  rt.armed_acked = rt.acked;
+  const std::uint64_t gen = ++rt.rto_gen;
+  const NodeId peer = ps.id;
+  const RailId rail_id = rail.port.rail;
+  // Floor the deadline with the cost model's estimate of draining every
+  // un-acked byte on the rail (both streams share the physical link) plus
+  // an ack round trip. A bare fixed RTO fires spuriously the moment one
+  // bulk chunk's serialization time exceeds it; the optimizer and the
+  // driver share the NIC cost model, so the engine can know the drain time
+  // without measuring it (the paper's "parameterized by the capabilities
+  // of the underlying network drivers").
+  const sim::NicModel model = rail.ep->caps().model();
+  const std::size_t pending_bytes =
+      rail.rel[0].unacked_bytes + rail.rel[1].unacked_bytes;
+  const Nanos wire_floor =
+      model.busy_time(pending_bytes, 1) + 2 * model.propagation_latency();
+  timers_.schedule_at(
+      timers_.now() + rt.rto + wire_floor,
+      [this, alive = alive_, peer, rail_id, stream, gen] {
+        if (!alive->load()) return;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          PeerState* p = find_peer_locked(peer);
+          if (!p || rail_id >= p->rails.size()) return;
+          Rail& r = *p->rails[rail_id];
+          RelTrack& t = r.rel[stream];
+          if (t.rto_gen != gen) return;  // superseded by a re-arm
+          t.rto_pending = false;
+          if (r.state == RailState::Down || t.unacked.empty()) return;
+          if (t.armed_acked != t.acked) {
+            // Acks advanced since arming: not a timeout — restart the
+            // clock for the remaining tail.
+            arm_rto_locked(*p, r, stream);
+          } else {
+            rto_expired_locked(*p, r, stream);
+          }
+          pump_rail_locked(*p, r);
+        }
+        cv_.notify_all();
+      });
+}
+
+void Engine::rto_expired_locked(PeerState& ps, Rail& rail, int stream) {
+  RelTrack& rt = rail.rel[stream];
+  ++rt.retries;
+  stats_.inc("rel.rto_backoffs");
+  if (rt.retries > cfg_.rel_max_retries) {
+    // The link is not coming back: give up and fail over.
+    fail_rail_locked(ps, rail);
+    return;
+  }
+  if (rail.state == RailState::Up) rail.state = RailState::Degraded;
+  // Go-back-N: resend every unacked packet on this stream, oldest first
+  // (the receiver discards anything past the first gap, so the whole tail
+  // needs to fly again).
+  for (const std::uint64_t token : rt.unacked) {
+    auto it = inflight_.find(token);
+    MADO_ASSERT(it != inflight_.end());
+    retransmit_locked(rail, token, it->second);
+  }
+  rt.rto = std::min<Nanos>(rt.rto * 2, cfg_.rel_rto_max);
+  arm_rto_locked(ps, rail, stream);
+}
+
+void Engine::retransmit_locked(Rail& rail, std::uint64_t token,
+                               InFlight& rec) {
+  // Rebuild the gather list from the retained record; the driver token is
+  // reused so every completion (original or retransmit) finds the record.
+  GatherList gl;
+  gl.add(rec.header_block.data(), rec.header_block.size());
+  if (rec.is_bulk) {
+    auto rit = rdv_tx_.find(rec.rdv_token);
+    MADO_CHECK(rit != rdv_tx_.end());
+    gl.add(rit->second.data + rec.chunk_off, rec.chunk_len);
+  } else {
+    for (const TxFrag& f : rec.frags) gl.add(f.data(), f.len);
+  }
+  ++rec.tx_outstanding;
+  ++rail.outstanding[rec.track];
+  rail.inflight_bytes += rec.wire_bytes;
+  stats_.inc("rel.retransmits");
+  stats_.inc("tx.bytes", rec.wire_bytes);
+  trace_locked(TraceEvent::RelRetx, rec.peer, rec.rail, token,
+               rec.rel_stream, rail.rel[rec.rel_stream].retries);
+  MADO_TRACE("node " << self_ << " retransmit token=" << token << " stream="
+                     << int(rec.rel_stream) << " seq=" << rec.rel_seq);
+  rail.ep->send(rec.track, gl, token);
+}
+
+void Engine::maybe_send_ack_locked(PeerState& ps, Rail& rail) {
+  if (!cfg_.reliability || !rail.ack_owed) return;
+  if (rail.state == RailState::Down) return;
+  // A queued data packet will piggyback the ack for free; only spend a
+  // standalone packet when the stream toward the peer is otherwise silent.
+  if (!rail.backlog.empty()) return;
+  if (!rail.track_free(drv::kTrackEager)) return;
+
+  const std::uint64_t token = next_pkt_token_++;
+  auto [it, inserted] = inflight_.emplace(token, InFlight{});
+  MADO_ASSERT(inserted);
+  InFlight& rec = it->second;
+  rec.peer = ps.id;
+  rec.rail = rail.port.rail;
+  rec.track = drv::kTrackEager;
+
+  PacketHeader ph;
+  ph.flags = kPhFlagAck;  // no RelSeq: acks are never themselves acked
+  ph.nfrags = 0;
+  ph.src_node = self_;
+  ph.ack_eager = rail.rel[0].rx_next;
+  ph.ack_bulk = rail.rel[1].rx_next;
+  rail.ack_owed = false;
+  rec.header_block = slab_.take(PacketHeader::kWireSize);
+  encode_header_block(rec.header_block, ph, std::span<const FragHeader>());
+
+  GatherList gl;
+  gl.add(rec.header_block.data(), rec.header_block.size());
+  rec.wire_bytes = gl.total_bytes();
+  ++rail.outstanding[drv::kTrackEager];
+  rail.inflight_bytes += rec.wire_bytes;
+  stats_.inc("rel.acks_tx");
+  stats_.inc("tx.bytes", rec.wire_bytes);
+  rail.ep->send(drv::kTrackEager, gl, token);
+}
+
+bool Engine::rel_rx_accept_locked(Rail& rail, int stream, std::uint8_t flags,
+                                  std::uint32_t seq) {
+  if (!cfg_.reliability || !(flags & kPhFlagRelSeq)) return true;
+  RelTrack& rt = rail.rel[stream];
+  if (seq == rt.rx_next) {
+    ++rt.rx_next;
+    rail.ack_owed = true;
+    return true;
+  }
+  rail.ack_owed = true;  // re-ack either way so the sender resynchronizes
+  if (seq_less(seq, rt.rx_next)) {
+    // Retransmitted copy of something already delivered (our ack was lost
+    // or late): suppress the duplicate, refresh the ack.
+    stats_.inc("rel.dup_drops");
+  } else {
+    // Gap: a go-back-N receiver drops past the first hole; the sender's
+    // timeout resends the whole tail in order.
+    stats_.inc("rel.ooo_drops");
+  }
+  return false;
+}
+
+void Engine::fail_state_locked(PeerState& ps, ChannelId ch,
+                               const SendStateRef& state) {
+  if (!state || state->failed) return;
+  state->failed = true;
+  stats_.inc("rel.failed_sends");
+  if (ch == kRmaChannel) return;
+  auto it = ps.channels.find(ch);
+  if (it != ps.channels.end() && it->second.outstanding_sends > 0)
+    --it->second.outstanding_sends;  // the message is over, unsuccessfully
+}
+
+void Engine::note_rdv_done_locked(NodeId peer, std::uint64_t token) {
+  if (!cfg_.reliability) return;
+  if (!rdv_rx_done_.insert({peer, token}).second) return;
+  rdv_rx_done_fifo_.push_back({peer, token});
+  // Bounded: old entries age out. A replay can only arrive while its
+  // sender still holds the un-acked record, which is far fresher than the
+  // retention horizon here.
+  while (rdv_rx_done_fifo_.size() > 1024) {
+    rdv_rx_done_.erase(rdv_rx_done_fifo_.front());
+    rdv_rx_done_fifo_.pop_front();
+  }
+}
+
+bool Engine::rdv_was_done_locked(NodeId peer, std::uint64_t token) const {
+  return cfg_.reliability && rdv_rx_done_.count({peer, token}) > 0;
+}
+
+void Engine::on_link_down(NodeId peer, RailId rail_id) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PeerState* ps = find_peer_locked(peer);
+    if (!ps || rail_id >= ps->rails.size()) return;
+    Rail& rail = *ps->rails[rail_id];
+    if (rail.state == RailState::Down) return;
+    MADO_WARN("node " << self_ << ": rail " << int(rail_id) << " to peer "
+                      << peer << " is down");
+    fail_rail_locked(*ps, rail);
+    pump_peer_locked(*ps);
+  }
+  cv_.notify_all();
+}
+
+void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
+  if (rail.state == RailState::Down) return;
+  rail.state = RailState::Down;
+  stats_.inc("rel.rail_failovers");
+
+  // Orphan every pending timer on this rail (nagle + both RTOs).
+  ++rail.nagle_timer_gen;
+  rail.nagle_timer_pending = false;
+  for (auto& rt : rail.rel) {
+    ++rt.rto_gen;
+    rt.rto_pending = false;
+  }
+  rail.ack_owed = false;
+
+  Rail* survivor = nullptr;
+  for (auto& r : ps.rails)
+    if (r.get() != &rail && r->state != RailState::Down) {
+      survivor = r.get();
+      break;
+    }
+
+  std::size_t replayed_frags = 0, replayed_chunks = 0, failed_sends = 0;
+  const RailId rail_id = rail.port.rail;
+
+  // 1. In-flight records on this rail. Acked ones are finalized (the peer
+  //    has the bytes; only the driver completion is lost with the link).
+  //    Un-acked reliable ones replay onto the survivor in send order —
+  //    their payload storage lives in the record, so replay is a re-queue,
+  //    not a copy. Without reliability (or a survivor) the sends fail.
+  std::vector<std::uint64_t> tokens;
+  for (const auto& [token, rec] : inflight_)
+    if (rec.peer == ps.id && rec.rail == rail_id) tokens.push_back(token);
+  for (auto& rt : rail.rel) {
+    rt.unacked.clear();
+    rt.unacked_bytes = 0;
+  }
+
+  for (const std::uint64_t token : tokens) {
+    auto it = inflight_.find(token);
+    InFlight rec = std::move(it->second);
+    inflight_.erase(it);
+    if (rec.reliable && rec.acked) {
+      finalize_inflight_locked(ps, rec);
+      continue;
+    }
+    if (rec.reliable && survivor && cfg_.reliability) {
+      if (rec.is_bulk) {
+        // Re-queue the chunk; it rides the survivor's bulk stream with a
+        // fresh sequence number.
+        BulkChunk chunk{rec.rdv_token, rec.chunk_off, rec.chunk_len};
+        if (cfg_.multirail == MultirailPolicy::DynamicSplit)
+          ps.shared_bulk.push_back(chunk);
+        else
+          survivor->bulk_q.push_back(chunk);
+        ++replayed_chunks;
+        stats_.inc("rel.replayed_chunks");
+      } else {
+        for (TxFrag& f : rec.frags) {
+          // Fresh order/submit_time: the backlog's flow index requires
+          // monotonicity, and "now" is when this fragment re-entered the
+          // collect layer.
+          f.submit_time = timers_.now();
+          f.order = next_submit_order_++;
+          ++replayed_frags;
+          stats_.inc("rel.replayed_frags");
+          if (f.kind == FragKind::RdvCts || f.kind == FragKind::RmaAck)
+            survivor->backlog.push_control(std::move(f));
+          else
+            survivor->backlog.push(std::move(f));
+        }
+        rec.frags.clear();
+      }
+      slab_.recycle(std::move(rec.header_block));
+      continue;
+    }
+    // No survivor (or reliability off): the bytes are gone.
+    ++failed_sends;
+    if (rec.is_bulk) {
+      auto rit = rdv_tx_.find(rec.rdv_token);
+      if (rit != rdv_tx_.end())
+        fail_state_locked(ps, rit->second.channel, rit->second.state);
+    } else {
+      for (TxFrag& f : rec.frags) {
+        fail_state_locked(ps, f.channel, f.state);
+        slab_.recycle(std::move(f.owned));
+      }
+    }
+    slab_.recycle(std::move(rec.header_block));
+  }
+
+  // 2. The dead rail's backlog: control first (CTS/acks unblock the peer),
+  //    then data flows oldest-head-first — the same order the optimizer
+  //    would have consumed them in.
+  while (rail.backlog.has_control()) {
+    TxFrag f = rail.backlog.pop_control();
+    if (survivor) {
+      f.submit_time = timers_.now();
+      f.order = next_submit_order_++;
+      ++replayed_frags;
+      survivor->backlog.push_control(std::move(f));
+    } else {
+      ++failed_sends;
+      fail_state_locked(ps, f.channel, f.state);
+      slab_.recycle(std::move(f.owned));
+    }
+  }
+  while (!rail.backlog.empty()) {
+    TxFrag f = rail.backlog.pop(rail.backlog.oldest_flow());
+    if (survivor) {
+      f.submit_time = timers_.now();
+      f.order = next_submit_order_++;
+      ++replayed_frags;
+      survivor->backlog.push(std::move(f));
+    } else {
+      ++failed_sends;
+      fail_state_locked(ps, f.channel, f.state);
+      slab_.recycle(std::move(f.owned));
+    }
+  }
+
+  // 3. Queued bulk chunks follow their policy onto the survivor.
+  while (!rail.bulk_q.empty()) {
+    BulkChunk chunk = rail.bulk_q.front();
+    rail.bulk_q.pop_front();
+    if (survivor) {
+      if (cfg_.multirail == MultirailPolicy::DynamicSplit)
+        ps.shared_bulk.push_back(chunk);
+      else
+        survivor->bulk_q.push_back(chunk);
+      ++replayed_chunks;
+    }
+  }
+
+  // 4. No survivor: purge everything that would wedge flush() — the sends
+  //    already failed above, keeping their queues would just hang waiters.
+  if (!survivor) {
+    ps.shared_bulk.clear();
+    for (auto it = rdv_tx_.begin(); it != rdv_tx_.end();) {
+      if (it->second.peer == ps.id) {
+        fail_state_locked(ps, it->second.channel, it->second.state);
+        it = rdv_tx_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // The driver may still deliver late completions for this rail; they are
+  // ignored (on_send_complete early-returns on Down), so the accounting is
+  // reset here in one stroke.
+  rail.outstanding.assign(rail.outstanding.size(), 0);
+  rail.inflight_bytes = 0;
+
+  trace_locked(TraceEvent::RailDown, ps.id, rail_id, replayed_frags,
+               replayed_chunks, failed_sends);
+  MADO_WARN("node " << self_ << ": failover off rail " << int(rail_id)
+                    << " to peer " << ps.id << ": replayed "
+                    << replayed_frags << " frags, " << replayed_chunks
+                    << " chunks, failed " << failed_sends << " sends"
+                    << (survivor ? "" : " (no surviving rail)"));
 }
 
 // ---- progression / waiting -------------------------------------------------
@@ -570,10 +1067,23 @@ bool Engine::send_done(const SendHandle& h) const {
   return h.state_->pending == 0;
 }
 
+bool Engine::send_failed(const SendHandle& h) const {
+  MADO_CHECK(h.valid());
+  std::lock_guard<std::mutex> lk(mu_);
+  return h.state_->failed;
+}
+
 bool Engine::wait_send(const SendHandle& h, Nanos timeout) {
   MADO_CHECK(h.valid());
   const SendStateRef state = h.state_;
-  return wait_until_impl([&state] { return state->pending == 0; }, timeout);
+  bool ok = false;
+  wait_until_impl(
+      [&state, &ok] {
+        ok = state->pending == 0;
+        return ok || state->failed;  // failed: stop waiting, report false
+      },
+      timeout);
+  return ok;
 }
 
 bool Engine::flush(Nanos timeout) {
@@ -634,12 +1144,17 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
   MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
   const RailId rail_id = rail_for_class_locked(ps, cls);
   Rail& rail = *ps.rails[rail_id];
+  auto state = std::make_shared<SendState>();
+  state->pending = 1;  // completes on the peer's RmaAck
+  if (rail.state == RailState::Down) {
+    state->failed = true;  // every rail toward the peer is dead
+    stats_.inc("rel.failed_sends");
+    return SendHandle(state);
+  }
   const std::size_t rdv_thr = cfg_.rdv_threshold_override != 0
                                   ? cfg_.rdv_threshold_override
                                   : rail.ep->caps().rdv_threshold;
 
-  auto state = std::make_shared<SendState>();
-  state->pending = 1;  // completes on the peer's RmaAck
   const std::uint64_t ack_token = next_rdv_token_++;
   rma_acks_.emplace(ack_token, state);
 
@@ -690,6 +1205,11 @@ SendHandle Engine::rma_get(NodeId peer, WindowId window, std::uint64_t offset,
 
   auto state = std::make_shared<SendState>();
   state->pending = 1;  // completes when all requested bytes landed
+  if (rail.state == RailState::Down) {
+    state->failed = true;  // every rail toward the peer is dead
+    stats_.inc("rel.failed_sends");
+    return SendHandle(state);
+  }
   const std::uint64_t get_token = next_rdv_token_++;
   pending_gets_.emplace(get_token,
                         PendingGet{static_cast<Byte*>(dest), len, state});
@@ -719,20 +1239,32 @@ RailId Engine::class_rail(TrafficClass cls) const {
 
 void Engine::rebalance_classes() {
   std::lock_guard<std::mutex> lk(mu_);
-  // Load per rail index, summed over peers: queued + in-flight bytes.
+  // Load per rail index, summed over peers: queued + in-flight bytes. A
+  // rail that is Down toward ANY peer is ineligible — pinning a class to it
+  // would strand every peer sharing that index.
   std::vector<std::size_t> load;
+  std::vector<bool> dead;
   for (const auto& [id, ps] : peers_) {
-    if (ps->rails.size() > load.size()) load.resize(ps->rails.size(), 0);
+    if (ps->rails.size() > load.size()) {
+      load.resize(ps->rails.size(), 0);
+      dead.resize(ps->rails.size(), false);
+    }
     for (std::size_t i = 0; i < ps->rails.size(); ++i) {
       const Rail& r = *ps->rails[i];
+      if (r.state == RailState::Down) dead[i] = true;
       std::size_t bulk_bytes = 0;
       for (const BulkChunk& c : r.bulk_q) bulk_bytes += c.len;
       load[i] += r.backlog.byte_count() + r.inflight_bytes + bulk_bytes;
     }
   }
   if (load.size() < 2) return;  // nothing to balance
-  const auto lightest = static_cast<RailId>(
-      std::min_element(load.begin(), load.end()) - load.begin());
+  std::size_t best = load.size();
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    if (dead[i]) continue;
+    if (best == load.size() || load[i] < load[best]) best = i;
+  }
+  if (best == load.size()) return;  // every rail is dead
+  const auto lightest = static_cast<RailId>(best);
   // Latency-sensitive classes follow the least-loaded rail; bulk classes
   // keep their assignment (their chunks already spread per MultirailPolicy).
   class_rail_[static_cast<std::size_t>(TrafficClass::Control)] = lightest;
@@ -812,11 +1344,14 @@ Engine::Snapshot Engine::snapshot() const {
     for (const auto& rail : ps->rails) {
       Snapshot::RailInfo ri;
       ri.driver = rail->ep->caps().name;
+      ri.state = rail->state;
       ri.backlog_frags = rail->backlog.frag_count();
       ri.backlog_bytes = rail->backlog.byte_count();
       ri.bulk_chunks = rail->bulk_q.size();
       for (std::size_t n : rail->outstanding) ri.outstanding_packets += n;
       ri.inflight_bytes = rail->inflight_bytes;
+      ri.unacked_packets =
+          rail->rel[0].unacked.size() + rail->rel[1].unacked.size();
       pi.rails.push_back(std::move(ri));
     }
     s.peers.push_back(std::move(pi));
@@ -852,10 +1387,11 @@ std::string Engine::Snapshot::to_string() const {
        << " shared_bulk=" << p.shared_bulk_chunks << "\n";
     for (std::size_t i = 0; i < p.rails.size(); ++i) {
       const auto& r = p.rails[i];
-      os << "  rail " << i << " (" << r.driver << "): backlog="
-         << r.backlog_frags << " frags/" << r.backlog_bytes
-         << " B, bulk_q=" << r.bulk_chunks << ", outstanding="
-         << r.outstanding_packets << " pkts/" << r.inflight_bytes << " B\n";
+      os << "  rail " << i << " (" << r.driver << "): state="
+         << core::to_string(r.state) << ", backlog=" << r.backlog_frags
+         << " frags/" << r.backlog_bytes << " B, bulk_q=" << r.bulk_chunks
+         << ", outstanding=" << r.outstanding_packets << " pkts/"
+         << r.inflight_bytes << " B, unacked=" << r.unacked_packets << "\n";
     }
   }
   return os.str();

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -86,6 +87,9 @@ class Engine final {
   // ---- blocking helpers ----------------------------------------------
 
   bool send_done(const SendHandle& h) const;
+  /// True once the engine gave up on the message (its rail died with no
+  /// survivor to fail over to). wait_send() then returns false immediately.
+  bool send_failed(const SendHandle& h) const;
   bool wait_send(const SendHandle& h, Nanos timeout = kDefaultTimeout);
   /// Wait until `pred` holds. `pred` is evaluated under the engine lock.
   bool wait_until(const std::function<bool()>& pred,
@@ -146,11 +150,13 @@ class Engine final {
   struct Snapshot {
     struct RailInfo {
       std::string driver;
+      RailState state = RailState::Up;
       std::size_t backlog_frags = 0;
       std::size_t backlog_bytes = 0;
       std::size_t bulk_chunks = 0;
       std::size_t outstanding_packets = 0;
       std::size_t inflight_bytes = 0;
+      std::size_t unacked_packets = 0;  ///< reliability: sent, not yet acked
     };
     struct PeerInfo {
       NodeId id = 0;
@@ -192,6 +198,7 @@ class Engine final {
     void on_packet(drv::TrackId track, Bytes payload) override {
       engine->on_packet(peer, rail, track, std::move(payload));
     }
+    void on_link_down() override { engine->on_link_down(peer, rail); }
   };
 
   /// One pending rendezvous bulk chunk.
@@ -201,6 +208,27 @@ class Engine final {
     std::uint32_t len = 0;
   };
 
+  /// Per-(rail, reliable stream) go-back-N state. Stream 0 carries eager
+  /// packets, stream 1 bulk chunks — independent of the physical track
+  /// (shared-track rails multiplex both streams on track 0; per-stream
+  /// sequence spaces keep them untangled). All guarded by the engine lock.
+  struct RelTrack {
+    // Sender.
+    std::uint32_t next_seq = 0;  ///< next reliable seq to assign
+    std::uint32_t acked = 0;     ///< cumulative: all seqs < acked are acked
+    std::deque<std::uint64_t> unacked;  ///< inflight tokens, seq order
+    std::size_t unacked_bytes = 0;      ///< wire bytes awaiting ack
+    // Retransmit timer (TimerHost cannot cancel → generation counter, same
+    // protocol as the nagle timer below).
+    bool rto_pending = false;
+    std::uint64_t rto_gen = 0;
+    std::uint32_t armed_acked = 0;  ///< `acked` when the timer was armed
+    Nanos rto = 0;                  ///< current backoff (0 = cfg initial)
+    std::size_t retries = 0;        ///< consecutive no-progress timeouts
+    // Receiver.
+    std::uint32_t rx_next = 0;  ///< next expected seq from the peer
+  };
+
   struct Rail {
     std::unique_ptr<drv::DriverEndpoint> ep;
     RailPort port;
@@ -208,6 +236,9 @@ class Engine final {
     TxBacklog backlog;
     std::deque<BulkChunk> bulk_q;  // SingleRail / StaticSplit chunks
     bool bulk_turn = false;        // shared-track alternation
+    RailState state = RailState::Up;
+    RelTrack rel[2];       // [0] eager stream, [1] bulk stream
+    bool ack_owed = false; // reliable data accepted since our last ack out
     // Nagle timer state. TimerHost cannot cancel a scheduled timer, so a
     // re-arm bumps the generation and the superseded callback no-ops on
     // the mismatch. `nagle_deadline` is only meaningful while
@@ -234,6 +265,10 @@ class Engine final {
     MsgSeq next_tx_seq = 0;
     MsgSeq next_attach_seq = 0;
     std::uint32_t outstanding_sends = 0;
+    /// Reliability: messages with seq below this finished delivery; frags
+    /// replayed across rails after a failover that land late are dropped
+    /// as duplicates instead of resurrecting a completed message.
+    MsgSeq rx_done_floor = 0;
   };
 
   /// Receive-side state of one fragment.
@@ -306,6 +341,9 @@ class Engine final {
     std::uint64_t received = 0;
     std::uint64_t ack_token = 0;  ///< Window: RmaAck to send on completion
     std::uint64_t get_token = 0;  ///< GetBuffer: pending get to complete
+    /// Reliability: chunk offsets already applied, so a chunk replayed on a
+    /// surviving rail (delivered once, ack lost) is not double-counted.
+    std::set<std::uint64_t> seen_offsets;
   };
 
   struct RmaWindow {
@@ -320,6 +358,9 @@ class Engine final {
   };
 
   /// One in-flight packet (owns header block + fragment payload storage).
+  /// With reliability on, the record outlives driver completion: it is the
+  /// retransmit buffer, erased only when acked AND no transmission is still
+  /// inside the driver (gather segments must stay valid until completion).
   struct InFlight {
     NodeId peer = 0;
     RailId rail = 0;
@@ -328,8 +369,15 @@ class Engine final {
     FragList frags;
     bool is_bulk = false;
     std::uint64_t rdv_token = 0;
+    std::uint64_t chunk_off = 0;
     std::uint32_t chunk_len = 0;
     std::size_t wire_bytes = 0;
+    // Reliability:
+    bool reliable = false;       ///< occupies a slot in a rel seq stream
+    std::uint8_t rel_stream = 0; ///< 0 eager, 1 bulk
+    std::uint32_t rel_seq = 0;
+    bool acked = false;
+    std::uint32_t tx_outstanding = 0;  ///< driver sends not yet completed
   };
 
   // ---- submit path (called from handles) -------------------------------
@@ -350,6 +398,7 @@ class Engine final {
   void on_send_complete(NodeId peer, RailId rail, drv::TrackId track,
                         std::uint64_t token);
   void on_packet(NodeId peer, RailId rail, drv::TrackId track, Bytes payload);
+  void on_link_down(NodeId peer, RailId rail);
 
   // ---- locked internals -------------------------------------------------
 
@@ -374,10 +423,43 @@ class Engine final {
                             std::uint64_t token);
   void complete_frag_state_locked(PeerState& ps, ChannelId ch,
                                   const SendStateRef& state);
+  /// Final bookkeeping of a fully-done InFlight record (frag states / rdv
+  /// progress, buffer recycling). With reliability off this runs at driver
+  /// completion; with it on, when acked and no transmission is in flight.
+  void finalize_inflight_locked(PeerState& ps, InFlight& rec);
+
+  // ---- reliability layer (all no-ops unless cfg_.reliability) -----------
+
+  /// Serial-number comparison on the u32 sequence circle.
+  static bool seq_less(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+  void process_acks_locked(PeerState& ps, Rail& rail, std::uint32_t ack_eager,
+                           std::uint32_t ack_bulk);
+  void arm_rto_locked(PeerState& ps, Rail& rail, int stream);
+  void rto_expired_locked(PeerState& ps, Rail& rail, int stream);
+  void retransmit_locked(Rail& rail, std::uint64_t token, InFlight& rec);
+  /// Send a standalone (zero-fragment) cumulative-ack packet if one is owed
+  /// and no data packet is about to piggyback it.
+  void maybe_send_ack_locked(PeerState& ps, Rail& rail);
+  /// Accept/dup/ooo decision for an arriving reliable packet; true = accept.
+  bool rel_rx_accept_locked(Rail& rail, int stream, std::uint8_t flags,
+                            std::uint32_t seq);
+  /// Declare a rail dead: drain its un-acked in-flight records, backlog and
+  /// bulk queue onto a surviving Up rail (or fail the sends if none).
+  void fail_rail_locked(PeerState& ps, Rail& rail);
+  /// Mark a send as failed (idempotent) and release its channel slot.
+  void fail_state_locked(PeerState& ps, ChannelId ch,
+                         const SendStateRef& state);
+  /// Reliability: remember (peer, token) of a completed rendezvous so a
+  /// replayed RTS/chunk for it is dropped as a duplicate, bounded in size.
+  void note_rdv_done_locked(NodeId peer, std::uint64_t token);
+  bool rdv_was_done_locked(NodeId peer, std::uint64_t token) const;
 
   void handle_eager_packet_locked(PeerState& ps, RailId rail,
                                   const Bytes& payload);
-  void handle_bulk_packet_locked(PeerState& ps, const Bytes& payload);
+  void handle_bulk_packet_locked(PeerState& ps, RailId rail,
+                                 const Bytes& payload);
   void deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
                                 ByteSpan payload);
   void handle_rts_locked(PeerState& ps, const FragHeader& fh,
@@ -438,6 +520,10 @@ class Engine final {
   std::map<WindowId, RmaWindow> windows_;
   std::map<std::uint64_t, PendingGet> pending_gets_;
   std::map<std::uint64_t, SendStateRef> rma_acks_;
+  /// Reliability: recently completed receiver-side rendezvous (peer, token)
+  /// pairs; dedup ring for cross-rail replays. Bounded (see note_rdv_done).
+  std::set<std::pair<NodeId, std::uint64_t>> rdv_rx_done_;
+  std::deque<std::pair<NodeId, std::uint64_t>> rdv_rx_done_fifo_;
 
   std::array<RailId, kTrafficClassCount> class_rail_{};
   StatsRegistry stats_;

@@ -27,10 +27,17 @@ void Engine::on_packet(NodeId peer, RailId rail_id, drv::TrackId track,
       if (magic == kPacketMagic) {
         handle_eager_packet_locked(*ps, rail_id, payload);
       } else if (magic == kBulkMagic) {
-        handle_bulk_packet_locked(*ps, payload);
+        handle_bulk_packet_locked(*ps, rail_id, payload);
       } else {
         MADO_CHECK_MSG(false, "unknown packet magic");
       }
+    } catch (const PayloadCrcError& err) {
+      // Headers decoded cleanly but the payload was damaged on the wire.
+      // The reliable sequence was NOT consumed, so the sender's retransmit
+      // repairs this — counted separately from protocol violations.
+      stats_.inc("rel.payload_crc_drops");
+      MADO_WARN("node " << self_ << ": dropping corrupt payload from peer "
+                        << peer << ": " << err.what());
     } catch (const CheckError& err) {
       // A malformed or protocol-violating packet must not take the engine
       // down with it (the socket driver's RX thread delivers these); count
@@ -41,20 +48,35 @@ void Engine::on_packet(NodeId peer, RailId rail_id, drv::TrackId track,
     }
     // Arrivals can enqueue control fragments (CTS) or bulk chunks — pump.
     pump_peer_locked(*ps);
+    // If the pump found nothing to piggyback the owed ack on, send it
+    // standalone (rail may have gone Down meanwhile; the helper checks).
+    if (cfg_.reliability && rail_id < ps->rails.size())
+      maybe_send_ack_locked(*ps, *ps->rails[rail_id]);
   }
   cv_.notify_all();
 }
 
 // ---- eager path ---------------------------------------------------------------
 
-void Engine::handle_eager_packet_locked(PeerState& ps, RailId rail,
+void Engine::handle_eager_packet_locked(PeerState& ps, RailId rail_id,
                                         const Bytes& payload) {
-  (void)rail;
   DecodedPacket pkt = parse_packet(ByteSpan(payload), cfg_.crc_check);
+  Rail& rail = *ps.rails[rail_id];
+  const PacketHeader& ph = pkt.header;
+  if (cfg_.reliability && (ph.flags & kPhFlagAck)) {
+    // Piggybacked acks are processed FIRST — even a duplicate or
+    // out-of-order packet carries fresh cumulative acks.
+    process_acks_locked(ps, rail, ph.ack_eager, ph.ack_bulk);
+  }
+  if (cfg_.reliability && ph.nfrags == 0 && !(ph.flags & kPhFlagRelSeq)) {
+    stats_.inc("rel.acks_rx");  // standalone ack: nothing else to deliver
+    return;
+  }
+  if (!rel_rx_accept_locked(rail, 0, ph.flags, ph.pkt_seq)) return;
   stats_.inc("rx.packets");
   stats_.inc("rx.bytes", payload.size());
   stats_.inc("rx.frags", pkt.frags.size());
-  trace_locked(TraceEvent::PacketRx, ps.id, rail, pkt.frags.size(),
+  trace_locked(TraceEvent::PacketRx, ps.id, rail_id, pkt.frags.size(),
                payload.size());
   for (std::size_t i = 0; i < pkt.frags.size(); ++i) {
     const FragHeader& fh = pkt.frags[i];
@@ -99,9 +121,25 @@ void Engine::note_nfrags_locked(RxMessage& msg, const FragHeader& fh) {
 
 void Engine::deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
                                       ByteSpan payload) {
+  if (cfg_.reliability) {
+    // Cross-rail replay after a failover can re-deliver a fragment whose
+    // message already finished (delivered on the dead rail, ack lost) —
+    // or one that landed twice. Dedup instead of treating it as protocol
+    // abuse: with reliability on, duplicates are expected physics.
+    auto cit = ps.channels.find(fh.channel);
+    if (cit != ps.channels.end() &&
+        fh.msg_seq < cit->second.rx_done_floor) {
+      stats_.inc("rel.dup_drops");
+      return;
+    }
+  }
   RxMessage& msg = ps.rx_msgs[{fh.channel, fh.msg_seq}];
   note_nfrags_locked(msg, fh);
   RxSlot& slot = msg.slot(fh.frag_idx);
+  if (cfg_.reliability && (slot.have_data || slot.is_rdv)) {
+    stats_.inc("rel.dup_drops");
+    return;
+  }
   MADO_CHECK_MSG(!slot.have_data && !slot.is_rdv, "duplicate fragment");
   slot.have_data = true;
   if (slot.posted) {
@@ -129,11 +167,27 @@ void Engine::mark_slot_done_locked(RxMessage& msg, RxSlot& slot) {
 void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
                                ByteSpan payload) {
   const RtsBody rts = decode_rts(payload);
+  if (rdv_was_done_locked(ps.id, rts.token)) {
+    stats_.inc("rel.dup_drops");  // replayed RTS of a finished rendezvous
+    return;
+  }
   switch (rts.target) {
     case RdvTarget::Message: {
+      if (cfg_.reliability) {
+        auto cit = ps.channels.find(fh.channel);
+        if (cit != ps.channels.end() &&
+            fh.msg_seq < cit->second.rx_done_floor) {
+          stats_.inc("rel.dup_drops");
+          return;
+        }
+      }
       RxMessage& msg = ps.rx_msgs[{fh.channel, fh.msg_seq}];
       note_nfrags_locked(msg, fh);
       RxSlot& slot = msg.slot(fh.frag_idx);
+      if (cfg_.reliability && (slot.have_data || slot.is_rdv)) {
+        stats_.inc("rel.dup_drops");
+        return;
+      }
       MADO_CHECK_MSG(!slot.have_data && !slot.is_rdv, "duplicate RTS");
       slot.is_rdv = true;
       slot.token = rts.token;
@@ -164,6 +218,10 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
       rx.base = win.base + rts.offset;
       rx.len = rts.total_len;
       rx.ack_token = rts.aux;
+      if (cfg_.reliability && rdv_rx_.count({ps.id, rts.token})) {
+        stats_.inc("rel.dup_drops");  // replayed RTS, transfer in progress
+        return;
+      }
       MADO_CHECK_MSG(rdv_rx_.emplace(std::make_pair(ps.id, rts.token), rx)
                          .second,
                      "duplicate RTS token");
@@ -174,7 +232,15 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
     case RdvTarget::GetBuffer: {
       // Bulk reply to our own rma_get: route chunks into the requester's
       // destination buffer.
+      if (cfg_.reliability && rdv_rx_.count({ps.id, rts.token})) {
+        stats_.inc("rel.dup_drops");  // replayed RTS, transfer in progress
+        return;
+      }
       auto it = pending_gets_.find(rts.aux);
+      if (cfg_.reliability && it == pending_gets_.end()) {
+        stats_.inc("rel.dup_drops");  // replayed RTS, get already finished
+        return;
+      }
       MADO_CHECK_MSG(it != pending_gets_.end(),
                      "RTS for unknown get token " << rts.aux);
       MADO_CHECK_MSG(it->second.len == rts.total_len,
@@ -237,8 +303,16 @@ void Engine::handle_cts_locked(PeerState& ps, ByteSpan payload) {
   const CtsBody cts = decode_cts(payload);
   trace_locked(TraceEvent::RdvCts, ps.id, 0, cts.token);
   auto it = rdv_tx_.find(cts.token);
+  if (cfg_.reliability && it == rdv_tx_.end()) {
+    stats_.inc("rel.dup_drops");  // replayed CTS, rendezvous already done
+    return;
+  }
   MADO_CHECK_MSG(it != rdv_tx_.end(), "CTS for unknown rendezvous");
   RdvTx& rdv = it->second;
+  if (cfg_.reliability && rdv.cts_received) {
+    stats_.inc("rel.dup_drops");  // replayed CTS, chunks already queued
+    return;
+  }
   MADO_CHECK_MSG(!rdv.cts_received, "duplicate CTS");
   rdv.cts_received = true;
   stats_.inc("rx.rdv_cts");
@@ -292,15 +366,33 @@ void Engine::distribute_chunks_locked(PeerState& ps, std::uint64_t token,
 
 // ---- bulk path -------------------------------------------------------------------
 
-void Engine::handle_bulk_packet_locked(PeerState& ps, const Bytes& payload) {
+void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
+                                       const Bytes& payload) {
   ByteSpan data;
   const BulkHeader bh = decode_bulk(ByteSpan(payload), data, cfg_.crc_check);
+  Rail& rail = *ps.rails[rail_id];
+  if (cfg_.reliability && (bh.flags & kPhFlagAck))
+    process_acks_locked(ps, rail, bh.ack_eager, bh.ack_bulk);
+  if (!rel_rx_accept_locked(rail, 1, bh.flags, bh.pkt_seq)) return;
   auto it = rdv_rx_.find({ps.id, bh.token});
+  if (it == rdv_rx_.end() && rdv_was_done_locked(ps.id, bh.token)) {
+    // A chunk delivered on a rail that then died was replayed on the
+    // survivor (its ack was lost in the failover) after the rendezvous
+    // finished: drop the second copy.
+    stats_.inc("rel.dup_drops");
+    return;
+  }
   MADO_CHECK_MSG(it != rdv_rx_.end(), "bulk chunk for unknown rendezvous");
   RdvRx& rx = it->second;
+  if (cfg_.reliability && !rx.seen_offsets.insert(bh.offset).second) {
+    // Same story, rendezvous still in progress: the offset already landed.
+    stats_.inc("rel.dup_drops");
+    return;
+  }
   stats_.inc("rx.bulk_chunks");
   stats_.inc("rx.bytes", payload.size());
-  trace_locked(TraceEvent::BulkRx, ps.id, 0, bh.token, bh.offset, bh.len);
+  trace_locked(TraceEvent::BulkRx, ps.id, rail_id, bh.token, bh.offset,
+               bh.len);
 
   if (rx.target == RdvTarget::Message) {
     auto mit = ps.rx_msgs.find({rx.channel, rx.seq});
@@ -316,6 +408,7 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, const Bytes& payload) {
     MADO_ASSERT(slot.received <= slot.total);
     if (slot.received == slot.total) {
       mark_slot_done_locked(msg, slot);
+      note_rdv_done_locked(ps.id, bh.token);
       rdv_rx_.erase(it);
       stats_.inc("rx.rdv_completed");
     }
@@ -339,6 +432,7 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, const Bytes& payload) {
     if (--git->second.state->pending == 0) stats_.inc("rma.gets_completed");
     pending_gets_.erase(git);
   }
+  note_rdv_done_locked(ps.id, bh.token);
   rdv_rx_.erase(it);
 }
 
@@ -413,6 +507,10 @@ void Engine::handle_rma_get_data_locked(PeerState& ps, ByteSpan payload) {
   ByteSpan data;
   const RmaGetDataBody b = decode_rma_get_data(payload, data);
   auto it = pending_gets_.find(b.get_token);
+  if (cfg_.reliability && it == pending_gets_.end()) {
+    stats_.inc("rel.dup_drops");  // replayed reply, get already finished
+    return;
+  }
   MADO_CHECK_MSG(it != pending_gets_.end(),
                  "get reply for unknown token " << b.get_token);
   MADO_CHECK_MSG(it->second.len == data.size(), "get reply size mismatch");
@@ -425,6 +523,10 @@ void Engine::handle_rma_get_data_locked(PeerState& ps, ByteSpan payload) {
 void Engine::handle_rma_ack_locked(ByteSpan payload) {
   const RmaAckBody b = decode_rma_ack(payload);
   auto it = rma_acks_.find(b.ack_token);
+  if (cfg_.reliability && it == rma_acks_.end()) {
+    stats_.inc("rel.dup_drops");  // replayed ack, put already completed
+    return;
+  }
   MADO_CHECK_MSG(it != rma_acks_.end(), "unexpected RMA ack " << b.ack_token);
   MADO_ASSERT(it->second->pending > 0);
   if (--it->second->pending == 0) stats_.inc("rma.puts_completed");
@@ -571,6 +673,9 @@ void Engine::finish_recv(NodeId peer, ChannelId ch, MsgSeq seq,
     std::lock_guard<std::mutex> lk(mu_);
     PeerState& ps = peer_locked(peer);
     ps.rx_msgs.erase({ch, seq});
+    auto cit = ps.channels.find(ch);
+    if (cit != ps.channels.end() && seq >= cit->second.rx_done_floor)
+      cit->second.rx_done_floor = seq + 1;  // dedup floor for rail replays
     stats_.inc("rx.msgs_completed");
   }
 }

@@ -43,10 +43,13 @@ void encode_header_block(Bytes& out, const PacketHeader& ph,
   WireWriter w(out);
   w.u32(kPacketMagic);
   w.u8(kWireVersion);
-  w.u8(0);  // reserved
+  w.u8(ph.flags);
   w.u16(ph.nfrags);
   w.u32(ph.pkt_seq);
   w.u32(ph.src_node);
+  w.u32(ph.ack_eager);
+  w.u32(ph.ack_bulk);
+  w.u32(ph.payload_crc);
   const std::size_t crc_at = w.size();
   w.u32(0);  // CRC placeholder
   for (const FragHeader& fh : frags) write_frag_header(w, fh);
@@ -63,10 +66,13 @@ DecodedPacket parse_packet(ByteSpan packet, bool crc_check) {
   DecodedPacket out;
   MADO_CHECK_MSG(r.u32() == kPacketMagic, "bad packet magic");
   MADO_CHECK_MSG(r.u8() == kWireVersion, "bad wire version");
-  r.skip(1);
+  out.header.flags = r.u8();
   out.header.nfrags = r.u16();
   out.header.pkt_seq = r.u32();
   out.header.src_node = r.u32();
+  out.header.ack_eager = r.u32();
+  out.header.ack_bulk = r.u32();
+  out.header.payload_crc = r.u32();
   const std::size_t crc_at = r.position();
   const std::uint32_t wire_crc = r.u32();
 
@@ -81,9 +87,17 @@ DecodedPacket parse_packet(ByteSpan packet, bool crc_check) {
     MADO_CHECK_MSG(crc.value() == wire_crc, "packet header CRC mismatch");
   }
 
+  const std::size_t payload_at = r.position();
   out.payloads.reserve(out.header.nfrags);
   for (const FragHeader& fh : out.frags) out.payloads.push_back(r.bytes(fh.len));
   MADO_CHECK_MSG(r.at_end(), "trailing bytes after packet payloads");
+
+  if (crc_check && (out.header.flags & kPhFlagPayloadCrc) != 0) {
+    const std::uint32_t got =
+        Crc32::of(packet.data() + payload_at, packet.size() - payload_at);
+    if (got != out.header.payload_crc)
+      throw PayloadCrcError("packet payload CRC mismatch");
+  }
   return out;
 }
 
@@ -192,10 +206,15 @@ void encode_bulk_header(Bytes& out, const BulkHeader& bh) {
   const std::size_t base = out.size();
   WireWriter w(out);
   w.u32(kBulkMagic);
+  w.u8(bh.flags);
   w.u32(bh.src_node);
   w.u64(bh.token);
   w.u64(bh.offset);
   w.u32(bh.len);
+  w.u32(bh.pkt_seq);
+  w.u32(bh.ack_eager);
+  w.u32(bh.ack_bulk);
+  w.u32(bh.payload_crc);
   const std::size_t crc_at = w.size();
   w.u32(0);
   w.patch_u32(crc_at, Crc32::of(out.data() + base, crc_at - base));
@@ -205,10 +224,15 @@ BulkHeader decode_bulk(ByteSpan packet, ByteSpan& data, bool crc_check) {
   WireReader r(packet);
   BulkHeader b;
   MADO_CHECK_MSG(r.u32() == kBulkMagic, "bad bulk magic");
+  b.flags = r.u8();
   b.src_node = r.u32();
   b.token = r.u64();
   b.offset = r.u64();
   b.len = r.u32();
+  b.pkt_seq = r.u32();
+  b.ack_eager = r.u32();
+  b.ack_bulk = r.u32();
+  b.payload_crc = r.u32();
   const std::size_t crc_at = r.position();
   const std::uint32_t wire_crc = r.u32();
   if (crc_check)
@@ -216,6 +240,10 @@ BulkHeader decode_bulk(ByteSpan packet, ByteSpan& data, bool crc_check) {
                    "bulk header CRC mismatch");
   data = r.bytes(b.len);
   MADO_CHECK_MSG(r.at_end(), "trailing bytes after bulk payload");
+  if (crc_check && (b.flags & kPhFlagPayloadCrc) != 0) {
+    if (Crc32::of(data) != b.payload_crc)
+      throw PayloadCrcError("bulk payload CRC mismatch");
+  }
   return b;
 }
 

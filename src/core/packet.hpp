@@ -26,9 +26,19 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/assert.hpp"
 #include "util/wire.hpp"
 
 namespace mado::core {
+
+/// Thrown when a packet's *payload* CRC fails while the header block decoded
+/// cleanly. Distinguished from plain CheckError so the engine can count it
+/// as `rel.payload_crc_drops` (a link-level corruption the reliability layer
+/// will repair by retransmission) instead of `rx.malformed`.
+class PayloadCrcError : public CheckError {
+ public:
+  explicit PayloadCrcError(const std::string& what) : CheckError(what) {}
+};
 
 constexpr std::uint32_t kPacketMagic = 0x4f44414d;  // "MADO"
 constexpr std::uint32_t kBulkMagic = 0x4b4c5542;    // "BULK"
@@ -55,12 +65,29 @@ constexpr ChannelId kRmaChannel = 0xffffffffu;
 /// FragHeader.flags bits.
 constexpr std::uint8_t kFlagLastFrag = 0x01;
 
+/// PacketHeader.flags / BulkHeader.flags bits (reliability layer).
+/// kPhFlagRelSeq: pkt_seq participates in the per-(rail,track) reliable
+/// sequence space — the receiver enforces in-order delivery and the sender
+/// retransmits until acked. kPhFlagAck: ack_eager/ack_bulk carry valid
+/// cumulative acks (next expected seq per track). kPhFlagPayloadCrc:
+/// payload_crc covers the payload area (headers are always CRC-protected).
+constexpr std::uint8_t kPhFlagRelSeq = 0x01;
+constexpr std::uint8_t kPhFlagAck = 0x02;
+constexpr std::uint8_t kPhFlagPayloadCrc = 0x04;
+
 struct PacketHeader {
+  std::uint8_t flags = 0;
   std::uint16_t nfrags = 0;
   std::uint32_t pkt_seq = 0;
   NodeId src_node = 0;
+  /// Cumulative acks: next expected reliable seq on the peer's eager (track
+  /// 0) and bulk (track 1) directions. Valid only with kPhFlagAck.
+  std::uint32_t ack_eager = 0;
+  std::uint32_t ack_bulk = 0;
+  /// CRC-32 over the payload area. Valid only with kPhFlagPayloadCrc.
+  std::uint32_t payload_crc = 0;
 
-  static constexpr std::size_t kWireSize = 20;
+  static constexpr std::size_t kWireSize = 32;
 };
 
 struct FragHeader {
@@ -78,12 +105,20 @@ struct FragHeader {
 };
 
 struct BulkHeader {
+  std::uint8_t flags = 0;
   NodeId src_node = 0;
   std::uint64_t token = 0;
   std::uint64_t offset = 0;
   std::uint32_t len = 0;
+  /// Reliable seq on the sender's bulk track. Valid only with kPhFlagRelSeq.
+  std::uint32_t pkt_seq = 0;
+  /// Cumulative acks, same semantics as PacketHeader. kPhFlagAck.
+  std::uint32_t ack_eager = 0;
+  std::uint32_t ack_bulk = 0;
+  /// CRC-32 over the chunk data. Valid only with kPhFlagPayloadCrc.
+  std::uint32_t payload_crc = 0;
 
-  static constexpr std::size_t kWireSize = 32;
+  static constexpr std::size_t kWireSize = 49;
 };
 
 /// What the bulk data of a rendezvous lands in on the receiving side.

@@ -60,6 +60,8 @@ const char* Tracer::event_name(TraceEvent ev) {
     case TraceEvent::NagleWait: return "NagleWait";
     case TraceEvent::Rebalance: return "Rebalance";
     case TraceEvent::RmaOp: return "RmaOp";
+    case TraceEvent::RelRetx: return "RelRetx";
+    case TraceEvent::RailDown: return "RailDown";
   }
   return "?";
 }

@@ -33,6 +33,8 @@ enum class TraceEvent : std::uint8_t {
   NagleWait,    // a=wait_until
   Rebalance,    // a=new control rail
   RmaOp,        // a=0 put / 1 get, b=window, c=len
+  RelRetx,      // a=token, b=stream, c=retries (reliability retransmit)
+  RailDown,     // a=replayed frags, b=replayed chunks, c=failed sends
 };
 
 struct TraceRecord {

@@ -57,6 +57,27 @@ enum class TrafficClass : std::uint8_t {
 };
 constexpr std::size_t kTrafficClassCount = 4;
 
+/// Health of one rail (NIC) toward a peer, as tracked by the engine.
+enum class RailState : std::uint8_t {
+  /// Healthy: scheduled normally.
+  Up = 0,
+  /// Lossy: at least one retransmit timeout is outstanding. Still
+  /// scheduled, but a candidate for load shedding.
+  Degraded = 1,
+  /// Dead: link-down reported or retry budget exhausted. Never scheduled;
+  /// its un-acked traffic has been drained to surviving rails.
+  Down = 2,
+};
+
+inline const char* to_string(RailState s) {
+  switch (s) {
+    case RailState::Up: return "up";
+    case RailState::Degraded: return "degraded";
+    case RailState::Down: return "down";
+  }
+  return "?";
+}
+
 /// How eager (small-message) traffic picks a rail at submit time.
 enum class EagerRailPolicy : std::uint8_t {
   /// Use the rail assigned to the message's traffic class (default; the

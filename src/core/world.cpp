@@ -29,10 +29,31 @@ RailId SimWorld::connect(NodeId a, NodeId b, const drv::Capabilities& caps_a,
                          const drv::Capabilities& caps_b) {
   MADO_CHECK(a != b && a < engines_.size() && b < engines_.size());
   auto pair = drv::SimEndpoint::make_pair(fabric_, caps_a, caps_b);
+  drv::SimEndpoint* side_a = pair.a.get();
+  drv::SimEndpoint* side_b = pair.b.get();
   const RailId ra = engines_[a]->add_rail(b, std::move(pair.a));
   const RailId rb = engines_[b]->add_rail(a, std::move(pair.b));
   MADO_CHECK_MSG(ra == rb, "asymmetric rail counts between nodes");
+  endpoints_[{a, b, ra}] = side_a;
+  endpoints_[{b, a, rb}] = side_b;
   return ra;
+}
+
+RailId SimWorld::connect(NodeId a, NodeId b, const drv::Capabilities& caps,
+                         const drv::FaultPlan& plan_ab,
+                         const drv::FaultPlan& plan_ba) {
+  const RailId rail = connect(a, b, caps, caps);
+  endpoint(a, b, rail).set_fault_plan(plan_ab);
+  endpoint(b, a, rail).set_fault_plan(plan_ba);
+  return rail;
+}
+
+drv::SimEndpoint& SimWorld::endpoint(NodeId a, NodeId b, RailId rail) {
+  auto it = endpoints_.find({a, b, rail});
+  MADO_CHECK_MSG(it != endpoints_.end(),
+                 "no sim rail " << int(rail) << " between " << a << " and "
+                                << b);
+  return *it->second;
 }
 
 SocketWorld::SocketWorld(const EngineConfig& cfg,

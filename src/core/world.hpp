@@ -9,12 +9,15 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/timer_host.hpp"
 #include "drivers/capabilities.hpp"
+#include "drivers/sim_driver.hpp"
 #include "sim/fabric.hpp"
 
 namespace mado::core {
@@ -31,6 +34,18 @@ class SimWorld {
   RailId connect(NodeId a, NodeId b, const drv::Capabilities& caps);
   RailId connect(NodeId a, NodeId b, const drv::Capabilities& caps_a,
                  const drv::Capabilities& caps_b);
+  /// Lossy variant: `plan_ab` faults packets a→b, `plan_ba` faults b→a.
+  RailId connect(NodeId a, NodeId b, const drv::Capabilities& caps,
+                 const drv::FaultPlan& plan_ab, const drv::FaultPlan& plan_ba);
+
+  /// The a-side simulated endpoint of rail `rail` between a and b (for
+  /// fault plans / fault stats in tests).
+  drv::SimEndpoint& endpoint(NodeId a, NodeId b, RailId rail);
+
+  /// Hard-kill rail `rail` between a and b (both directions).
+  void fail_link(NodeId a, NodeId b, RailId rail) {
+    endpoint(a, b, rail).fail_link();
+  }
 
   Engine& node(NodeId i) { return *engines_.at(i); }
   std::size_t size() const { return engines_.size(); }
@@ -50,6 +65,9 @@ class SimWorld {
   sim::Fabric fabric_;
   SimTimerHost timers_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  /// (owner node, peer node, rail) → the owner-side endpoint. Raw pointers
+  /// stay valid: the engines own the endpoints and outlive this map.
+  std::map<std::tuple<NodeId, NodeId, RailId>, drv::SimEndpoint*> endpoints_;
 };
 
 class SocketWorld {

@@ -34,6 +34,12 @@ class EndpointHandler {
   /// A packet arrived from the peer on `track`. Payload ownership moves to
   /// the handler.
   virtual void on_packet(TrackId track, Bytes payload) = 0;
+
+  /// The link died (peer closed, transport error, injected failure). Fired
+  /// at most once per endpoint, after every packet that arrived before the
+  /// failure has been delivered via on_packet. Sends already queued may
+  /// never complete. Default: ignore (lossless drivers never call it).
+  virtual void on_link_down() {}
 };
 
 class DriverEndpoint {
@@ -58,6 +64,9 @@ class DriverEndpoint {
 
   /// Stop background threads, if any. Idempotent.
   virtual void close() {}
+
+  /// False once the link has failed (on_link_down fired or is pending).
+  virtual bool link_up() const { return true; }
 
   virtual std::string describe() const { return caps().name; }
 

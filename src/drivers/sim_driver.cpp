@@ -5,17 +5,35 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace mado::drv {
 
 /// Shared state of one full-duplex link. Direction d (0→1 or 1→0) has its
-/// own serialization horizon `link_free[d]`. Handlers live here (not in the
-/// endpoints) so in-flight delivery events can check liveness safely.
+/// own serialization horizon `link_free[d]`, fault plan and fault RNG
+/// stream. Handlers live here (not in the endpoints) so in-flight delivery
+/// events can check liveness safely.
 struct SimEndpoint::LinkState {
   sim::Fabric* fabric = nullptr;
   EndpointHandler* handler[2] = {nullptr, nullptr};
   bool alive[2] = {false, false};
   Nanos link_free[2] = {0, 0};
+  // Fault injection, per TX direction.
+  FaultPlan plan[2];
+  Rng rng[2];
+  FaultStats faults[2];
+  bool failed = false;          ///< whole link is dead
+  bool down_notified = false;   ///< on_link_down already dispatched
+
+  /// Kill the link and notify both live sides exactly once. Runs from the
+  /// fabric loop (driver contract: no synchronous handler calls).
+  static void fail_now(const std::shared_ptr<LinkState>& link) {
+    link->failed = true;
+    if (link->down_notified) return;
+    link->down_notified = true;
+    for (int s = 0; s < 2; ++s)
+      if (link->alive[s] && link->handler[s]) link->handler[s]->on_link_down();
+  }
 };
 
 SimEndpoint::PairResult SimEndpoint::make_pair(sim::Fabric& fabric,
@@ -42,6 +60,32 @@ SimEndpoint::~SimEndpoint() {
 
 void SimEndpoint::set_handler(EndpointHandler* handler) {
   link_->handler[side_] = handler;
+}
+
+bool SimEndpoint::link_up() const { return !link_->failed; }
+
+const FaultStats& SimEndpoint::fault_stats() const {
+  return link_->faults[side_];
+}
+
+void SimEndpoint::set_fault_plan(const FaultPlan& plan) {
+  link_->plan[side_] = plan;
+  link_->rng[side_] = Rng(plan.seed + static_cast<std::uint64_t>(side_));
+  if (plan.fail_at > 0) {
+    auto link = link_;
+    fabric_.post_at(plan.fail_at, [link] {
+      if (!link->failed) LinkState::fail_now(link);
+    });
+  }
+}
+
+void SimEndpoint::fail_link() {
+  if (link_->failed) return;
+  // Mark dead immediately (sends stop; in-flight deliveries are lost), but
+  // dispatch the notification from the fabric loop per the driver contract.
+  link_->failed = true;
+  auto link = link_;
+  fabric_.post_at(fabric_.now(), [link] { LinkState::fail_now(link); });
 }
 
 void SimEndpoint::send(TrackId track, const GatherList& gl,
@@ -84,14 +128,61 @@ void SimEndpoint::send(TrackId track, const GatherList& gl,
 
   auto link = link_;
   const int me = side_;
+  // The local NIC always accepts the packet (wire faults happen after the
+  // DMA): completions fire even on lossy links, and on a dead link too —
+  // the engine marks the rail Down from on_link_down and ignores them.
   fabric_.post_at(accept, [link, me, track, token] {
     if (link->alive[me] && link->handler[me])
       link->handler[me]->on_send_complete(track, token);
   });
+
+  // Fault injection on the wire (this TX direction only).
+  Nanos deliver_at = deliver;
+  bool deliver_dup = false;
+  const FaultPlan& plan = link->plan[d];
+  if (plan.active() && !link->failed) {
+    Rng& rng = link->rng[d];
+    FaultStats& fs = link->faults[d];
+    if (plan.drop > 0 && rng.chance(plan.drop)) {
+      ++fs.dropped;
+      MADO_TRACE("sim[" << caps_.name << "/" << d << "] DROP token=" << token);
+      return;  // vanished in transit; completion above still fires
+    }
+    if (plan.corrupt > 0 && rng.chance(plan.corrupt) && bytes > 0) {
+      const std::size_t at = rng.below(bytes);
+      payload[at] = static_cast<Byte>(payload[at] ^ (1u << rng.below(8)));
+      ++fs.corrupted;
+      MADO_TRACE("sim[" << caps_.name << "/" << d << "] CORRUPT token="
+                        << token << " byte=" << at);
+    }
+    if (plan.duplicate > 0 && rng.chance(plan.duplicate)) {
+      ++fs.duplicated;
+      deliver_dup = true;
+    }
+    if (plan.reorder > 0 && rng.chance(plan.reorder)) {
+      // Push this delivery past packets sent after it: tracks are FIFO in
+      // the fabric only by timestamp, so a later deadline = reordering.
+      deliver_at += plan.reorder_delay;
+      ++fs.reordered;
+      MADO_TRACE("sim[" << caps_.name << "/" << d << "] REORDER token="
+                        << token << " deliver@" << deliver_at);
+    }
+  }
+
   const int peer = 1 - side_;
-  fabric_.post_at(deliver,
+  if (deliver_dup) {
+    Bytes copy = payload;
+    fabric_.post_at(deliver_at + 1,
+                    [link, peer, track, p = std::move(copy)]() mutable {
+                      if (!link->failed && link->alive[peer] &&
+                          link->handler[peer])
+                        link->handler[peer]->on_packet(track, std::move(p));
+                    });
+  }
+  fabric_.post_at(deliver_at,
                   [link, peer, track, p = std::move(payload)]() mutable {
-                    if (link->alive[peer] && link->handler[peer])
+                    if (!link->failed && link->alive[peer] &&
+                        link->handler[peer])
                       link->handler[peer]->on_packet(track, std::move(p));
                   });
 }

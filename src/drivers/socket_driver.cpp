@@ -75,6 +75,15 @@ void SocketEndpoint::progress() {
       handler_->on_packet(pkt.track, std::move(pkt.payload));
     }
   }
+  // Teardown ordering: a peer death is reported only AFTER every packet
+  // that made it over the wire has been handed to the handler (the drain
+  // above), and exactly once. A deliberate local close() is not a failure
+  // and is never reported.
+  if (broken_.load(std::memory_order_acquire) &&
+      !closed_.load(std::memory_order_acquire) &&
+      !link_down_reported_.exchange(true, std::memory_order_acq_rel)) {
+    handler_->on_link_down();
+  }
 }
 
 bool SocketEndpoint::write_all(const void* data, std::size_t len) {

@@ -44,8 +44,11 @@ class SocketEndpoint final : public DriverEndpoint {
   void send(TrackId track, const GatherList& gl, std::uint64_t token) override;
   void progress() override;
   void close() override;
+  bool link_up() const override { return !broken(); }
 
-  /// True once the peer closed or an IO error occurred.
+  /// True once the peer closed or an IO error occurred. progress() reports
+  /// this to the handler as on_link_down — exactly once, after all queued
+  /// arrivals have been drained.
   bool broken() const { return broken_.load(std::memory_order_acquire); }
 
   std::uint64_t packets_sent() const {
@@ -89,6 +92,7 @@ class SocketEndpoint final : public DriverEndpoint {
   std::atomic<bool> stop_{false};
   std::atomic<bool> broken_{false};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> link_down_reported_{false};
   std::atomic<std::uint64_t> packets_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
 };

@@ -4,6 +4,9 @@
 // serving well-formed traffic. Also covers socket-driver teardown.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/engine.hpp"
 #include "core/packet.hpp"
 #include "core/world.hpp"
@@ -11,6 +14,7 @@
 #include "drivers/sim_driver.hpp"
 #include "drivers/socket_driver.hpp"
 #include "tests/core/engine_test_util.hpp"
+#include "util/crc32.hpp"
 
 namespace mado::core {
 namespace {
@@ -38,7 +42,11 @@ class FailureInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
     timers_ = std::make_unique<SimTimerHost>(fabric_);
-    engine_ = std::make_unique<Engine>(0, EngineConfig{}, *timers_);
+    rebuild(EngineConfig{});
+  }
+
+  void rebuild(const EngineConfig& cfg) {
+    engine_ = std::make_unique<Engine>(0, cfg, *timers_);
     engine_->set_external_progress([this] { return fabric_.step(); });
     auto pair = drv::SimEndpoint::make_pair(fabric_, drv::test_profile());
     engine_->add_rail(/*peer=*/1, std::move(pair.a));
@@ -221,10 +229,85 @@ TEST_F(FailureInjectionTest, ZeroFragmentPacketIsHarmless) {
   EXPECT_EQ(engine_->stats().counter("rx.packets"), 1u);
 }
 
+// Satellite (ISSUE 2): a corrupted eager payload under the reliability
+// layer is charged to rel.payload_crc_drops — NOT rx.malformed — and the
+// sequence number is not consumed, so a clean retransmit of the same seq
+// still delivers.
+TEST_F(FailureInjectionTest, CorruptedEagerPayloadCountsPayloadCrcDrop) {
+  EngineConfig cfg;
+  cfg.reliability = true;
+  cfg.payload_crc = true;
+  rebuild(cfg);
+  Channel ch = engine_->open_channel(1, 7);
+
+  const Bytes payload = pattern(64);
+  PacketHeader ph;
+  ph.nfrags = 1;
+  ph.src_node = 1;
+  ph.flags = kPhFlagRelSeq | kPhFlagPayloadCrc;
+  ph.pkt_seq = 0;
+  ph.payload_crc = Crc32::of(payload.data(), payload.size());
+  FragHeader fh;
+  fh.channel = 7;
+  fh.msg_seq = 0;
+  fh.frag_idx = 0;
+  fh.nfrags_total = 1;
+  fh.flags = kFlagLastFrag;
+  fh.len = static_cast<std::uint32_t>(payload.size());
+  Bytes pkt;
+  encode_header_block(pkt, ph, {fh});
+  pkt.insert(pkt.end(), payload.begin(), payload.end());
+
+  Bytes corrupted = pkt;
+  corrupted[corrupted.size() - 5] ^= 0x40;  // flip a payload bit
+  raw_.transmit(corrupted);
+  fabric_.run_until_idle();
+  EXPECT_EQ(engine_->stats().counter("rel.payload_crc_drops"), 1u);
+  EXPECT_EQ(malformed(), 0u);
+
+  // The "retransmit" (same seq, intact payload) is accepted and delivered.
+  raw_.transmit(pkt);
+  fabric_.run_until_idle();
+  Bytes out(payload.size());
+  IncomingMessage im = ch.begin_recv();
+  im.unpack(out.data(), out.size(), RecvMode::Express);
+  im.finish();
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(engine_->stats().counter("rel.payload_crc_drops"), 1u);
+}
+
+// Bulk-track variant: a flipped bit in a rendezvous chunk is caught by the
+// chunk payload CRC and charged to the same counter.
+TEST_F(FailureInjectionTest, CorruptedBulkPayloadCountsPayloadCrcDrop) {
+  EngineConfig cfg;
+  cfg.reliability = true;
+  cfg.payload_crc = true;
+  rebuild(cfg);
+
+  Bytes data(256, Byte{0x5a});
+  BulkHeader bh;
+  bh.src_node = 1;
+  bh.token = 42;
+  bh.offset = 0;
+  bh.len = static_cast<std::uint32_t>(data.size());
+  bh.flags = kPhFlagRelSeq | kPhFlagPayloadCrc;
+  bh.pkt_seq = 0;
+  bh.payload_crc = Crc32::of(data.data(), data.size());
+  Bytes pkt;
+  encode_bulk_header(pkt, bh);
+  pkt.insert(pkt.end(), data.begin(), data.end());
+  pkt.back() = static_cast<Byte>(pkt.back() ^ 0x01);
+  raw_.transmit(pkt, drv::kTrackBulk);
+  fabric_.run_until_idle();
+  EXPECT_EQ(engine_->stats().counter("rel.payload_crc_drops"), 1u);
+  EXPECT_EQ(malformed(), 0u);
+}
+
 TEST(SocketFailure, PeerDeathMidTrafficIsContained) {
   auto pair = drv::SocketEndpoint::make_pair(drv::mx_myrinet_profile());
   RealTimerHost timers_a;
   Engine a(0, EngineConfig{}, timers_a);
+  drv::SocketEndpoint* raw_a = pair.a.get();
   a.add_rail(1, std::move(pair.a));
   a.start_progress_thread();
   Channel ch = a.open_channel(1, 7);
@@ -236,8 +319,82 @@ TEST(SocketFailure, PeerDeathMidTrafficIsContained) {
   const Bytes payload(1 << 20, Byte{1});
   m.pack(payload.data(), payload.size(), SendMode::Later);
   SendHandle h = ch.post(std::move(m));  // rendezvous: CTS will never come
-  EXPECT_FALSE(a.wait_send(h, /*timeout=*/50 * kNanosPerMilli));
+  EXPECT_FALSE(a.wait_send(h, /*timeout=*/5 * kNanosPerSec));
+  // The break surfaced as a rail failure, not just a timeout: the send is
+  // marked failed and the rail is Down in the snapshot.
+  EXPECT_TRUE(a.send_failed(h));
+  EXPECT_FALSE(raw_a->link_up());
+  Engine::Snapshot snap = a.snapshot();
+  ASSERT_EQ(snap.peers.size(), 1u);
+  EXPECT_EQ(snap.peers[0].rails[0].state, RailState::Down);
   a.stop_progress_thread();
+}
+
+/// Counts driver callbacks; remembers how many packets had been delivered
+/// when on_link_down fired.
+struct CountingHandler final : drv::EndpointHandler {
+  std::vector<Bytes> packets;
+  int link_downs = 0;
+  std::size_t packets_at_down = 0;
+  void on_send_complete(drv::TrackId, std::uint64_t) override {}
+  void on_packet(drv::TrackId, Bytes p) override {
+    packets.push_back(std::move(p));
+  }
+  void on_link_down() override {
+    ++link_downs;
+    packets_at_down = packets.size();
+  }
+};
+
+// Satellite (ISSUE 2): socket teardown race. Packets that were already on
+// the wire when the peer died must all be delivered by progress() BEFORE
+// the (exactly one) on_link_down notification; further progress() calls
+// are quiet.
+TEST(SocketFailure, LinkDownReportedOnceAfterDrainingArrivals) {
+  auto pair = drv::SocketEndpoint::make_pair(drv::mx_myrinet_profile());
+  CountingHandler ha;
+  pair.a->set_handler(&ha);
+  CountingHandler hb;
+  pair.b->set_handler(&hb);
+
+  constexpr std::size_t kPackets = 8;
+  const Bytes payload = pattern(256);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    GatherList gl;
+    gl.add(payload.data(), payload.size());
+    pair.b->send(drv::kTrackEager, gl, i);
+  }
+  // Wait for every frame to hit the wire, then kill the peer.
+  while (pair.b->packets_sent() < kPackets)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pair.b->close();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ha.link_downs == 0 && std::chrono::steady_clock::now() < deadline) {
+    pair.a->progress();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(ha.link_downs, 1);
+  EXPECT_EQ(ha.packets.size(), kPackets);
+  EXPECT_EQ(ha.packets_at_down, kPackets)
+      << "on_link_down fired before queued arrivals were drained";
+  EXPECT_TRUE(pair.a->broken());
+  EXPECT_FALSE(pair.a->link_up());
+  for (int i = 0; i < 5; ++i) pair.a->progress();
+  EXPECT_EQ(ha.link_downs, 1) << "on_link_down must fire exactly once";
+}
+
+// A deliberate local close() is teardown, not failure: no on_link_down.
+TEST(SocketFailure, LocalCloseIsNotReportedAsLinkDown) {
+  auto pair = drv::SocketEndpoint::make_pair(drv::mx_myrinet_profile());
+  CountingHandler ha;
+  pair.a->set_handler(&ha);
+  CountingHandler hb;
+  pair.b->set_handler(&hb);
+  pair.a->close();
+  for (int i = 0; i < 5; ++i) pair.a->progress();
+  EXPECT_EQ(ha.link_downs, 0);
 }
 
 }  // namespace
