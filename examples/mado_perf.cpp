@@ -15,8 +15,11 @@
 //       (add --strategy fifo to compare with the baseline)
 //   ./build/examples/mado_perf multiflow --transport socket   (real bytes)
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
+#include "core/stats_sampler.hpp"
 #include "mado.hpp"
 #include "mw/collectives.hpp"
 #include "util/flags.hpp"
@@ -129,12 +132,31 @@ void run_stream(const Setup& s, std::size_t min_size, std::size_t max_size,
   }
 }
 
+/// Write a sampler time series to `path` (JSON when the path ends in
+/// ".json", CSV otherwise). Returns false on IO failure.
+bool write_stats_series(const StatsSampler& sampler, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  out << (json ? sampler.to_json() : sampler.to_csv());
+  return static_cast<bool>(out.flush());
+}
+
 void run_multiflow(const Setup& s, std::size_t flows, int msgs,
-                   std::size_t size) {
+                   std::size_t size, Nanos sample_interval,
+                   const std::string& stats_out) {
   std::printf("# multiflow  flows=%zu msgs=%d size=%zu strategy=%s\n", flows,
               msgs, size, s.cfg.strategy.c_str());
   SimWorld w(2, s.cfg);
   w.connect(0, 1, s.caps);
+  // Periodic counter sampling in virtual time: every tick lands at an exact
+  // multiple of the interval, so the series is deterministic.
+  std::unique_ptr<StatsSampler> sampler;
+  if (sample_interval > 0) {
+    sampler = std::make_unique<StatsSampler>(w.node(0), sample_interval);
+    sampler->start();
+  }
   std::vector<Channel> tx, rx;
   for (ChannelId f = 0; f < flows; ++f) {
     tx.push_back(w.node(0).open_channel(1, f));
@@ -154,6 +176,7 @@ void run_multiflow(const Setup& s, std::size_t flows, int msgs,
       im.finish();
     }
   w.node(0).flush();
+  if (sampler) sampler->stop();
   auto& st = w.node(0).stats();
   std::printf("completion      %12.1f us\n", to_usec(w.now()));
   std::printf("transactions    %12llu\n",
@@ -161,6 +184,23 @@ void run_multiflow(const Setup& s, std::size_t flows, int msgs,
   std::printf("frags/packet    %12.2f\n",
               static_cast<double>(st.counter("tx.frags")) /
                   static_cast<double>(st.counter("tx.packets")));
+  if (const auto* h = st.histogram("lat.complete.small_eager")) {
+    std::printf("msg latency     p50<=%llu ns  p99<=%llu ns  (n=%llu)\n",
+                static_cast<unsigned long long>(h->quantile_upper_bound(0.50)),
+                static_cast<unsigned long long>(h->quantile_upper_bound(0.99)),
+                static_cast<unsigned long long>(h->count()));
+  }
+  if (sampler) {
+    std::printf("sampler         %12zu ticks every %.1f us\n",
+                sampler->samples().size(), to_usec(sampler->interval()));
+    if (!stats_out.empty()) {
+      if (!write_stats_series(*sampler, stats_out)) {
+        std::fprintf(stderr, "failed to write %s\n", stats_out.c_str());
+      } else {
+        std::printf("wrote %s\n", stats_out.c_str());
+      }
+    }
+  }
 }
 
 void run_putget(const Setup& s, std::size_t min_size, std::size_t max_size) {
@@ -224,6 +264,8 @@ void usage() {
       "  --window N --budget K --nagle-us D\n"
       "  --min B --max B              size sweep bounds\n"
       "  --flows N --msgs N --size B  multiflow shape\n"
+      "  --sample-us D --stats-out F  multiflow: periodic counter sampling\n"
+      "                               (F ending in .json → JSON, else CSV)\n"
       "  --transport sim|socket       (pingpong/multiflow: sim only for "
       "multiflow)\n");
 }
@@ -251,7 +293,9 @@ int main(int argc, char** argv) {
   } else if (pattern == "multiflow") {
     run_multiflow(s, static_cast<std::size_t>(flags.get_int("flows", 8)),
                   static_cast<int>(flags.get_int("msgs", 50)),
-                  static_cast<std::size_t>(flags.get_int("size", 64)));
+                  static_cast<std::size_t>(flags.get_int("size", 64)),
+                  usec(flags.get_double("sample-us", 0.0)),
+                  flags.get("stats-out"));
   } else if (pattern == "putget") {
     run_putget(s, std::max<std::size_t>(min_size, 64), max_size);
   } else if (pattern == "allreduce") {

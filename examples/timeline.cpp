@@ -4,21 +4,32 @@
 // decisions, the rendezvous handshake, bulk chunks.
 //
 // Build & run:  ./build/examples/timeline
+//
+// Flags:
+//   --trace-out=trace.json   also write the trace as Chrome trace-event
+//                            JSON; open in chrome://tracing or
+//                            https://ui.perfetto.dev
 #include <cstdio>
 
 #include "core/trace.hpp"
+#include "core/trace_export.hpp"
 #include "core/world.hpp"
 #include "drivers/profiles.hpp"
+#include "util/flags.hpp"
 
 using namespace mado;
 using namespace mado::core;
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+
   EngineConfig cfg;
   cfg.strategy = "aggreg";
   SimWorld world(2, cfg);
   world.connect(0, 1, drv::mx_myrinet_profile());
 
+  // One shared Tracer across both engines so the exporter can pair PacketTx
+  // on node 0 with PacketRx on node 1 (flow arrows in the Perfetto UI).
   Tracer tracer;
   world.node(0).set_tracer(&tracer);
   world.node(1).set_tracer(&tracer);
@@ -59,5 +70,15 @@ int main() {
               tracer.dropped());
   std::printf("note: the first small message leaves alone (NIC idle); the "
               "rest aggregate behind it.\n");
+
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) {
+    if (!write_chrome_trace_file(trace_out, tracer.snapshot())) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -42,6 +42,10 @@ namespace mado::core {
 struct SendState {
   std::uint32_t pending = 0;  ///< fragments not yet fully transmitted
   bool failed = false;
+  // Latency instrumentation (set at submit; read when pending hits 0 to
+  // feed the lat.complete.* histograms, split by traffic class).
+  Nanos submit_time = 0;
+  TrafficClass cls = TrafficClass::SmallEager;
 };
 using SendStateRef = std::shared_ptr<SendState>;
 

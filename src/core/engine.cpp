@@ -11,6 +11,19 @@
 
 namespace mado::core {
 
+namespace {
+/// Per-traffic-class latency histogram names. StatsRegistry::observe takes
+/// a transparent string_view key, so passing these literals stays
+/// allocation-free after the first use of each — the same contract the
+/// zero-alloc decision loop relies on for counters.
+constexpr const char* kLatHold[kTrafficClassCount] = {
+    "lat.hold.control", "lat.hold.small_eager", "lat.hold.bulk",
+    "lat.hold.putget"};
+constexpr const char* kLatComplete[kTrafficClassCount] = {
+    "lat.complete.control", "lat.complete.small_eager", "lat.complete.bulk",
+    "lat.complete.putget"};
+}  // namespace
+
 Engine::Engine(NodeId self, EngineConfig cfg, TimerHost& timers)
     : self_(self), cfg_(std::move(cfg)), timers_(timers),
       strategy_(StrategyRegistry::instance().create(cfg_.strategy)),
@@ -149,6 +162,8 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
   const MsgSeq seq = cs.next_tx_seq++;
   auto state = std::make_shared<SendState>();
   state->pending = nfrags;
+  state->submit_time = timers_.now();
+  state->cls = cs.cls;
   ++cs.outstanding_sends;
 
   const drv::Capabilities& caps = rail.ep->caps();
@@ -180,6 +195,9 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
       rdv.channel = ch;
       rdv.total = mf.len;
       rdv.state = state;
+      rdv.rts_time = tf.submit_time;
+      rdv.rts_timed = true;
+      rdv.cls = cs.cls;
       if (!mf.owned.empty()) {
         rdv.storage = std::move(mf.owned);  // Safe mode: keep the copy alive
         rdv.data = rdv.storage.data();
@@ -195,6 +213,7 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
       encode_rts(tf.owned, body);
       tf.len = tf.owned.size();
       stats_.inc("tx.rdv_rts");
+      trace_locked(TraceEvent::RdvRts, peer, rail_id, token, mf.len);
     } else {
       tf.kind = FragKind::Data;
       const bool copy =
@@ -290,7 +309,7 @@ bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
     stats_.inc("opt.flow_index_ops", idx_ops - rail.flow_index_ops_flushed);
     rail.flow_index_ops_flushed = idx_ops;
   }
-  if (tracer_) {
+  if (tracer_.load(std::memory_order_acquire)) {
     std::size_t bytes = 0;
     for (const TxFrag& f : d.frags) bytes += f.len;
     trace_locked(TraceEvent::Decision, ps.id, rail.port.rail,
@@ -392,10 +411,19 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
   stats_.inc("tx.frags", rec.frags.size());
   stats_.observe("tx.pkt_frags", rec.frags.size());
   stats_.observe("tx.pkt_bytes", rec.wire_bytes);
+  // Optimizer hold: how long each fragment waited in the collect layer
+  // before leaving in a packet — submit → first favorable decision, split
+  // by traffic class (nanoseconds).
+  {
+    const Nanos now = timers_.now();
+    for (const TxFrag& f : rec.frags)
+      stats_.observe(kLatHold[static_cast<std::size_t>(f.cls)],
+                     now - std::min(now, f.submit_time));
+  }
   MADO_TRACE("node " << self_ << " tx packet " << token << " nfrags="
                      << rec.frags.size() << " bytes=" << rec.wire_bytes);
   trace_locked(TraceEvent::PacketTx, ps.id, rail.port.rail, token,
-               rec.wire_bytes, rec.frags.size());
+               rec.wire_bytes, rec.frags.size(), ph.pkt_seq);
   rail.ep->send(drv::kTrackEager, gl, token);
   if (cfg_.reliability) arm_rto_locked(ps, rail, 0);
 }
@@ -549,6 +577,12 @@ void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
       if (rdv.state)
         complete_frag_state_locked(ps, rdv.channel, rdv.state);
       stats_.inc("tx.rdv_completed");
+      if (rdv.rts_timed) {
+        const Nanos now = timers_.now();
+        stats_.observe("lat.rdv_complete",
+                       now - std::min(now, rdv.rts_time));
+      }
+      trace_locked(TraceEvent::RdvDone, ps.id, 0, rec.rdv_token, rdv.total);
       rdv_tx_.erase(rit);
     }
     return;
@@ -575,6 +609,10 @@ void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
       --it->second.outstanding_sends;
     }
     stats_.inc("tx.msgs_completed");
+    // submit → every fragment fully transmitted, split by traffic class.
+    const Nanos now = timers_.now();
+    stats_.observe(kLatComplete[static_cast<std::size_t>(state->cls)],
+                   now - std::min(now, state->submit_time));
   }
 }
 
@@ -1004,8 +1042,31 @@ void Engine::set_external_progress(std::function<bool()> fn) {
 }
 
 void Engine::set_tracer(Tracer* tracer) {
+  // The store is atomic (hot-path readers load-acquire once per record, so
+  // the check-then-use pair cannot tear against this), but mu_ is still
+  // taken: every trace site runs under the engine lock, so holding it here
+  // guarantees that when set_tracer(nullptr) returns no in-progress
+  // record() still references the old tracer — the caller may destroy it.
   std::lock_guard<std::mutex> lk(mu_);
-  tracer_ = tracer;
+  tracer_.store(tracer, std::memory_order_release);
+}
+
+std::map<std::string, std::uint64_t, std::less<>> Engine::counters_snapshot()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_.counters();
+}
+
+void Engine::on_send_failed(NodeId peer, RailId rail_id, drv::TrackId track,
+                            std::uint64_t token) {
+  (void)track;
+  (void)token;
+  // A send the driver will never complete means the wire under the rail is
+  // gone. Failing over the whole rail replays or fails this token's record
+  // together with everything else queued behind it — and is idempotent, so
+  // the burst of failures a draining tx thread emits (followed by the
+  // driver's own on_link_down) collapses into one failover.
+  on_link_down(peer, rail_id);
 }
 
 void Engine::start_progress_thread() {
@@ -1130,6 +1191,8 @@ TxFrag Engine::make_rma_frag_locked(FragKind kind) {
   tf.nfrags_total = 1;
   tf.last = true;
   tf.kind = kind;
+  tf.cls = kind == FragKind::RmaAck ? TrafficClass::Control
+                                    : TrafficClass::PutGet;
   tf.submit_time = timers_.now();
   tf.order = next_submit_order_++;
   return tf;
@@ -1165,7 +1228,11 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
     rdv.data = static_cast<const Byte*>(data);
     rdv.total = len;
     rdv.state = nullptr;  // handle completes on the ack, not on chunks
+    rdv.rts_time = timers_.now();
+    rdv.rts_timed = true;
+    rdv.cls = cls;
     rdv_tx_.emplace(ack_token, std::move(rdv));
+    trace_locked(TraceEvent::RdvRts, peer, rail_id, ack_token, len);
 
     TxFrag tf = make_rma_frag_locked(FragKind::RdvRts);
     RtsBody body;

@@ -134,8 +134,17 @@ class Engine final {
   StatsRegistry& stats() { return stats_; }
 
   /// Attach an event tracer (nullptr detaches). May be shared by several
-  /// engines; must outlive the engine or be detached first.
+  /// engines; must outlive the engine or be detached first. Safe to call
+  /// while traffic is in flight: after set_tracer(nullptr) returns, no
+  /// thread is still recording into the old tracer (it may be destroyed).
   void set_tracer(Tracer* tracer);
+  /// Currently attached tracer (racy read; for diagnostics).
+  Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
+
+  /// Thread-safe copy of all counters (taken under the engine lock) —
+  /// usable from timer callbacks and monitoring threads while traffic is
+  /// in flight, unlike stats() which hands out the live registry.
+  std::map<std::string, std::uint64_t, std::less<>> counters_snapshot() const;
 
   const EngineConfig& config() const { return cfg_; }
   NodeId self() const { return self_; }
@@ -197,6 +206,9 @@ class Engine final {
     }
     void on_packet(drv::TrackId track, Bytes payload) override {
       engine->on_packet(peer, rail, track, std::move(payload));
+    }
+    void on_send_failed(drv::TrackId track, std::uint64_t token) override {
+      engine->on_send_failed(peer, rail, track, token);
     }
     void on_link_down() override { engine->on_link_down(peer, rail); }
   };
@@ -322,6 +334,12 @@ class Engine final {
     std::uint64_t queued = 0;     // bytes cut into chunks so far
     std::uint64_t completed = 0;  // bytes whose chunk send completed
     bool cts_received = false;
+    Nanos rts_time = 0;  ///< when the RTS was submitted (handshake latency)
+    /// True once rts_time is a real timestamp. A plain `rts_time != 0`
+    /// check would silently drop latency samples for transfers submitted at
+    /// virtual time 0 — the very first message of every simulation.
+    bool rts_timed = false;
+    TrafficClass cls = TrafficClass::Bulk;
     /// Null for puts with remote acknowledgement (the handle then lives in
     /// rma_acks_ and completes on the RmaAck, not on local chunk completion).
     SendStateRef state;
@@ -398,6 +416,11 @@ class Engine final {
   void on_send_complete(NodeId peer, RailId rail, drv::TrackId track,
                         std::uint64_t token);
   void on_packet(NodeId peer, RailId rail, drv::TrackId track, Bytes payload);
+  /// A queued send will never complete (the driver's wire broke under it).
+  /// Treated as a link failure: the whole rail fails over in one sweep,
+  /// which replays or fails this token's record along with the rest.
+  void on_send_failed(NodeId peer, RailId rail, drv::TrackId track,
+                      std::uint64_t token);
   void on_link_down(NodeId peer, RailId rail);
 
   // ---- locked internals -------------------------------------------------
@@ -488,9 +511,14 @@ class Engine final {
   bool wait_until_impl(const std::function<bool()>& pred, Nanos timeout);
 
   /// Emit a trace record if a tracer is attached (callable under the lock).
+  /// The pointer is loaded exactly once (acquire) so a concurrent
+  /// set_tracer cannot tear the check-then-use pair; see set_tracer for the
+  /// detach-quiescence guarantee.
   void trace_locked(TraceEvent ev, NodeId peer, RailId rail, std::uint64_t a,
-                    std::uint64_t b = 0, std::uint64_t c = 0) {
-    if (!tracer_) return;
+                    std::uint64_t b = 0, std::uint64_t c = 0,
+                    std::uint64_t d = 0) {
+    Tracer* t = tracer_.load(std::memory_order_acquire);
+    if (!t) return;
     TraceRecord rec;
     rec.time = timers_.now();
     rec.event = ev;
@@ -500,7 +528,8 @@ class Engine final {
     rec.a = a;
     rec.b = b;
     rec.c = c;
-    tracer_->record(rec);
+    rec.d = d;
+    t->record(rec);
   }
 
   // ---- data --------------------------------------------------------------
@@ -530,7 +559,10 @@ class Engine final {
   /// Free-listed buffers for payload copies, control bodies and header
   /// blocks. Declared after stats_ (it records its counters there).
   PayloadSlab slab_{&stats_};
-  Tracer* tracer_ = nullptr;
+  /// Atomic so attach/detach is race-free against hot-path reads (all trace
+  /// sites hold mu_, but set_tracer also takes mu_ only to guarantee no
+  /// in-progress record() outlives a detach — see set_tracer).
+  std::atomic<Tracer*> tracer_{nullptr};
 
   std::uint64_t next_pkt_token_ = 1;
   std::uint64_t next_rdv_token_ = 1;

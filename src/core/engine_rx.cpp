@@ -1,5 +1,6 @@
 // Receive side of the engine: packet demultiplexing, fragment reassembly,
 // the unexpected queue, rendezvous RTS/CTS handling and incremental unpack.
+#include <algorithm>
 #include <cstring>
 
 #include "core/engine.hpp"
@@ -77,7 +78,7 @@ void Engine::handle_eager_packet_locked(PeerState& ps, RailId rail_id,
   stats_.inc("rx.bytes", payload.size());
   stats_.inc("rx.frags", pkt.frags.size());
   trace_locked(TraceEvent::PacketRx, ps.id, rail_id, pkt.frags.size(),
-               payload.size());
+               payload.size(), 0, ph.pkt_seq);
   for (std::size_t i = 0; i < pkt.frags.size(); ++i) {
     const FragHeader& fh = pkt.frags[i];
     switch (fh.kind) {
@@ -171,6 +172,7 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
     stats_.inc("rel.dup_drops");  // replayed RTS of a finished rendezvous
     return;
   }
+  trace_locked(TraceEvent::RdvRts, ps.id, 0, rts.token, rts.total_len);
   switch (rts.target) {
     case RdvTarget::Message: {
       if (cfg_.reliability) {
@@ -267,6 +269,7 @@ void Engine::send_auto_cts_locked(PeerState& ps, const FragHeader& fh,
   tf.idx = fh.frag_idx;
   tf.nfrags_total = fh.nfrags_total;
   tf.kind = FragKind::RdvCts;
+  tf.cls = TrafficClass::Control;
   tf.owned = slab_.take(CtsBody::kWireSize);
   encode_cts(tf.owned, CtsBody{token});
   tf.len = tf.owned.size();
@@ -287,6 +290,7 @@ void Engine::send_cts_locked(PeerState& ps, const FragHeader& fh,
   tf.idx = fh.frag_idx;
   tf.nfrags_total = fh.nfrags_total;
   tf.kind = FragKind::RdvCts;
+  tf.cls = TrafficClass::Control;
   CtsBody body{slot.token};
   tf.owned = slab_.take(CtsBody::kWireSize);
   encode_cts(tf.owned, body);
@@ -316,6 +320,11 @@ void Engine::handle_cts_locked(PeerState& ps, ByteSpan payload) {
   MADO_CHECK_MSG(!rdv.cts_received, "duplicate CTS");
   rdv.cts_received = true;
   stats_.inc("rx.rdv_cts");
+  // Handshake latency: RTS submitted → CTS back from the receiver.
+  if (rdv.rts_timed) {
+    const Nanos now = timers_.now();
+    stats_.observe("lat.rdv_handshake", now - std::min(now, rdv.rts_time));
+  }
   distribute_chunks_locked(ps, cts.token, rdv);
 }
 
@@ -411,6 +420,8 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
       note_rdv_done_locked(ps.id, bh.token);
       rdv_rx_.erase(it);
       stats_.inc("rx.rdv_completed");
+      trace_locked(TraceEvent::RdvDone, ps.id, rail_id, bh.token,
+                   slot.total);
     }
     return;
   }
@@ -433,6 +444,7 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
     pending_gets_.erase(git);
   }
   note_rdv_done_locked(ps.id, bh.token);
+  trace_locked(TraceEvent::RdvDone, ps.id, rail_id, bh.token, rx.len);
   rdv_rx_.erase(it);
 }
 
@@ -479,7 +491,11 @@ void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
     rdv.data = win.base + b.offset;
     rdv.total = b.len;
     rdv.state = nullptr;  // no local handle: the requester tracks completion
+    rdv.rts_time = timers_.now();
+    rdv.rts_timed = true;
+    rdv.cls = TrafficClass::PutGet;
     rdv_tx_.emplace(token, std::move(rdv));
+    trace_locked(TraceEvent::RdvRts, ps.id, rail_id, token, b.len);
 
     TxFrag tf = make_rma_frag_locked(FragKind::RdvRts);
     RtsBody rts;

@@ -57,6 +57,7 @@ const char* Tracer::event_name(TraceEvent ev) {
     case TraceEvent::BulkRx: return "BulkRx";
     case TraceEvent::RdvRts: return "RdvRts";
     case TraceEvent::RdvCts: return "RdvCts";
+    case TraceEvent::RdvDone: return "RdvDone";
     case TraceEvent::NagleWait: return "NagleWait";
     case TraceEvent::Rebalance: return "Rebalance";
     case TraceEvent::RmaOp: return "RmaOp";

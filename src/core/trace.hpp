@@ -30,6 +30,7 @@ enum class TraceEvent : std::uint8_t {
   BulkRx,       // a=token, b=offset, c=len
   RdvRts,       // a=token, b=total (tx side: queued; rx side: seen)
   RdvCts,       // a=token
+  RdvDone,      // a=token, b=total (transfer fully sent / fully landed)
   NagleWait,    // a=wait_until
   Rebalance,    // a=new control rail
   RmaOp,        // a=0 put / 1 get, b=window, c=len
@@ -44,6 +45,11 @@ struct TraceRecord {
   NodeId peer = 0;
   RailId rail = 0;
   std::uint64_t a = 0, b = 0, c = 0;
+  // Auxiliary correlation id. For PacketTx/PacketRx this is the wire
+  // `pkt_seq`, which is the only identifier shared by the sending and the
+  // receiving engine — the exporter uses it to link the two ends of a
+  // packet flight across processes (drivers' send tokens are sender-local).
+  std::uint64_t d = 0;
 };
 
 class Tracer {

@@ -1,0 +1,423 @@
+#include "core/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace mado::core {
+
+namespace {
+
+// ---- low-level JSON emission ------------------------------------------------
+//
+// The document is assembled by appending one event object per line. All
+// field names and values we emit are plain ASCII (event names are compile-
+// time literals, ids are formatted numbers), so no string escaping is
+// needed; keeping the writer this small is what lets the exporter stay
+// dependency-free.
+
+constexpr std::uint64_t kTidBase = 256;  // tid = peer * kTidBase + rail
+
+std::uint64_t tid_of(const TraceRecord& r) {
+  return static_cast<std::uint64_t>(r.peer) * kTidBase + r.rail;
+}
+
+double usec_ts(Nanos t) { return to_usec(t); }
+
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+
+  void begin_doc() { out_ += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"; }
+  void end_doc() { out_ += "\n]}\n"; }
+
+  /// Start one event object with the fields every record shares.
+  void begin(const char* name, const char* cat, char ph, double ts,
+             std::uint64_t pid, std::uint64_t tid) {
+    if (!first_) out_ += ",\n";
+    first_ = false;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                  "\"ts\":%.3f,\"pid\":%llu,\"tid\":%llu",
+                  name, cat, ph, ts, static_cast<unsigned long long>(pid),
+                  static_cast<unsigned long long>(tid));
+    out_ += buf;
+  }
+  void field_f(const char* key, double v) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ",\"%s\":%.3f", key, v);
+    out_ += buf;
+  }
+  void field_u(const char* key, std::uint64_t v) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ",\"%s\":%llu", key,
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void field_s(const char* key, const std::string& v) {
+    out_ += ",\"";
+    out_ += key;
+    out_ += "\":\"";
+    out_ += v;
+    out_ += '"';
+  }
+  /// args object from up to three (key, value) pairs; null keys skipped.
+  void args(const char* k1, std::uint64_t v1, const char* k2 = nullptr,
+            std::uint64_t v2 = 0, const char* k3 = nullptr,
+            std::uint64_t v3 = 0) {
+    out_ += ",\"args\":{";
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu", k1,
+                  static_cast<unsigned long long>(v1));
+    out_ += buf;
+    if (k2) {
+      std::snprintf(buf, sizeof buf, ",\"%s\":%llu", k2,
+                    static_cast<unsigned long long>(v2));
+      out_ += buf;
+    }
+    if (k3) {
+      std::snprintf(buf, sizeof buf, ",\"%s\":%llu", k3,
+                    static_cast<unsigned long long>(v3));
+      out_ += buf;
+    }
+    out_ += '}';
+  }
+  void end() { out_ += '}'; }
+
+  /// process_name / thread_name metadata event.
+  void metadata(const char* what, std::uint64_t pid, std::uint64_t tid,
+                const std::string& label) {
+    begin(what, "__metadata", 'M', 0.0, pid, tid);
+    out_ += ",\"args\":{\"name\":\"";
+    out_ += label;
+    out_ += "\"}";
+    end();
+  }
+
+  /// Instant event (thread scope) straight from a record.
+  void instant(const char* name, const TraceRecord& r) {
+    begin(name, "engine", 'i', usec_ts(r.time), r.node, tid_of(r));
+    out_ += ",\"s\":\"t\"";
+    args("a", r.a, "b", r.b, "c", r.c);
+    end();
+  }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+};
+
+/// A complete ("X") span; durations below 1ns are clamped so zero-length
+/// spans stay visible and bindable by flow events.
+void span(Writer& w, const char* name, const char* cat, Nanos start,
+          Nanos end_t, std::uint64_t pid, std::uint64_t tid) {
+  w.begin(name, cat, 'X', usec_ts(start), pid, tid);
+  const double dur = end_t > start ? to_usec(end_t - start) : 0.0;
+  w.field_f("dur", dur > 0.001 ? dur : 0.001);
+}
+
+// ---- pairing state ----------------------------------------------------------
+
+struct RdvLife {
+  bool has_rts = false, has_cts = false, has_done = false;
+  Nanos rts = 0, cts = 0, done = 0;
+  NodeId peer = 0;
+  RailId rail = 0;
+  std::uint64_t total = 0;
+};
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceRecord>& records,
+                            const ChromeTraceOptions& opts) {
+  std::string out;
+  out.reserve(256 + records.size() * 160);
+  Writer w(out);
+  w.begin_doc();
+
+  // ---- pass 1: name the tracks, index the pairable records ----------------
+  std::set<NodeId> nodes;
+  std::set<std::tuple<NodeId, NodeId, RailId>> tracks;
+  // (src, dst, rail, pkt_seq) -> rx record index, for PacketTx->PacketRx.
+  std::map<std::tuple<NodeId, NodeId, RailId, std::uint64_t>, std::size_t>
+      pkt_rx;
+  std::set<std::tuple<NodeId, NodeId, RailId, std::uint64_t>> pkt_tx;
+  // (src, dst, token, offset) -> rx record index, for BulkTx->BulkRx.
+  std::map<std::tuple<NodeId, NodeId, std::uint64_t, std::uint64_t>,
+           std::size_t>
+      bulk_rx;
+  std::set<std::tuple<NodeId, NodeId, std::uint64_t, std::uint64_t>> bulk_tx;
+  // (node, token) -> rendezvous lifecycle marks.
+  std::map<std::pair<NodeId, std::uint64_t>, RdvLife> rdv;
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    nodes.insert(r.node);
+    tracks.insert({r.node, r.peer, r.rail});
+    switch (r.event) {
+      case TraceEvent::PacketTx:
+        pkt_tx.insert({r.node, r.peer, r.rail, r.d});
+        break;
+      case TraceEvent::PacketRx:
+        // node received from peer: flow key is (sender, receiver, ...).
+        pkt_rx[{r.peer, r.node, r.rail, r.d}] = i;
+        break;
+      case TraceEvent::BulkTx:
+        bulk_tx.insert({r.node, r.peer, r.a, r.b});
+        break;
+      case TraceEvent::BulkRx:
+        bulk_rx[{r.peer, r.node, r.a, r.b}] = i;
+        break;
+      case TraceEvent::RdvRts: {
+        RdvLife& l = rdv[{r.node, r.a}];
+        l.has_rts = true;
+        l.rts = r.time;
+        l.peer = r.peer;
+        l.rail = r.rail;
+        l.total = r.b;
+        break;
+      }
+      case TraceEvent::RdvCts: {
+        RdvLife& l = rdv[{r.node, r.a}];
+        l.has_cts = true;
+        l.cts = r.time;
+        if (!l.has_rts) {
+          l.peer = r.peer;
+          l.rail = r.rail;
+        }
+        break;
+      }
+      case TraceEvent::RdvDone: {
+        RdvLife& l = rdv[{r.node, r.a}];
+        l.has_done = true;
+        l.done = r.time;
+        if (!l.has_rts && !l.has_cts) {
+          l.peer = r.peer;
+          l.rail = r.rail;
+        }
+        if (l.total == 0) l.total = r.b;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // ---- metadata: name processes and per-(peer,rail) tracks ----------------
+  for (NodeId n : nodes) {
+    char label[48];
+    std::snprintf(label, sizeof label, "node %u", n);
+    w.metadata("process_name", n, 0, label);
+  }
+  for (const auto& [node, peer, rail] : tracks) {
+    char label[64];
+    std::snprintf(label, sizeof label, "peer %u rail %u", peer, rail);
+    w.metadata("thread_name", node,
+               static_cast<std::uint64_t>(peer) * kTidBase + rail, label);
+  }
+
+  // ---- pass 2: per-record events ------------------------------------------
+  // Retransmit-episode accumulation: (node, peer, rail) -> open episode.
+  struct Episode {
+    Nanos start = 0, last = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::tuple<NodeId, NodeId, RailId>, Episode> episodes;
+  auto flush_episode = [&](const std::tuple<NodeId, NodeId, RailId>& key,
+                           const Episode& e) {
+    span(w, "retx.episode", "reliability", e.start, e.last,
+         std::get<0>(key),
+         static_cast<std::uint64_t>(std::get<1>(key)) * kTidBase +
+             std::get<2>(key));
+    w.args("retransmits", e.count);
+    w.end();
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    switch (r.event) {
+      case TraceEvent::MsgSubmit:
+        w.begin("MsgSubmit", "engine", 'i', usec_ts(r.time), r.node,
+                tid_of(r));
+        out += ",\"s\":\"t\"";
+        w.args("channel", r.a, "nfrags", r.b, "bytes", r.c);
+        w.end();
+        break;
+      case TraceEvent::Decision:
+        w.begin(r.a == 0   ? "Decision.send"
+                : r.a == 1 ? "Decision.wait"
+                           : "Decision.idle",
+                "optimizer", 'i', usec_ts(r.time), r.node, tid_of(r));
+        out += ",\"s\":\"t\"";
+        w.args("frags", r.b, "bytes", r.c);
+        w.end();
+        break;
+      case TraceEvent::PacketTx: {
+        // A thin slice (so the flow arrow has something to bind to)...
+        span(w, "PacketTx", "packet", r.time, r.time, r.node, tid_of(r));
+        w.args("token", r.a, "bytes", r.b, "nfrags", r.c);
+        w.end();
+        // ...plus the flow start toward the peer's PacketRx.
+        if (opts.flow_events) {
+          auto it = pkt_rx.find({r.node, r.peer, r.rail, r.d});
+          if (it != pkt_rx.end()) {
+            char id[64];
+            std::snprintf(id, sizeof id, "pkt:%u-%u:r%u:%llu", r.node,
+                          r.peer, r.rail,
+                          static_cast<unsigned long long>(r.d));
+            w.begin("pkt", "flow", 's', usec_ts(r.time), r.node, tid_of(r));
+            w.field_s("id", id);
+            w.end();
+          }
+        }
+        break;
+      }
+      case TraceEvent::PacketRx: {
+        span(w, "PacketRx", "packet", r.time, r.time, r.node, tid_of(r));
+        w.args("nfrags", r.a, "bytes", r.b);
+        w.end();
+        if (opts.flow_events) {
+          // Only finish flows whose start exists in this trace, and only
+          // from the record the rx index points at (dedup).
+          auto it = pkt_rx.find({r.peer, r.node, r.rail, r.d});
+          const bool have_tx =
+              pkt_tx.count({r.peer, r.node, r.rail, r.d}) > 0;
+          if (it != pkt_rx.end() && it->second == i && have_tx) {
+            char id[64];
+            std::snprintf(id, sizeof id, "pkt:%u-%u:r%u:%llu", r.peer,
+                          r.node, r.rail,
+                          static_cast<unsigned long long>(r.d));
+            w.begin("pkt", "flow", 'f', usec_ts(r.time), r.node, tid_of(r));
+            w.field_s("bp", "e");
+            w.field_s("id", id);
+            w.end();
+          }
+        }
+        break;
+      }
+      case TraceEvent::BulkTx: {
+        span(w, "BulkTx", "bulk", r.time, r.time, r.node, tid_of(r));
+        w.args("token", r.a, "offset", r.b, "len", r.c);
+        w.end();
+        if (opts.flow_events) {
+          auto it = bulk_rx.find({r.node, r.peer, r.a, r.b});
+          if (it != bulk_rx.end()) {
+            char id[80];
+            std::snprintf(id, sizeof id, "bulk:%u-%u:t%llu:o%llu", r.node,
+                          r.peer, static_cast<unsigned long long>(r.a),
+                          static_cast<unsigned long long>(r.b));
+            w.begin("bulk", "flow", 's', usec_ts(r.time), r.node,
+                    tid_of(r));
+            w.field_s("id", id);
+            w.end();
+          }
+        }
+        break;
+      }
+      case TraceEvent::BulkRx: {
+        span(w, "BulkRx", "bulk", r.time, r.time, r.node, tid_of(r));
+        w.args("token", r.a, "offset", r.b, "len", r.c);
+        w.end();
+        if (opts.flow_events) {
+          auto it = bulk_rx.find({r.peer, r.node, r.a, r.b});
+          const bool have_tx = bulk_tx.count({r.peer, r.node, r.a, r.b}) > 0;
+          if (it != bulk_rx.end() && it->second == i && have_tx) {
+            char id[80];
+            std::snprintf(id, sizeof id, "bulk:%u-%u:t%llu:o%llu", r.peer,
+                          r.node, static_cast<unsigned long long>(r.a),
+                          static_cast<unsigned long long>(r.b));
+            w.begin("bulk", "flow", 'f', usec_ts(r.time), r.node,
+                    tid_of(r));
+            w.field_s("bp", "e");
+            w.field_s("id", id);
+            w.end();
+          }
+        }
+        break;
+      }
+      case TraceEvent::RdvRts:
+        w.instant("RdvRts", r);
+        break;
+      case TraceEvent::RdvCts:
+        w.instant("RdvCts", r);
+        break;
+      case TraceEvent::RdvDone:
+        w.instant("RdvDone", r);
+        break;
+      case TraceEvent::NagleWait:
+        w.instant("NagleWait", r);
+        break;
+      case TraceEvent::Rebalance:
+        w.instant("Rebalance", r);
+        break;
+      case TraceEvent::RmaOp:
+        w.instant(r.a == 0 ? "RmaPut" : "RmaGet", r);
+        break;
+      case TraceEvent::RailDown:
+        w.instant("RailDown", r);
+        break;
+      case TraceEvent::RelRetx: {
+        w.instant("RelRetx", r);
+        const std::tuple<NodeId, NodeId, RailId> key{r.node, r.peer,
+                                                     r.rail};
+        auto [it, fresh] = episodes.try_emplace(key);
+        Episode& e = it->second;
+        if (!fresh && r.time > e.last + opts.retx_episode_gap) {
+          flush_episode(key, e);
+          e = Episode{};
+          e.start = r.time;
+        } else if (fresh) {
+          e.start = r.time;
+        }
+        e.last = r.time;
+        ++e.count;
+        break;
+      }
+    }
+  }
+  for (const auto& [key, e] : episodes)
+    if (e.count > 0) flush_episode(key, e);
+
+  // ---- rendezvous lifecycle spans -----------------------------------------
+  for (const auto& [key, l] : rdv) {
+    const NodeId node = key.first;
+    const std::uint64_t token = key.second;
+    const std::uint64_t tid =
+        static_cast<std::uint64_t>(l.peer) * kTidBase + l.rail;
+    if (l.has_rts && l.has_cts && l.cts >= l.rts) {
+      span(w, "rdv.handshake", "rendezvous", l.rts, l.cts, node, tid);
+      w.args("token", token, "total", l.total);
+      w.end();
+    }
+    if (l.has_cts && l.has_done && l.done >= l.cts) {
+      span(w, "rdv.transfer", "rendezvous", l.cts, l.done, node, tid);
+      w.args("token", token, "total", l.total);
+      w.end();
+    }
+    if (l.has_rts && !l.has_cts && l.has_done && l.done >= l.rts) {
+      // Receiver side: RTS seen, bytes landed (the CTS it *sent* is not a
+      // traced arrival on this node).
+      span(w, "rdv.recv", "rendezvous", l.rts, l.done, node, tid);
+      w.args("token", token, "total", l.total);
+      w.end();
+    }
+  }
+
+  w.end_doc();
+  return out;
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRecord>& records,
+                             const ChromeTraceOptions& opts) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os << to_chrome_trace(records, opts);
+  return static_cast<bool>(os);
+}
+
+}  // namespace mado::core

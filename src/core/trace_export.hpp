@@ -1,0 +1,54 @@
+// Chrome-trace-event / Perfetto export of Tracer records.
+//
+// `to_chrome_trace` turns a `Tracer::snapshot()` into the JSON object
+// format understood by Perfetto (https://ui.perfetto.dev) and the legacy
+// chrome://tracing viewer:
+//
+//   * one *process* per engine (pid = node id, named "node N");
+//   * one *track* per (peer, rail) pair (tid = peer*256 + rail), so each
+//     physical link direction gets its own swim lane;
+//   * instant events for submissions, optimizer decisions, nagle waits,
+//     class re-assignments, RMA ops, retransmits and rail failures;
+//   * duration ("X") spans for the rendezvous lifecycle — RdvRts→RdvCts
+//     (handshake) and RdvCts→RdvDone (bulk transfer) on the sender,
+//     RdvRts→RdvDone on the receiver — and for retransmit episodes
+//     (consecutive RelRetx records on one link, split on quiet gaps);
+//   * flow events ("s"/"f") linking each PacketTx to the matching
+//     PacketRx on the peer engine (paired by the wire pkt_seq carried in
+//     TraceRecord::d) and each BulkTx to its BulkRx (paired by rendezvous
+//     token + offset) — the cross-engine arrows in the viewer.
+//
+// Timestamps are virtual nanoseconds in simulation, wall nanoseconds with
+// real drivers; the JSON `ts` field is microseconds (fractional), as the
+// format requires. Share one Tracer between both engines of a world to get
+// both ends of every flow into a single file (see examples/timeline.cpp
+// and docs/tracing.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace mado::core {
+
+struct ChromeTraceOptions {
+  /// Consecutive RelRetx records on one (node, peer, rail) closer than this
+  /// merge into one "retx.episode" span; a longer quiet gap starts a new one.
+  Nanos retx_episode_gap = kNanosPerMilli;
+  /// Emit PacketTx→PacketRx / BulkTx→BulkRx flow ("s"/"f") events.
+  bool flow_events = true;
+};
+
+/// Render records (chronological, as returned by Tracer::snapshot()) as a
+/// complete Chrome trace JSON document.
+std::string to_chrome_trace(const std::vector<TraceRecord>& records,
+                            const ChromeTraceOptions& opts = {});
+
+/// Convenience: write to_chrome_trace(records) to `path`. Returns false if
+/// the file could not be written.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRecord>& records,
+                             const ChromeTraceOptions& opts = {});
+
+}  // namespace mado::core

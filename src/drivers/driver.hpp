@@ -35,10 +35,22 @@ class EndpointHandler {
   /// the handler.
   virtual void on_packet(TrackId track, Bytes payload) = 0;
 
+  /// A queued send will never complete: the wire broke while (or before)
+  /// the driver was transmitting it. Fired exactly once per affected token
+  /// — every send() gets exactly one of on_send_complete / on_send_failed —
+  /// and before the endpoint's on_link_down. Default: ignore (the link-down
+  /// failover then sweeps up the in-flight record; lossless drivers never
+  /// call it).
+  virtual void on_send_failed(TrackId track, std::uint64_t token) {
+    (void)track;
+    (void)token;
+  }
+
   /// The link died (peer closed, transport error, injected failure). Fired
   /// at most once per endpoint, after every packet that arrived before the
-  /// failure has been delivered via on_packet. Sends already queued may
-  /// never complete. Default: ignore (lossless drivers never call it).
+  /// failure has been delivered via on_packet and every doomed send has
+  /// been failed via on_send_failed. Default: ignore (lossless drivers
+  /// never call it).
   virtual void on_link_down() {}
 };
 

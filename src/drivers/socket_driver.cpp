@@ -60,6 +60,7 @@ void SocketEndpoint::send(TrackId track, const GatherList& gl,
   item.track = track;
   item.token = token;
   item.payload = gl.flatten();  // segments only live until completion
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
   tx_.push(std::move(item));
 }
 
@@ -69,17 +70,27 @@ void SocketEndpoint::progress() {
   events_.drain(drained);
   for (auto& ev : drained) {
     if (auto* done = std::get_if<EvSendComplete>(&ev)) {
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
       handler_->on_send_complete(done->track, done->token);
+    } else if (auto* failed = std::get_if<EvSendFailed>(&ev)) {
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      handler_->on_send_failed(failed->track, failed->token);
     } else {
       auto& pkt = std::get<EvPacket>(ev);
       handler_->on_packet(pkt.track, std::move(pkt.payload));
     }
   }
   // Teardown ordering: a peer death is reported only AFTER every packet
-  // that made it over the wire has been handed to the handler (the drain
-  // above), and exactly once. A deliberate local close() is not a failure
-  // and is never reported.
+  // that made it over the wire has been handed to the handler and every
+  // accepted send has been resolved (completion or failure), and exactly
+  // once. The outstanding_ gate matters: when the wire breaks the TX
+  // thread turns into a drain pump that fails queued items one by one —
+  // without the gate a progress() call could slip in between two of those
+  // pushes and report link-down while doomed sends still await their
+  // on_send_failed. A deliberate local close() is not a failure and is
+  // never reported.
   if (broken_.load(std::memory_order_acquire) &&
+      outstanding_.load(std::memory_order_acquire) == 0 &&
       !closed_.load(std::memory_order_acquire) &&
       !link_down_reported_.exchange(true, std::memory_order_acq_rel)) {
     handler_->on_link_down();
@@ -137,8 +148,24 @@ void SocketEndpoint::tx_loop() {
 
     if (!write_all(hdr, sizeof hdr) ||
         !write_all(item->payload.data(), item->payload.size())) {
+      // The wire broke under this item. Silently returning here used to
+      // drop it AND everything still queued behind it — no completion, no
+      // failure — so the engine's in-flight records for those tokens leaked
+      // forever when reliability was off (and flush() hung on them). Fail
+      // the current item, then stay alive as a drain pump so every queued
+      // and every future send() gets exactly one failure event, delivered
+      // by progress() before on_link_down.
       broken_.store(true, std::memory_order_release);
-      return;
+      events_.push(EvSendFailed{item->track, item->token});
+      for (;;) {
+        auto doomed = tx_.pop_wait(std::chrono::milliseconds(100));
+        if (!doomed) {
+          if (stop_.load(std::memory_order_acquire)) return;
+          continue;
+        }
+        if (doomed->stop) return;
+        events_.push(EvSendFailed{doomed->track, doomed->token});
+      }
     }
     packets_sent_.fetch_add(1, std::memory_order_relaxed);
     bytes_sent_.fetch_add(item->payload.size(), std::memory_order_relaxed);

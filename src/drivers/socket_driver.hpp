@@ -76,11 +76,15 @@ class SocketEndpoint final : public DriverEndpoint {
     TrackId track;
     std::uint64_t token;
   };
+  struct EvSendFailed {
+    TrackId track;
+    std::uint64_t token;
+  };
   struct EvPacket {
     TrackId track;
     Bytes payload;
   };
-  using Event = std::variant<EvSendComplete, EvPacket>;
+  using Event = std::variant<EvSendComplete, EvSendFailed, EvPacket>;
 
   Capabilities caps_;
   int fd_ = -1;
@@ -91,6 +95,10 @@ class SocketEndpoint final : public DriverEndpoint {
   std::thread rx_thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> broken_{false};
+  /// sends accepted but not yet resolved to a completion/failure event that
+  /// progress() has DELIVERED. Gates the link-down report: it must not fire
+  /// while a doomed send still awaits its on_send_failed.
+  std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> closed_{false};
   std::atomic<bool> link_down_reported_{false};
   std::atomic<std::uint64_t> packets_sent_{0};

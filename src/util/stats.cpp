@@ -10,6 +10,7 @@ std::string StatsRegistry::to_string() const {
     os << name << "=" << value << "\n";
   for (const auto& [name, h] : histograms_)
     os << name << ": count=" << h.count() << " mean=" << h.mean()
+       << " p50<=" << h.quantile_upper_bound(0.50)
        << " p99<=" << h.quantile_upper_bound(0.99) << "\n";
   return os.str();
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -30,8 +31,14 @@ class Welford {
   double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  /// NaN when no samples have been added — 0 would masquerade as a real
+  /// observation and silently poison "min latency" style reports.
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -115,6 +122,9 @@ class StatsRegistry {
 
   const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
+  }
+  const std::map<std::string, Log2Histogram, std::less<>>& histograms() const {
+    return histograms_;
   }
 
   void reset() {

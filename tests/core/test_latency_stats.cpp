@@ -1,0 +1,111 @@
+// Per-message latency instrumentation: the engine records, per traffic
+// class, submit→first-transmit hold time (lat.hold.*) and submit→complete
+// time (lat.complete.*), plus rendezvous handshake/completion latency. All
+// in virtual time here, so the distributions are deterministic.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+TEST(LatencyStats, EagerMessagesFeedHoldAndCompleteHistograms) {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  constexpr int kMsgs = 16;
+  for (int i = 0; i < kMsgs; ++i) send_bytes(a, pattern(64));
+  for (int i = 0; i < kMsgs; ++i) recv_bytes(b, 64);
+  ASSERT_TRUE(w.node(0).flush());
+
+  const auto& st = w.node(0).stats();
+  const auto* hold = st.histogram("lat.hold.small_eager");
+  ASSERT_NE(hold, nullptr);
+  EXPECT_EQ(hold->count(), static_cast<std::uint64_t>(kMsgs));
+  const auto* complete = st.histogram("lat.complete.small_eager");
+  ASSERT_NE(complete, nullptr);
+  EXPECT_EQ(complete->count(), static_cast<std::uint64_t>(kMsgs));
+  // Completion includes the wire round of the packet; it cannot be faster
+  // than the optimizer hold for the same workload.
+  EXPECT_GE(complete->quantile_upper_bound(1.0),
+            hold->quantile_upper_bound(0.0));
+}
+
+TEST(LatencyStats, HoldTimeGrowsWhenNicIsBusy) {
+  // A burst behind a busy NIC waits in the backlog; the tail of the hold
+  // distribution must exceed the (zero) hold of an uncontended message.
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  for (int i = 0; i < 32; ++i) send_bytes(a, pattern(512));
+  for (int i = 0; i < 32; ++i) recv_bytes(b, 512);
+  ASSERT_TRUE(w.node(0).flush());
+  const auto* hold = w.node(0).stats().histogram("lat.hold.small_eager");
+  ASSERT_NE(hold, nullptr);
+  // First message leaves with ~0 hold; later ones queued behind the wire.
+  EXPECT_GT(hold->quantile_upper_bound(1.0), 1u);
+}
+
+TEST(LatencyStats, RendezvousHandshakeAndCompletionLatency) {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Channel a = w.node(0).open_channel(1, 7, TrafficClass::Bulk);
+  Channel b = w.node(1).open_channel(0, 7, TrafficClass::Bulk);
+  // Later mode is zero-copy: the buffer must outlive the transfer.
+  const Bytes data = pattern(128 * 1024);
+  send_bytes(a, data, SendMode::Later);
+  recv_bytes(b, data.size());
+  ASSERT_TRUE(w.node(0).flush());
+
+  const auto& st = w.node(0).stats();
+  const auto* handshake = st.histogram("lat.rdv_handshake");
+  ASSERT_NE(handshake, nullptr);
+  EXPECT_EQ(handshake->count(), 1u);
+  const auto* done = st.histogram("lat.rdv_complete");
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->count(), 1u);
+  // RTS→CTS is a strict prefix of RTS→all-chunks-acked.
+  EXPECT_LE(handshake->sum(), done->sum());
+  // The message rode a Bulk-class channel, so its completion latency lands
+  // in the bulk histogram, not the eager one.
+  const auto* bulk = st.histogram("lat.complete.bulk");
+  ASSERT_NE(bulk, nullptr);
+  EXPECT_EQ(bulk->count(), 1u);
+  EXPECT_EQ(st.histogram("lat.complete.small_eager"), nullptr);
+}
+
+TEST(LatencyStats, ClassesAreSplit) {
+  // Completion latency is keyed by the channel's traffic class: one message
+  // per class-typed channel must land in exactly its own histogram.
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Channel a1 = w.node(0).open_channel(1, 7, TrafficClass::SmallEager);
+  Channel b1 = w.node(1).open_channel(0, 7, TrafficClass::SmallEager);
+  Channel a2 = w.node(0).open_channel(1, 8, TrafficClass::Bulk);
+  Channel b2 = w.node(1).open_channel(0, 8, TrafficClass::Bulk);
+  send_bytes(a1, pattern(64));
+  recv_bytes(b1, 64);
+  const Bytes big = pattern(96 * 1024);  // Later mode: buffer must outlive
+  send_bytes(a2, big, SendMode::Later);
+  recv_bytes(b2, big.size());
+  ASSERT_TRUE(w.node(0).flush());
+  const auto& st = w.node(0).stats();
+  const auto* eager = st.histogram("lat.complete.small_eager");
+  ASSERT_NE(eager, nullptr);
+  EXPECT_EQ(eager->count(), 1u);
+  const auto* bulk = st.histogram("lat.complete.bulk");
+  ASSERT_NE(bulk, nullptr);
+  EXPECT_EQ(bulk->count(), 1u);
+}
+
+}  // namespace
+}  // namespace mado::core

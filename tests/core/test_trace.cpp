@@ -41,6 +41,25 @@ TEST(Tracer, RingOverwritesOldest) {
   EXPECT_EQ(tr.dropped(), 6u);
 }
 
+TEST(Tracer, ExactlyAtCapacityDropsNothing) {
+  // Wraparound boundary: capacity records fit exactly; the (capacity+1)th
+  // is the first to evict.
+  Tracer tr(4);
+  for (Nanos t = 0; t < 4; ++t) tr.record(make_rec(t, TraceEvent::PacketTx));
+  auto snap = tr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  EXPECT_EQ(snap[0].time, 0u);
+  EXPECT_EQ(snap[3].time, 3u);
+
+  tr.record(make_rec(4, TraceEvent::PacketTx));
+  snap = tr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 1u);
+  EXPECT_EQ(snap[0].time, 1u);  // oldest record evicted, order preserved
+  EXPECT_EQ(snap[3].time, 4u);
+}
+
 TEST(Tracer, ClearResets) {
   Tracer tr(4);
   tr.record(make_rec(1, TraceEvent::MsgSubmit));

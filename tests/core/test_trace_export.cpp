@@ -1,0 +1,378 @@
+// Validates the Chrome trace-event exporter against the schema the Perfetto
+// and chrome://tracing loaders actually enforce: every event carries
+// name/ph/ts/pid/tid, complete ("X") events carry a duration, and flow
+// events come in matched s/f pairs bound by id. Uses a self-contained JSON
+// parser (objects/arrays/strings/numbers) so the test needs no external
+// dependency.
+#include "core/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "tests/core/engine_test_util.hpp"
+
+namespace mado::core {
+namespace {
+
+using testing::pattern;
+using testing::recv_bytes;
+using testing::send_bytes;
+
+// ---- minimal JSON parser ----------------------------------------------------
+
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  bool has(const std::string& key) const {
+    return type == Type::Object && obj.count(key) > 0;
+  }
+  const Json& at(const std::string& key) const { return obj.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Parses the whole document; sets ok=false (with a position) on any
+  /// syntax error or trailing garbage.
+  Json parse(bool& ok) {
+    Json v = value();
+    skip_ws();
+    ok = !failed_ && pos_ == s_.size();
+    return v;
+  }
+
+ private:
+  void fail() { failed_ = true; }
+  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char get() { return pos_ < s_.size() ? s_[pos_++] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (peek() != c) {
+      fail();
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    if (failed_) return {};
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return bool_value();
+      case 'n':
+        return null_value();
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      Json key = string_value();
+      if (failed_ || !expect(':')) return v;
+      v.obj[key.str] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.type = Json::Type::String;
+    if (!expect('"')) return v;
+    while (pos_ < s_.size() && peek() != '"') {
+      char c = get();
+      if (c == '\\') {
+        const char e = get();
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: fail(); return v;
+        }
+      }
+      v.str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  Json bool_value() {
+    Json v;
+    v.type = Json::Type::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail();
+    }
+    return v;
+  }
+
+  Json null_value() {
+    Json v;
+    if (s_.compare(pos_, 4, "null") == 0)
+      pos_ += 4;
+    else
+      fail();
+    return v;
+  }
+
+  Json number() {
+    Json v;
+    v.type = Json::Type::Number;
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) {
+      fail();
+      return v;
+    }
+    v.num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Json parse_or_die(const std::string& text) {
+  bool ok = false;
+  JsonParser p(text);
+  Json doc = p.parse(ok);
+  EXPECT_TRUE(ok) << "exporter produced invalid JSON:\n" << text;
+  return doc;
+}
+
+/// Collect a traced run of the standard mixed workload (eager burst + one
+/// rendezvous) over one shared tracer, so tx and rx sides pair up.
+std::vector<TraceRecord> traced_workload() {
+  SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  Tracer tr;
+  w.node(0).set_tracer(&tr);
+  w.node(1).set_tracer(&tr);
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  for (int i = 0; i < 4; ++i) send_bytes(a, pattern(64));
+  for (int i = 0; i < 4; ++i) recv_bytes(b, 64);
+  const Bytes big = pattern(64 * 1024);  // Later mode: buffer must outlive
+  send_bytes(a, big, SendMode::Later);
+  recv_bytes(b, big.size());
+  w.node(0).flush();
+  return tr.snapshot();
+}
+
+// ---- tests ------------------------------------------------------------------
+
+TEST(TraceExport, EmptyTraceIsValidAndLoadable) {
+  const Json doc = parse_or_die(to_chrome_trace({}));
+  ASSERT_TRUE(doc.has("traceEvents"));
+  EXPECT_EQ(doc.at("traceEvents").type, Json::Type::Array);
+  EXPECT_TRUE(doc.at("traceEvents").arr.empty());
+  ASSERT_TRUE(doc.has("displayTimeUnit"));
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+}
+
+TEST(TraceExport, EveryEventCarriesRequiredFields) {
+  const Json doc = parse_or_die(to_chrome_trace(traced_workload()));
+  const auto& events = doc.at("traceEvents").arr;
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    ASSERT_EQ(e.type, Json::Type::Object);
+    ASSERT_TRUE(e.has("name"));
+    EXPECT_EQ(e.at("name").type, Json::Type::String);
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_EQ(e.at("ph").str.size(), 1u);
+    const char ph = e.at("ph").str[0];
+    EXPECT_TRUE(ph == 'M' || ph == 'i' || ph == 'X' || ph == 's' || ph == 'f')
+        << "unexpected phase " << ph;
+    ASSERT_TRUE(e.has("ts"));
+    EXPECT_EQ(e.at("ts").type, Json::Type::Number);
+    EXPECT_GE(e.at("ts").num, 0.0);
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    if (ph == 'X') {
+      ASSERT_TRUE(e.has("dur")) << "complete event without duration";
+      EXPECT_GT(e.at("dur").num, 0.0);
+    }
+    if (ph == 'i') EXPECT_TRUE(e.has("s"));  // instant scope
+  }
+}
+
+TEST(TraceExport, FlowEventsPairAcrossEngines) {
+  const Json doc = parse_or_die(to_chrome_trace(traced_workload()));
+  const auto& events = doc.at("traceEvents").arr;
+  std::map<std::string, int> starts, finishes;
+  double last_start_ts = -1;
+  for (const auto& e : events) {
+    if (e.at("ph").str == "s") {
+      starts[e.at("id").str]++;
+      last_start_ts = e.at("ts").num;
+    } else if (e.at("ph").str == "f") {
+      finishes[e.at("id").str]++;
+      EXPECT_EQ(e.at("bp").str, "e");  // bind to enclosing slice
+    }
+  }
+  (void)last_start_ts;
+  // The workload crosses the wire, so token flows must exist and pair 1:1.
+  ASSERT_FALSE(starts.empty());
+  EXPECT_EQ(starts.size(), finishes.size());
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(n, 1) << "duplicate flow start " << id;
+    EXPECT_EQ(finishes[id], 1) << "unmatched flow " << id;
+  }
+  for (const auto& [id, n] : finishes)
+    EXPECT_EQ(starts.count(id), 1u) << "finish without start " << id;
+}
+
+TEST(TraceExport, PacketSpansAppearOnBothNodes) {
+  const Json doc = parse_or_die(to_chrome_trace(traced_workload()));
+  bool tx_on_0 = false, rx_on_1 = false;
+  for (const auto& e : doc.at("traceEvents").arr) {
+    if (e.at("name").str == "PacketTx" && e.at("pid").num == 0) tx_on_0 = true;
+    if (e.at("name").str == "PacketRx" && e.at("pid").num == 1) rx_on_1 = true;
+  }
+  EXPECT_TRUE(tx_on_0);
+  EXPECT_TRUE(rx_on_1);
+}
+
+TEST(TraceExport, RendezvousLifecycleBecomesSpans) {
+  const Json doc = parse_or_die(to_chrome_trace(traced_workload()));
+  bool handshake = false, transfer = false, recv = false;
+  for (const auto& e : doc.at("traceEvents").arr) {
+    const std::string& n = e.at("name").str;
+    if (n == "rdv.handshake") {
+      handshake = true;
+      EXPECT_EQ(e.at("ph").str, "X");
+      EXPECT_EQ(e.at("pid").num, 0);  // sender side
+    }
+    if (n == "rdv.transfer") transfer = true;
+    if (n == "rdv.recv") {
+      recv = true;
+      EXPECT_EQ(e.at("pid").num, 1);  // receiver side
+    }
+  }
+  EXPECT_TRUE(handshake);
+  EXPECT_TRUE(transfer);
+  EXPECT_TRUE(recv);
+}
+
+TEST(TraceExport, MetadataNamesProcessesAndTracks) {
+  const Json doc = parse_or_die(to_chrome_trace(traced_workload()));
+  bool proc0 = false, thread_named = false;
+  for (const auto& e : doc.at("traceEvents").arr) {
+    if (e.at("ph").str != "M") continue;
+    if (e.at("name").str == "process_name" && e.at("pid").num == 0) {
+      proc0 = true;
+      EXPECT_EQ(e.at("args").at("name").str, "node 0");
+    }
+    if (e.at("name").str == "thread_name") thread_named = true;
+  }
+  EXPECT_TRUE(proc0);
+  EXPECT_TRUE(thread_named);
+}
+
+TEST(TraceExport, WriteFileRoundTrips) {
+  const auto records = traced_workload();
+  const std::string path =
+      ::testing::TempDir() + "mado_trace_export_test.json";
+  ASSERT_TRUE(write_chrome_trace_file(path, records));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, to_chrome_trace(records));
+}
+
+TEST(TraceExport, FlowEventsCanBeDisabled) {
+  ChromeTraceOptions opts;
+  opts.flow_events = false;
+  const Json doc = parse_or_die(to_chrome_trace(traced_workload(), opts));
+  for (const auto& e : doc.at("traceEvents").arr) {
+    EXPECT_NE(e.at("ph").str, "s");
+    EXPECT_NE(e.at("ph").str, "f");
+  }
+}
+
+}  // namespace
+}  // namespace mado::core

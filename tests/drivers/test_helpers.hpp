@@ -19,12 +19,24 @@ struct RecordingHandler final : EndpointHandler {
   };
   std::vector<Sent> completions;
   std::vector<Got> packets;
+  std::vector<Sent> failures;
+  int link_downs = 0;
+  /// failures.size() at the moment on_link_down fired (contract: every
+  /// doomed send is failed BEFORE link-down is reported).
+  std::size_t failures_at_link_down = 0;
 
   void on_send_complete(TrackId track, std::uint64_t token) override {
     completions.push_back({track, token});
   }
   void on_packet(TrackId track, Bytes payload) override {
     packets.push_back({track, std::move(payload)});
+  }
+  void on_send_failed(TrackId track, std::uint64_t token) override {
+    failures.push_back({track, token});
+  }
+  void on_link_down() override {
+    ++link_downs;
+    failures_at_link_down = failures.size();
   }
 };
 

@@ -136,6 +136,58 @@ TEST_F(SocketDriverTest, SendAfterCloseThrows) {
   EXPECT_THROW(a_->send(kTrackEager, gl, 1), CheckError);
 }
 
+TEST_F(SocketDriverTest, SendsAfterPeerDeathAreFailedNotDropped) {
+  // Regression: the TX thread used to exit silently on a broken wire,
+  // dropping every queued item — no completion, no failure — which leaked
+  // the engine's in-flight records forever. Now every doomed send must get
+  // exactly one on_send_failed, all delivered before on_link_down.
+  b_->close();
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!a_->broken() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(a_->broken());
+
+  constexpr std::uint64_t kN = 16;
+  for (std::uint64_t i = 0; i < kN; ++i)
+    send(*a_, kTrackEager, make_payload(64, static_cast<std::uint8_t>(i)), i);
+  ASSERT_TRUE(pump_until([&] {
+    return ha_.failures.size() == kN && ha_.link_downs == 1;
+  }));
+  EXPECT_TRUE(ha_.completions.empty());
+  for (std::uint64_t i = 0; i < kN; ++i)
+    EXPECT_EQ(ha_.failures[i].token, i);
+  // on_link_down fired only after every doomed token was failed.
+  EXPECT_EQ(ha_.failures_at_link_down, kN);
+}
+
+TEST_F(SocketDriverTest, EveryTokenGetsExactlyOneOutcomeAcrossPeerDeath) {
+  // Burst sends racing a peer close: tokens may complete (made it into the
+  // socket buffer) or fail (wire broke first), but each must get exactly
+  // one outcome — the sum must account for every send().
+  constexpr std::uint64_t kN = 64;
+  // Large payloads so the socket buffer fills and the TX thread is still
+  // mid-queue when the peer vanishes.
+  for (std::uint64_t i = 0; i < kN; ++i)
+    send(*a_, kTrackBulk, make_payload(256 * 1024), i);
+  b_->close();
+  ASSERT_TRUE(pump_until([&] {
+    return ha_.completions.size() + ha_.failures.size() == kN;
+  }));
+  std::vector<bool> seen(kN, false);
+  for (const auto& c : ha_.completions) {
+    EXPECT_FALSE(seen[c.token]) << "duplicate outcome for " << c.token;
+    seen[c.token] = true;
+  }
+  for (const auto& f : ha_.failures) {
+    EXPECT_FALSE(seen[f.token]) << "duplicate outcome for " << f.token;
+    seen[f.token] = true;
+  }
+  if (!ha_.failures.empty()) {
+    ASSERT_TRUE(pump_until([&] { return ha_.link_downs == 1; }));
+    EXPECT_EQ(ha_.failures_at_link_down, ha_.failures.size());
+  }
+}
+
 TEST_F(SocketDriverTest, GatherSegmentsConcatenated) {
   Bytes p1 = make_payload(16, 3), p2 = make_payload(16, 4);
   GatherList gl;

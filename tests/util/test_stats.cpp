@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace mado {
 namespace {
 
@@ -20,6 +22,17 @@ TEST(Welford, SingleSampleHasZeroVariance) {
   w.add(3.5);
   EXPECT_DOUBLE_EQ(w.mean(), 3.5);
   EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, EmptyMinMaxAreNaNNotZero) {
+  // Regression: min()/max() returned 0 for an empty accumulator, which is
+  // indistinguishable from a genuine 0-valued sample in reports.
+  Welford w;
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
+  w.add(-3.0);
+  EXPECT_DOUBLE_EQ(w.min(), -3.0);
+  EXPECT_DOUBLE_EQ(w.max(), -3.0);
 }
 
 TEST(Log2Histogram, BucketOf) {
@@ -50,6 +63,29 @@ TEST(Log2Histogram, QuantileBounds) {
   EXPECT_GE(h.quantile_upper_bound(0.999), (1u << 20) - 1);
 }
 
+TEST(Log2Histogram, QuantileEdges) {
+  Log2Histogram empty;
+  EXPECT_EQ(empty.quantile_upper_bound(0.0), 0u);
+  EXPECT_EQ(empty.quantile_upper_bound(1.0), 0u);
+
+  Log2Histogram h;
+  h.add(8);    // bucket 3
+  h.add(100);  // bucket 6
+  // q=0 → bucket of the smallest sample; q=1 → bucket of the largest.
+  EXPECT_EQ(h.quantile_upper_bound(0.0), 15u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 127u);
+}
+
+TEST(Log2Histogram, BucketZeroHoldsZeroAndOne) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  // Bucket 0's upper bound is (1<<1)-1 = 1: both samples fit under it.
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1u);
+}
+
 TEST(StatsRegistry, Counters) {
   StatsRegistry s;
   EXPECT_EQ(s.counter("x"), 0u);
@@ -76,6 +112,24 @@ TEST(StatsRegistry, ToStringContainsEntries) {
   const std::string out = s.to_string();
   EXPECT_NE(out.find("packets=7"), std::string::npos);
   EXPECT_NE(out.find("lat:"), std::string::npos);
+}
+
+TEST(StatsRegistry, ToStringRendersHistogramSummary) {
+  StatsRegistry s;
+  for (int i = 0; i < 100; ++i) s.observe("lat", 8);
+  const std::string out = s.to_string();
+  EXPECT_NE(out.find("count=100"), std::string::npos);
+  EXPECT_NE(out.find("mean=8"), std::string::npos);
+  EXPECT_NE(out.find("p50<=15"), std::string::npos);
+  EXPECT_NE(out.find("p99<=15"), std::string::npos);
+}
+
+TEST(StatsRegistry, HistogramsAccessor) {
+  StatsRegistry s;
+  s.observe("a", 1);
+  s.observe("b", 2);
+  EXPECT_EQ(s.histograms().size(), 2u);
+  EXPECT_EQ(s.histograms().count("a"), 1u);
 }
 
 }  // namespace
