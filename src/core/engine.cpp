@@ -115,8 +115,9 @@ RailId Engine::rail_for_submit_locked(const PeerState& ps,
   if (cfg_.eager_rail == EagerRailPolicy::ClassPinned ||
       ps.rails.size() < 2)
     return rail_for_class_locked(ps, cls);
-  // LeastLoaded: queued + in-flight bytes, normalized by link bandwidth so
-  // a loaded fast rail can still beat an idle slow one.
+  // LeastLoaded: queued + in-flight bytes, normalized by the rail's
+  // effective bandwidth (per-rail hint wins over the profile's nominal
+  // rate) so a loaded fast rail can still beat an idle slow one.
   bool found = false;
   std::size_t best = 0;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -125,7 +126,7 @@ RailId Engine::rail_for_submit_locked(const PeerState& ps,
     if (r.state == RailState::Down) continue;
     const double load =
         static_cast<double>(r.backlog.byte_count() + r.inflight_bytes);
-    const double cost = load / r.ep->caps().cost.link_bytes_per_us;
+    const double cost = load / r.ep->caps().effective_bandwidth();
     if (cost < best_cost) {
       best_cost = cost;
       best = i;
@@ -353,6 +354,35 @@ bool Engine::pop_bulk_chunk_locked(PeerState& ps, Rail& rail,
     ps.shared_bulk.pop_front();
     return true;
   }
+  if (cfg_.multirail == MultirailPolicy::Stripe && cfg_.stripe.steal) {
+    // Work stealing: this rail went idle while a sibling still has queued
+    // stripe chunks — the paper's "NIC becomes idle" activation generalized
+    // across rails. Rob the tail of the most-loaded Up victim so its head
+    // keeps streaming undisturbed; prediction error and mid-transfer load
+    // shifts self-correct this way.
+    Rail* victim = nullptr;
+    std::size_t victim_bytes = 0;
+    for (const auto& other : ps.rails) {
+      if (other.get() == &rail || other->state == RailState::Down) continue;
+      if (other->bulk_q.empty()) continue;
+      std::size_t bytes = 0;
+      for (const BulkChunk& c : other->bulk_q) bytes += c.len;
+      if (bytes < cfg_.stripe.steal_min_bytes) continue;
+      if (victim == nullptr || bytes > victim_bytes) {
+        victim = other.get();
+        victim_bytes = bytes;
+      }
+    }
+    if (victim != nullptr) {
+      out = victim->bulk_q.back();
+      victim->bulk_q.pop_back();
+      stats_.inc("stripe.steals");
+      stats_.inc("stripe.steal_bytes", out.len);
+      trace_locked(TraceEvent::BulkSteal, ps.id, rail.port.rail, out.token,
+                   out.offset, out.len, victim->port.rail);
+      return true;
+    }
+  }
   return false;
 }
 
@@ -445,12 +475,14 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   rec.rdv_token = chunk.token;
   rec.chunk_off = chunk.offset;
   rec.chunk_len = chunk.len;
+  rec.chunk_stripe = chunk.stripe;
 
   BulkHeader bh;
   bh.src_node = self_;
   bh.token = chunk.token;
   bh.offset = chunk.offset;
   bh.len = chunk.len;
+  bh.stripe = chunk.stripe;
   if (cfg_.reliability) {
     RelTrack& rt = rail.rel[1];
     bh.flags |= kPhFlagRelSeq | kPhFlagAck;
@@ -482,7 +514,7 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
   stats_.inc("tx.bulk_chunks");
   stats_.inc("tx.bytes", rec.wire_bytes);
   trace_locked(TraceEvent::BulkTx, ps.id, rail.port.rail, chunk.token,
-               chunk.offset, chunk.len);
+               chunk.offset, chunk.len, chunk.stripe);
   rail.ep->send(rec.track, gl, token);
   if (cfg_.reliability) arm_rto_locked(ps, rail, 1);
 }
@@ -910,7 +942,8 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
       if (rec.is_bulk) {
         // Re-queue the chunk; it rides the survivor's bulk stream with a
         // fresh sequence number.
-        BulkChunk chunk{rec.rdv_token, rec.chunk_off, rec.chunk_len};
+        BulkChunk chunk{rec.rdv_token, rec.chunk_off, rec.chunk_len,
+                        rec.chunk_stripe};
         if (cfg_.multirail == MultirailPolicy::DynamicSplit)
           ps.shared_bulk.push_back(chunk);
         else

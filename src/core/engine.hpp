@@ -218,6 +218,9 @@ class Engine final {
     std::uint64_t token = 0;
     std::uint64_t offset = 0;
     std::uint32_t len = 0;
+    /// Stripe sequence within the transfer's plan (Stripe policy; 0
+    /// otherwise). Travels to the wire/trace for observability.
+    std::uint32_t stripe = 0;
   };
 
   /// Per-(rail, reliable stream) go-back-N state. Stream 0 carries eager
@@ -333,6 +336,7 @@ class Engine final {
     std::uint64_t total = 0;
     std::uint64_t queued = 0;     // bytes cut into chunks so far
     std::uint64_t completed = 0;  // bytes whose chunk send completed
+    std::uint32_t next_stripe = 0;  // next stripe id to assign (Stripe)
     bool cts_received = false;
     Nanos rts_time = 0;  ///< when the RTS was submitted (handshake latency)
     /// True once rts_time is a real timestamp. A plain `rts_time != 0`
@@ -362,6 +366,10 @@ class Engine final {
     /// Reliability: chunk offsets already applied, so a chunk replayed on a
     /// surviving rail (delivered once, ack lost) is not double-counted.
     std::set<std::uint64_t> seen_offsets;
+    /// Reassembly watermark: lowest offset not yet known-contiguous from 0.
+    /// Chunks landing above it arrived out of order (another rail ran
+    /// ahead) — counted as `stripe.reassembly_ooo`.
+    std::uint64_t next_contig = 0;
   };
 
   struct RmaWindow {
@@ -389,6 +397,7 @@ class Engine final {
     std::uint64_t rdv_token = 0;
     std::uint64_t chunk_off = 0;
     std::uint32_t chunk_len = 0;
+    std::uint32_t chunk_stripe = 0;
     std::size_t wire_bytes = 0;
     // Reliability:
     bool reliable = false;       ///< occupies a slot in a rel seq stream
@@ -492,6 +501,18 @@ class Engine final {
   void send_cts_locked(PeerState& ps, const FragHeader& fh, RxSlot& slot);
   void distribute_chunks_locked(PeerState& ps, std::uint64_t token,
                                 RdvTx& rdv);
+  /// MultirailPolicy::Stripe placement: consult the cost model
+  /// (strategy_detail::stripe_shares) to split the transfer into per-rail
+  /// contiguous ranges, then cut each range into chunks on that rail's
+  /// queue. Falls back to the Bulk class rail when fewer than two rails can
+  /// carry traffic.
+  void stripe_chunks_locked(PeerState& ps, std::uint64_t token, RdvTx& rdv,
+                            std::size_t chunk_size);
+  /// Bytes that must drain from `rail` before a newly-queued bulk chunk
+  /// moves: queued bulk chunks + eager backlog + the larger of
+  /// driver-in-flight and un-acked wire bytes (they overlap; counting both
+  /// would double-charge a loaded rail).
+  static std::size_t rail_pending_bytes_locked(const Rail& rail);
   void mark_slot_done_locked(RxMessage& msg, RxSlot& slot);
 
   // RMA internals.

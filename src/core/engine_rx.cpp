@@ -331,6 +331,10 @@ void Engine::handle_cts_locked(PeerState& ps, ByteSpan payload) {
 void Engine::distribute_chunks_locked(PeerState& ps, std::uint64_t token,
                                       RdvTx& rdv) {
   const std::size_t chunk_size = std::max<std::size_t>(1, cfg_.rdv_chunk);
+  if (cfg_.multirail == MultirailPolicy::Stripe) {
+    stripe_chunks_locked(ps, token, rdv, chunk_size);
+    return;
+  }
   for (std::uint64_t off = 0; off < rdv.total; off += chunk_size) {
     BulkChunk chunk;
     chunk.token = token;
@@ -349,8 +353,7 @@ void Engine::distribute_chunks_locked(PeerState& ps, std::uint64_t token,
         std::size_t best = 0;
         double best_cost = std::numeric_limits<double>::infinity();
         for (std::size_t i = 0; i < ps.rails.size(); ++i) {
-          const double bw =
-              ps.rails[i]->ep->caps().cost.link_bytes_per_us;
+          const double bw = ps.rails[i]->ep->caps().effective_bandwidth();
           const double cost =
               (static_cast<double>(ps.rails[i]->static_split_assigned) +
                chunk.len) /
@@ -369,8 +372,79 @@ void Engine::distribute_chunks_locked(PeerState& ps, std::uint64_t token,
         // rails automatically take more (paper §2, dynamic load balancing).
         ps.shared_bulk.push_back(chunk);
         break;
+      case MultirailPolicy::Stripe:
+        MADO_CHECK_MSG(false, "Stripe handled by stripe_chunks_locked");
+        break;
     }
   }
+}
+
+std::size_t Engine::rail_pending_bytes_locked(const Rail& rail) {
+  std::size_t queued = 0;
+  for (const BulkChunk& c : rail.bulk_q) queued += c.len;
+  // inflight_bytes (until driver completion) and unacked_bytes (until
+  // cumulative ack) cover overlapping sets of packets; take the larger so
+  // a loaded rail is not charged twice for the same wire bytes.
+  const std::size_t unacked =
+      rail.rel[0].unacked_bytes + rail.rel[1].unacked_bytes;
+  return queued + rail.backlog.byte_count() +
+         std::max(rail.inflight_bytes, unacked);
+}
+
+void Engine::stripe_chunks_locked(PeerState& ps, std::uint64_t token,
+                                  RdvTx& rdv, std::size_t chunk_size) {
+  // Cost-model placement (the optimizing layer's stripe hook): split the
+  // transfer into per-rail contiguous byte ranges sized so every rail's
+  // predicted completion time — per-chunk injection cost (PIO/DMA), wire
+  // occupancy at the rail's effective bandwidth, and the backlog it must
+  // drain first — comes out equal. Work stealing in pop_bulk_chunk_locked
+  // corrects whatever the prediction gets wrong.
+  std::vector<strategy_detail::StripeRail> cands(ps.rails.size());
+  for (std::size_t i = 0; i < ps.rails.size(); ++i) {
+    const Rail& rail = *ps.rails[i];
+    cands[i].caps = &rail.ep->caps();
+    cands[i].backlog_bytes = rail_pending_bytes_locked(rail);
+    cands[i].up = rail.state != RailState::Down;
+  }
+  std::vector<std::uint64_t> shares;
+  const double imbalance = strategy_detail::stripe_shares(
+      cands, rdv.total, chunk_size, cfg_.stripe.min_chunk, shares);
+  const bool planned =
+      std::count_if(shares.begin(), shares.end(),
+                    [](std::uint64_t s) { return s > 0; }) > 0;
+  if (!planned) {
+    // No carrier survived the model (all rails down — failover handles the
+    // rest): park everything on the Bulk class rail like SingleRail would.
+    const RailId r = rail_for_class_locked(ps, TrafficClass::Bulk);
+    shares.assign(ps.rails.size(), 0);
+    shares[r] = rdv.total;
+  }
+  stats_.inc("stripe.transfers");
+  // Histogram values are integral; record the predicted spread in percent.
+  stats_.observe("stripe.imbalance_pct",
+                 static_cast<std::uint64_t>(imbalance + 0.5));
+
+  // Cut each rail's contiguous range into chunks on its queue. Offsets run
+  // low-to-high across rails in index order; stripe ids are global over the
+  // plan so traces can replay the placement.
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < ps.rails.size(); ++i) {
+    std::uint64_t left = shares[i];
+    while (left > 0) {
+      BulkChunk chunk;
+      chunk.token = token;
+      chunk.offset = off;
+      chunk.len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(chunk_size, left));
+      chunk.stripe = rdv.next_stripe++;
+      off += chunk.len;
+      left -= chunk.len;
+      rdv.queued += chunk.len;
+      ps.rails[i]->bulk_q.push_back(chunk);
+      stats_.inc("stripe.chunks");
+    }
+  }
+  MADO_ASSERT(off == rdv.total);
 }
 
 // ---- bulk path -------------------------------------------------------------------
@@ -400,8 +474,16 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
   }
   stats_.inc("rx.bulk_chunks");
   stats_.inc("rx.bytes", payload.size());
+  // Reassembly watermark: a chunk starting above the in-order front arrived
+  // out of order — another rail (or a stolen chunk) ran ahead. The memcpy
+  // below is offset-addressed, so OOO landing is free; the counter just
+  // makes cross-rail interleaving observable.
+  if (bh.offset > rx.next_contig)
+    stats_.inc("stripe.reassembly_ooo");
+  else
+    rx.next_contig = std::max(rx.next_contig, bh.offset + bh.len);
   trace_locked(TraceEvent::BulkRx, ps.id, rail_id, bh.token, bh.offset,
-               bh.len);
+               bh.len, bh.stripe);
 
   if (rx.target == RdvTarget::Message) {
     auto mit = ps.rx_msgs.find({rx.channel, rx.seq});

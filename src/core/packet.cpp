@@ -215,6 +215,7 @@ void encode_bulk_header(Bytes& out, const BulkHeader& bh) {
   w.u32(bh.ack_eager);
   w.u32(bh.ack_bulk);
   w.u32(bh.payload_crc);
+  w.u32(bh.stripe);
   const std::size_t crc_at = w.size();
   w.u32(0);
   w.patch_u32(crc_at, Crc32::of(out.data() + base, crc_at - base));
@@ -233,6 +234,7 @@ BulkHeader decode_bulk(ByteSpan packet, ByteSpan& data, bool crc_check) {
   b.ack_eager = r.u32();
   b.ack_bulk = r.u32();
   b.payload_crc = r.u32();
+  b.stripe = r.u32();
   const std::size_t crc_at = r.position();
   const std::uint32_t wire_crc = r.u32();
   if (crc_check)

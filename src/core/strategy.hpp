@@ -107,6 +107,45 @@ std::size_t take_controls(TxBacklog& backlog, std::size_t budget,
 Nanos packet_cost(const drv::Capabilities& caps, std::size_t payload_bytes,
                   std::size_t payload_segs, std::size_t header_bytes);
 
+// ---- stripe hook (MultirailPolicy::Stripe) ---------------------------------
+//
+// The optimizer-side half of heterogeneous bulk striping: given every Up
+// rail's capabilities and current backlog, split a transfer into per-rail
+// byte shares such that all rails are *predicted* to finish simultaneously.
+// Pure functions of the cost model — exercised directly by the model-based
+// striping tests, and by the engine at CTS time.
+
+/// One candidate rail as seen by the stripe planner.
+struct StripeRail {
+  const drv::Capabilities* caps = nullptr;
+  /// Bytes already queued/in flight on the rail (bulk queue + eager backlog
+  /// + un-acked wire bytes) that must drain before new chunks move.
+  std::size_t backlog_bytes = 0;
+  bool up = true;  ///< Down rails must receive a zero share.
+};
+
+/// Predicted effective bulk throughput of `caps` in bytes/ns when streaming
+/// `chunk`-byte rendezvous chunks back to back: per-chunk injection setup
+/// (PIO below the threshold, DMA above — the classic tradeoff the paper
+/// says optimizations must be parameterized by), wire occupancy at the
+/// effective bandwidth (honors Capabilities::bandwidth_hint_bytes_per_us),
+/// and the inter-injection gap.
+double stripe_rail_rate(const drv::Capabilities& caps, std::size_t chunk);
+
+/// Split `total` bytes over `rails` proportionally to predicted completion
+/// time: rail i receives share_i such that
+///   backlog_i/rate_i + share_i/rate_i  is equal across participating rails
+/// (classic water-filling; a rail whose backlog already exceeds the common
+/// finish time gets 0). Shares below `min_chunk` are folded into the
+/// fastest rail. Down rails always get 0. Guarantees sum(shares) == total
+/// and shares.size() == rails.size(). Returns the predicted completion-time
+/// imbalance in percent (spread between the earliest- and latest-finishing
+/// participating rail after integer rounding; 0 when one rail carries all).
+double stripe_shares(const std::vector<StripeRail>& rails,
+                     std::uint64_t total, std::size_t chunk,
+                     std::size_t min_chunk,
+                     std::vector<std::uint64_t>& shares);
+
 }  // namespace strategy_detail
 
 }  // namespace mado::core

@@ -63,6 +63,7 @@ const char* Tracer::event_name(TraceEvent ev) {
     case TraceEvent::RmaOp: return "RmaOp";
     case TraceEvent::RelRetx: return "RelRetx";
     case TraceEvent::RailDown: return "RailDown";
+    case TraceEvent::BulkSteal: return "BulkSteal";
   }
   return "?";
 }

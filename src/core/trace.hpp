@@ -26,8 +26,8 @@ enum class TraceEvent : std::uint8_t {
   Decision,     // a=action(0 send,1 wait,2 idle), b=frags, c=bytes
   PacketTx,     // a=token, b=bytes, c=nfrags
   PacketRx,     // a=nfrags, b=bytes
-  BulkTx,       // a=token, b=offset, c=len
-  BulkRx,       // a=token, b=offset, c=len
+  BulkTx,       // a=token, b=offset, c=len, d=stripe
+  BulkRx,       // a=token, b=offset, c=len, d=stripe
   RdvRts,       // a=token, b=total (tx side: queued; rx side: seen)
   RdvCts,       // a=token
   RdvDone,      // a=token, b=total (transfer fully sent / fully landed)
@@ -36,6 +36,7 @@ enum class TraceEvent : std::uint8_t {
   RmaOp,        // a=0 put / 1 get, b=window, c=len
   RelRetx,      // a=token, b=stream, c=retries (reliability retransmit)
   RailDown,     // a=replayed frags, b=replayed chunks, c=failed sends
+  BulkSteal,    // a=token, b=offset, c=len, d=victim rail (rail=thief)
 };
 
 struct TraceRecord {

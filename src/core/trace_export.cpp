@@ -65,10 +65,11 @@ class Writer {
     out_ += v;
     out_ += '"';
   }
-  /// args object from up to three (key, value) pairs; null keys skipped.
+  /// args object from up to four (key, value) pairs; null keys skipped.
   void args(const char* k1, std::uint64_t v1, const char* k2 = nullptr,
             std::uint64_t v2 = 0, const char* k3 = nullptr,
-            std::uint64_t v3 = 0) {
+            std::uint64_t v3 = 0, const char* k4 = nullptr,
+            std::uint64_t v4 = 0) {
     out_ += ",\"args\":{";
     char buf[96];
     std::snprintf(buf, sizeof buf, "\"%s\":%llu", k1,
@@ -82,6 +83,11 @@ class Writer {
     if (k3) {
       std::snprintf(buf, sizeof buf, ",\"%s\":%llu", k3,
                     static_cast<unsigned long long>(v3));
+      out_ += buf;
+    }
+    if (k4) {
+      std::snprintf(buf, sizeof buf, ",\"%s\":%llu", k4,
+                    static_cast<unsigned long long>(v4));
       out_ += buf;
     }
     out_ += '}';
@@ -301,7 +307,7 @@ std::string to_chrome_trace(const std::vector<TraceRecord>& records,
       }
       case TraceEvent::BulkTx: {
         span(w, "BulkTx", "bulk", r.time, r.time, r.node, tid_of(r));
-        w.args("token", r.a, "offset", r.b, "len", r.c);
+        w.args("token", r.a, "offset", r.b, "len", r.c, "stripe", r.d);
         w.end();
         if (opts.flow_events) {
           auto it = bulk_rx.find({r.node, r.peer, r.a, r.b});
@@ -320,7 +326,7 @@ std::string to_chrome_trace(const std::vector<TraceRecord>& records,
       }
       case TraceEvent::BulkRx: {
         span(w, "BulkRx", "bulk", r.time, r.time, r.node, tid_of(r));
-        w.args("token", r.a, "offset", r.b, "len", r.c);
+        w.args("token", r.a, "offset", r.b, "len", r.c, "stripe", r.d);
         w.end();
         if (opts.flow_events) {
           auto it = bulk_rx.find({r.peer, r.node, r.a, r.b});
@@ -359,6 +365,9 @@ std::string to_chrome_trace(const std::vector<TraceRecord>& records,
         break;
       case TraceEvent::RailDown:
         w.instant("RailDown", r);
+        break;
+      case TraceEvent::BulkSteal:
+        w.instant("BulkSteal", r);
         break;
       case TraceEvent::RelRetx: {
         w.instant("RelRetx", r);

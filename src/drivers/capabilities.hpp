@@ -54,6 +54,21 @@ struct Capabilities {
   /// optimizer and the network agree on what "cheaper" means.
   sim::NicModelParams cost;
 
+  /// Per-rail bandwidth hint in bytes/µs, for schedulers (stripe placement,
+  /// least-loaded rail selection) when the cost model's link rate is not
+  /// representative of this particular rail — e.g. a TCP driver whose
+  /// profile says GigE but whose path is actually 10G, or an administrator
+  /// capping a rail's share. 0 means "no hint": consumers fall back to
+  /// cost.link_bytes_per_us via effective_bandwidth().
+  double bandwidth_hint_bytes_per_us = 0.0;
+
+  /// The bandwidth schedulers should plan with: the explicit hint when one
+  /// is set, the cost model's link rate otherwise.
+  double effective_bandwidth() const {
+    return bandwidth_hint_bytes_per_us > 0.0 ? bandwidth_hint_bytes_per_us
+                                             : cost.link_bytes_per_us;
+  }
+
   sim::NicModel model() const { return sim::NicModel(cost); }
 };
 

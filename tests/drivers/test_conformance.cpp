@@ -1,7 +1,7 @@
 // Driver conformance kit: one parameterized suite that checks the
 // DriverEndpoint contract (drivers/driver.hpp) against EVERY transport —
 // loopback, shared-memory, simulated NIC and real sockets. Anyone adding a
-// driver (docs/internals.md §7) plugs it in here.
+// driver (docs/internals.md §9) plugs it in here.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -204,6 +204,65 @@ TEST_P(DriverConformanceTest, SegmentsReusableAfterCompletion) {
   std::fill(buf.begin(), buf.end(), Byte{0});  // allowed after completion
   ASSERT_TRUE(h_->pump_until([&] { return !h_->hb.packets.empty(); }));
   EXPECT_EQ(h_->hb.packets[0].payload, make_payload(64, 1));
+}
+
+TEST_P(DriverConformanceTest, ConcurrentTracksShareOnePeerWithoutInterference) {
+  // Two tracks in flight at once toward the same peer: a stream of large
+  // bulk chunks raced against a stream of small eager packets, interleaved
+  // at submission time. The contract: per-track FIFO survives, every
+  // payload stays byte-exact, and completions for both tracks arrive in
+  // per-track submission order — neither track may starve or reorder the
+  // other. This is exactly the shape the engine's striped rendezvous path
+  // produces (eager control packets racing bulk chunks on one rail).
+  constexpr std::uint64_t kN = 8;
+  constexpr std::size_t kBulkSize = 192 * 1024;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    h_->send(*h_->a, kTrackBulk,
+             make_payload(kBulkSize, static_cast<std::uint8_t>(0x40 + i)),
+             0x100 + i);
+    h_->send(*h_->a, kTrackEager,
+             make_payload(24, static_cast<std::uint8_t>(i)), 0x200 + i);
+  }
+  ASSERT_TRUE(h_->pump_until([&] {
+    return h_->hb.packets.size() == 2 * kN &&
+           h_->ha.completions.size() == 2 * kN;
+  }));
+
+  // Per-track FIFO + byte-exact payloads, whatever the interleaving.
+  std::uint64_t eager_seen = 0, bulk_seen = 0;
+  for (const auto& pkt : h_->hb.packets) {
+    if (pkt.track == kTrackEager) {
+      EXPECT_EQ(pkt.payload,
+                make_payload(24, static_cast<std::uint8_t>(eager_seen)))
+          << "eager #" << eager_seen;
+      ++eager_seen;
+    } else {
+      ASSERT_EQ(pkt.track, kTrackBulk);
+      EXPECT_EQ(pkt.payload,
+                make_payload(kBulkSize,
+                             static_cast<std::uint8_t>(0x40 + bulk_seen)))
+          << "bulk #" << bulk_seen;
+      ++bulk_seen;
+    }
+  }
+  EXPECT_EQ(eager_seen, kN);
+  EXPECT_EQ(bulk_seen, kN);
+
+  // Completions are per-track FIFO too.
+  std::uint64_t eager_done = 0, bulk_done = 0;
+  for (const auto& c : h_->ha.completions) {
+    if (c.track == kTrackEager) {
+      EXPECT_EQ(c.token, 0x200 + eager_done);
+      ++eager_done;
+    } else {
+      ASSERT_EQ(c.track, kTrackBulk);
+      EXPECT_EQ(c.token, 0x100 + bulk_done);
+      ++bulk_done;
+    }
+  }
+  EXPECT_EQ(eager_done, kN);
+  EXPECT_EQ(bulk_done, kN);
+  EXPECT_TRUE(h_->ha.failures.empty());
 }
 
 TEST_P(DriverConformanceTest, InvalidTrackRejected) {
