@@ -45,6 +45,7 @@ const char* name_of(MultirailPolicy p) {
     case MultirailPolicy::SingleRail: return "single-rail";
     case MultirailPolicy::StaticSplit: return "static-split";
     case MultirailPolicy::DynamicSplit: return "dynamic-split";
+    case MultirailPolicy::Stripe: return "stripe";
   }
   return "?";
 }

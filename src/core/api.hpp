@@ -105,12 +105,17 @@ class Channel {
 
  private:
   friend class Engine;
-  Channel(Engine* eng, NodeId peer, ChannelId id, TrafficClass cls)
-      : eng_(eng), peer_(peer), id_(id), cls_(cls) {}
+  Channel(Engine* eng, NodeId peer, ChannelId id, TrafficClass cls,
+          void* peer_cache)
+      : eng_(eng), peer_(peer), id_(id), cls_(cls), peer_cache_(peer_cache) {}
   Engine* eng_ = nullptr;
   NodeId peer_ = 0;
   ChannelId id_ = 0;
   TrafficClass cls_ = TrafficClass::SmallEager;
+  /// Peer shard resolved once at open_channel (opaque: the shard type is
+  /// private to Engine). post() hands it back so the submit fast path never
+  /// touches the peer map.
+  void* peer_cache_ = nullptr;
 };
 
 }  // namespace mado::core

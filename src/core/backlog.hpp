@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -38,14 +39,20 @@
 namespace mado::core {
 
 /// Completion state shared between the engine and SendHandle.
-/// All fields are guarded by the owning engine's lock.
+///
+/// `pending`/`failed` are atomics so send_done()/send_failed() are lock-free
+/// reads from any thread: the sharded engine completes fragments under a
+/// *per-peer* lock, and application threads polling a handle must not have
+/// to take it. The remaining fields are written once at submit (before the
+/// handle escapes to the application) and read-only afterwards.
 struct SendState {
-  std::uint32_t pending = 0;  ///< fragments not yet fully transmitted
-  bool failed = false;
+  std::atomic<std::uint32_t> pending{0};  ///< fragments not yet fully sent
+  std::atomic<bool> failed{false};
   // Latency instrumentation (set at submit; read when pending hits 0 to
   // feed the lat.complete.* histograms, split by traffic class).
   Nanos submit_time = 0;
   TrafficClass cls = TrafficClass::SmallEager;
+  NodeId peer = 0;  ///< destination; routes wait_send() to the peer's cv
 };
 using SendStateRef = std::shared_ptr<SendState>;
 

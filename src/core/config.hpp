@@ -107,6 +107,31 @@ struct EngineConfig {
   /// Consecutive timeout rounds (backoffs without forward progress) before
   /// a rail is declared Down and its traffic fails over.
   std::size_t rel_max_retries = 10;
+
+  // --- Threading: submit ring + progress-thread backoff --------------------
+
+  /// Capacity (rounded up to a power of two) of the per-peer lock-free
+  /// submit ring. Uncontended posts take the peer lock and submit inline
+  /// (no ring traffic); when the shard is busy, application threads
+  /// enqueue here and return immediately — whoever holds the peer lock
+  /// (progressor or a flat-combining submitter) drains it. Contention thus
+  /// widens the optimizer's lookahead window exactly as the paper intends:
+  /// submissions batch up between NIC-idle instants. 0 disables the ring:
+  /// every submit blocks on the peer lock (useful for A/B tests).
+  std::size_t submit_ring = 256;
+
+  /// Progress-thread adaptive backoff: after this many consecutive idle
+  /// laps the thread stops spinning and starts yielding.
+  std::size_t prog_spin_laps = 64;
+
+  /// After this many further idle yield laps it parks on the activity
+  /// condition variable (bounded by prog_idle_wait).
+  std::size_t prog_yield_laps = 64;
+
+  /// Upper bound for one parked wait. Submit/completion activity notifies
+  /// the cv, but driver IO threads cannot (they only feed queues that
+  /// progress() polls), so the park must stay bounded.
+  Nanos prog_idle_wait = 100 * kNanosPerMicro;
 };
 
 }  // namespace mado::core

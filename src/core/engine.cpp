@@ -4,12 +4,18 @@
 #include <chrono>
 #include <limits>
 #include <sstream>
+#include <thread>
 
+#include "core/progress_lap.hpp"
 #include "util/assert.hpp"
 #include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace mado::core {
+
+namespace detail {
+thread_local ProgressLap* t_progress_lap = nullptr;
+}  // namespace detail
 
 namespace {
 /// Per-traffic-class latency histogram names. StatsRegistry::observe takes
@@ -22,34 +28,52 @@ constexpr const char* kLatHold[kTrafficClassCount] = {
 constexpr const char* kLatComplete[kTrafficClassCount] = {
     "lat.complete.control", "lat.complete.small_eager", "lat.complete.bulk",
     "lat.complete.putget"};
+
+/// RAII setter for the thread-local lap context (exception-safe reset).
+struct LapScope {
+  explicit LapScope(detail::ProgressLap* lap) { detail::t_progress_lap = lap; }
+  ~LapScope() { detail::t_progress_lap = nullptr; }
+  LapScope(const LapScope&) = delete;
+  LapScope& operator=(const LapScope&) = delete;
+};
 }  // namespace
 
 Engine::Engine(NodeId self, EngineConfig cfg, TimerHost& timers)
     : self_(self), cfg_(std::move(cfg)), timers_(timers),
       strategy_(StrategyRegistry::instance().create(cfg_.strategy)),
-      class_rail_(cfg_.class_rail),
-      alive_(std::make_shared<std::atomic<bool>>(true)) {}
+      alive_(std::make_shared<std::atomic<bool>>(true)) {
+  for (std::size_t i = 0; i < kTrafficClassCount; ++i)
+    class_rail_[i].store(cfg_.class_rail[i], std::memory_order_relaxed);
+}
 
 Engine::~Engine() {
   stop_progress_thread();
   alive_->store(false);
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [id, ps] : peers_)
+  std::unique_lock<std::shared_mutex> lk(peers_mu_);
+  for (auto& [id, ps] : peers_) {
+    std::lock_guard<std::mutex> plk(ps->mu);
     for (auto& rail : ps->rails)
       if (rail->ep) rail->ep->close();
+  }
 }
 
 // ---- topology -------------------------------------------------------------
 
 RailId Engine::add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep) {
   MADO_CHECK(ep != nullptr);
-  std::lock_guard<std::mutex> lk(mu_);
-  auto& ps_ptr = peers_[peer];
-  if (!ps_ptr) {
-    ps_ptr = std::make_unique<PeerState>();
-    ps_ptr->id = peer;
+  PeerState* psp = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lk(peers_mu_);
+    auto& slot = peers_[peer];
+    if (!slot) {
+      slot = std::make_unique<PeerState>(peer, cfg_);
+      // Register the shard: the root registry aggregates it on every read.
+      stats_.add_child(&slot->stats);
+    }
+    psp = slot.get();
   }
-  PeerState& ps = *ps_ptr;
+  PeerState& ps = *psp;
+  std::lock_guard<std::mutex> lk(ps.mu);
   MADO_CHECK_MSG(ps.rails.size() < 255, "too many rails");
   const RailId id = static_cast<RailId>(ps.rails.size());
   auto rail = std::make_unique<Rail>();
@@ -60,49 +84,50 @@ RailId Engine::add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep) {
   rail->outstanding.assign(rail->ep->caps().track_count, 0);
   rail->ep->set_handler(&rail->port);
   ps.rails.push_back(std::move(rail));
+  ps.any_rail_up.store(true, std::memory_order_release);
   return id;
 }
 
 std::size_t Engine::rail_count(NodeId peer) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  const PeerState* ps = find_peer_locked(peer);
-  return ps ? ps->rails.size() : 0;
+  PeerState* ps = find_peer(peer);
+  if (!ps) return 0;
+  std::lock_guard<std::mutex> lk(ps->mu);
+  return ps->rails.size();
 }
 
 Channel Engine::open_channel(NodeId peer, ChannelId id, TrafficClass cls) {
   MADO_CHECK_MSG(id != kRmaChannel,
                  "channel id is reserved for engine-internal RMA traffic");
-  std::lock_guard<std::mutex> lk(mu_);
-  PeerState& ps = peer_locked(peer);
+  PeerState& ps = peer_ref(peer);
+  std::lock_guard<std::mutex> lk(ps.mu);
   MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
   auto [it, inserted] = ps.channels.emplace(id, ChannelState{});
   MADO_CHECK_MSG(inserted, "channel " << id << " already open to peer "
                                       << peer);
   it->second.cls = cls;
-  return Channel(this, peer, id, cls);
+  // The peer shard is resolved exactly once, here; post() reuses it.
+  return Channel(this, peer, id, cls, &ps);
 }
 
-Engine::PeerState& Engine::peer_locked(NodeId peer) {
-  auto it = peers_.find(peer);
-  MADO_CHECK_MSG(it != peers_.end(), "unknown peer " << peer);
-  return *it->second;
-}
-
-Engine::PeerState* Engine::find_peer_locked(NodeId peer) {
+Engine::PeerState* Engine::find_peer(NodeId peer) const {
+  std::shared_lock<std::shared_mutex> lk(peers_mu_);
   auto it = peers_.find(peer);
   return it == peers_.end() ? nullptr : it->second.get();
 }
 
-const Engine::PeerState* Engine::find_peer_locked(NodeId peer) const {
-  auto it = peers_.find(peer);
-  return it == peers_.end() ? nullptr : it->second.get();
+Engine::PeerState& Engine::peer_ref(NodeId peer) const {
+  PeerState* ps = find_peer(peer);
+  MADO_CHECK_MSG(ps != nullptr, "unknown peer " << peer);
+  return *ps;
 }
 
 RailId Engine::rail_for_class_locked(const PeerState& ps,
                                      TrafficClass cls) const {
   MADO_ASSERT(!ps.rails.empty());
   const RailId wanted = static_cast<RailId>(
-      class_rail_[static_cast<std::size_t>(cls)] % ps.rails.size());
+      class_rail_[static_cast<std::size_t>(cls)].load(
+          std::memory_order_relaxed) %
+      ps.rails.size());
   if (ps.rails[wanted]->state != RailState::Down) return wanted;
   // Pinned rail is dead: fail over to any surviving rail.
   for (std::size_t i = 0; i < ps.rails.size(); ++i)
@@ -139,10 +164,90 @@ RailId Engine::rail_for_submit_locked(const PeerState& ps,
 
 // ---- submit path -----------------------------------------------------------
 
-SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
+SendHandle Engine::submit(NodeId peer, ChannelId ch, TrafficClass cls,
+                          Message msg, void* peer_hint) {
   MADO_CHECK_MSG(!msg.empty(), "cannot post an empty message");
-  std::lock_guard<std::mutex> lk(mu_);
-  PeerState& ps = peer_locked(peer);
+  PeerState& ps = peer_hint != nullptr ? *static_cast<PeerState*>(peer_hint)
+                                       : peer_ref(peer);
+  const auto nfrags = static_cast<std::uint16_t>(msg.fragment_count());
+  auto state = std::make_shared<SendState>();
+  state->pending.store(nfrags, std::memory_order_relaxed);
+  state->submit_time = timers_.now();
+  state->cls = cls;
+  state->peer = peer;
+
+  if (!ps.any_rail_up.load(std::memory_order_acquire)) {
+    // Every rail toward the peer is dead: fail fast instead of queueing onto
+    // a corpse (wait_send() then returns false immediately).
+    state->failed.store(true, std::memory_order_release);
+    ps.stats.inc("rel.failed_sends");
+    return SendHandle(state);
+  }
+
+  if (ps.ring) {
+    if (ps.mu.try_lock()) {
+      // Uncontended fast path (flat combining): nobody holds the shard, so
+      // skip the ring round-trip entirely — drain whatever racing threads
+      // parked, then submit inline. A single application thread always
+      // lands here, so post() latency with the ring enabled is identical
+      // to the ring-disabled engine (and to the pre-sharding locked path).
+      ps.lock_acqs->fetch_add(1, std::memory_order_relaxed);
+      drain_submit_ring_locked(ps);
+      submit_locked(ps, ch, std::move(msg), state, state->submit_time);
+      ps.mu.unlock();
+      return SendHandle(state);
+    }
+    // Shard busy: park the message in the submit ring and return without
+    // blocking. The current lock holder (the progressor, or a combining
+    // submitter) drains it into the backlog at the next NIC-idle instant.
+    // Between those instants parked submissions accumulate — widening the
+    // optimizer's lookahead window exactly as the paper intends.
+    SubmitOp op;
+    op.channel = ch;
+    op.msg = std::move(msg);
+    op.state = state;
+    op.enq_time = state->submit_time;
+    if (ps.ring->try_push(std::move(op))) {
+      ps.ring_pending.fetch_add(1, std::memory_order_release);
+      note_activity();
+      if (ps.mu.try_lock()) {
+        // The holder may have released between our failed try_lock and the
+        // push landing; re-check so the op cannot linger un-drained until
+        // the next pump.
+        ps.lock_acqs->fetch_add(1, std::memory_order_relaxed);
+        drain_submit_ring_locked(ps);
+        ps.mu.unlock();
+      }
+      return SendHandle(state);
+    }
+    // Ring full: fall through to the locked path (which drains the ring
+    // first, preserving submit order). `op` still owns the message — a
+    // failed try_push does not consume its argument.
+    ps.stats.inc("submit.ring_full");
+    msg = std::move(op.msg);
+  }
+
+  PeerLock lk(ps);
+  drain_submit_ring_locked(ps);
+  submit_locked(ps, ch, std::move(msg), state, state->submit_time);
+  return SendHandle(state);
+}
+
+std::size_t Engine::drain_submit_ring_locked(PeerState& ps) {
+  if (!ps.ring) return 0;
+  std::size_t n = 0;
+  while (auto op = ps.ring->try_pop()) {
+    submit_locked(ps, op->channel, std::move(op->msg), op->state,
+                  op->enq_time);
+    ps.ring_pending.fetch_sub(1, std::memory_order_release);
+    ++n;
+  }
+  if (n > 0) ps.stats.inc("submit.ring_ops", n);
+  return n;
+}
+
+void Engine::submit_locked(PeerState& ps, ChannelId ch, Message&& msg,
+                           const SendStateRef& state, Nanos enq_time) {
   auto cit = ps.channels.find(ch);
   MADO_CHECK_MSG(cit != ps.channels.end(), "channel " << ch << " not open");
   ChannelState& cs = cit->second;
@@ -151,20 +256,21 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
   const RailId rail_id = rail_for_submit_locked(ps, cs.cls);
   Rail& rail = *ps.rails[rail_id];
   if (rail.state == RailState::Down) {
-    // Every rail toward the peer is dead: fail fast instead of queueing onto
-    // a corpse (wait_send() then returns false immediately).
-    auto dead = std::make_shared<SendState>();
-    dead->pending = nfrags;
-    dead->failed = true;
-    stats_.inc("rel.failed_sends");
-    return SendHandle(dead);
+    // Every rail died between the submit-side fast check and this drain:
+    // fail the message (its pending count never reaches zero, the failed
+    // flag routes wait_send() to false).
+    if (!state->failed.exchange(true, std::memory_order_acq_rel))
+      ps.stats.inc("rel.failed_sends");
+    return;
   }
 
+  // Monotonic submit-time floor: ring enqueue timestamps from racing
+  // threads can drain slightly out of clock order, but the backlog's flow
+  // index requires submit_time non-decreasing in `order`.
+  const Nanos sub_time = std::max(enq_time, ps.last_drain_time);
+  ps.last_drain_time = sub_time;
+
   const MsgSeq seq = cs.next_tx_seq++;
-  auto state = std::make_shared<SendState>();
-  state->pending = nfrags;
-  state->submit_time = timers_.now();
-  state->cls = cs.cls;
   ++cs.outstanding_sends;
 
   const drv::Capabilities& caps = rail.ep->caps();
@@ -183,20 +289,21 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
     tf.cls = cs.cls;
     tf.last = (i + 1 == frags.size());
     tf.state = state;
-    tf.submit_time = timers_.now();
-    tf.order = next_submit_order_++;
+    tf.submit_time = sub_time;
+    tf.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
 
     if (mf.len >= rdv_thr) {
       // Rendezvous: the RTS control fragment takes this fragment's place in
       // the eager stream (so intra-message ordering of headers vs payload
       // is preserved); the bytes flow on bulk tracks after the CTS.
-      const std::uint64_t token = next_rdv_token_++;
+      const std::uint64_t token =
+          next_rdv_token_.fetch_add(1, std::memory_order_relaxed);
       RdvTx rdv;
-      rdv.peer = peer;
+      rdv.peer = ps.id;
       rdv.channel = ch;
       rdv.total = mf.len;
       rdv.state = state;
-      rdv.rts_time = tf.submit_time;
+      rdv.rts_time = sub_time;
       rdv.rts_timed = true;
       rdv.cls = cs.cls;
       if (!mf.owned.empty()) {
@@ -205,16 +312,16 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
       } else {
         rdv.data = mf.ext;
       }
-      rdv_tx_.emplace(token, std::move(rdv));
+      ps.rdv_tx.emplace(token, std::move(rdv));
 
       tf.kind = FragKind::RdvRts;
       tf.rdv_token = token;
       RtsBody body{token, mf.len};
-      tf.owned = slab_.take(RtsBody::kWireSize);
+      tf.owned = ps.slab.take(RtsBody::kWireSize);
       encode_rts(tf.owned, body);
       tf.len = tf.owned.size();
-      stats_.inc("tx.rdv_rts");
-      trace_locked(TraceEvent::RdvRts, peer, rail_id, token, mf.len);
+      ps.stats.inc("tx.rdv_rts");
+      trace_locked(TraceEvent::RdvRts, ps.id, rail_id, token, mf.len);
     } else {
       tf.kind = FragKind::Data;
       const bool copy =
@@ -226,7 +333,7 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
         } else if (mf.len > 0) {
           // Cheaper-mode copy: reuse a slab buffer instead of allocating a
           // fresh vector per fragment (pure churn in steady state).
-          tf.owned = slab_.take(mf.len);
+          tf.owned = ps.slab.take(mf.len);
           tf.owned.insert(tf.owned.end(), mf.ext, mf.ext + mf.len);
         }
       } else {
@@ -243,19 +350,14 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, Message msg) {
     rail.backlog.push(std::move(tf));
   }
 
-  stats_.inc("tx.msgs");
-  stats_.inc("tx.frags_submitted", nfrags);
-  trace_locked(TraceEvent::MsgSubmit, peer, rail_id, ch, nfrags,
+  ps.stats.inc("tx.msgs");
+  ps.stats.inc("tx.frags_submitted", nfrags);
+  trace_locked(TraceEvent::MsgSubmit, ps.id, rail_id, ch, nfrags,
                msg.total_bytes());
   pump_rail_locked(ps, rail);
-  return SendHandle(state);
 }
 
 // ---- optimizer pump ---------------------------------------------------------
-
-void Engine::pump_all_locked() {
-  for (auto& [id, ps] : peers_) pump_peer_locked(*ps);
-}
 
 void Engine::pump_peer_locked(PeerState& ps) {
   for (auto& rail : ps.rails) pump_rail_locked(ps, *rail);
@@ -300,14 +402,14 @@ bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
   if (cfg_.reliability && rail.rel[0].unacked.size() >= cfg_.rel_window)
     return false;
   StrategyEnv env{rail.ep->caps(), timers_.now(), cfg_.lookahead_window,
-                  cfg_.eval_budget, cfg_.nagle_delay, &stats_};
-  PacketDecision d = strategy_->next_packet(rail.backlog, env);
-  stats_.inc("opt.decisions");
+                  cfg_.eval_budget, cfg_.nagle_delay, &ps.stats};
+  PacketDecision d = ps.strategy->next_packet(rail.backlog, env);
+  ps.stats.inc("opt.decisions");
   // Surface the incremental flow-index maintenance cost (delta since the
   // last decision on this rail) so it stays observable.
   const std::uint64_t idx_ops = rail.backlog.flow_index_ops();
   if (idx_ops != rail.flow_index_ops_flushed) {
-    stats_.inc("opt.flow_index_ops", idx_ops - rail.flow_index_ops_flushed);
+    ps.stats.inc("opt.flow_index_ops", idx_ops - rail.flow_index_ops_flushed);
     rail.flow_index_ops_flushed = idx_ops;
   }
   if (tracer_.load(std::memory_order_acquire)) {
@@ -376,8 +478,8 @@ bool Engine::pop_bulk_chunk_locked(PeerState& ps, Rail& rail,
     if (victim != nullptr) {
       out = victim->bulk_q.back();
       victim->bulk_q.pop_back();
-      stats_.inc("stripe.steals");
-      stats_.inc("stripe.steal_bytes", out.len);
+      ps.stats.inc("stripe.steals");
+      ps.stats.inc("stripe.steal_bytes", out.len);
       trace_locked(TraceEvent::BulkSteal, ps.id, rail.port.rail, out.token,
                    out.offset, out.len, victim->port.rail);
       return true;
@@ -387,8 +489,9 @@ bool Engine::pop_bulk_chunk_locked(PeerState& ps, Rail& rail,
 }
 
 void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
-  const std::uint64_t token = next_pkt_token_++;
-  auto [it, inserted] = inflight_.emplace(token, InFlight{});
+  const std::uint64_t token =
+      next_pkt_token_.fetch_add(1, std::memory_order_relaxed);
+  auto [it, inserted] = ps.inflight.emplace(token, InFlight{});
   MADO_ASSERT(inserted);
   InFlight& rec = it->second;
   rec.peer = ps.id;
@@ -423,8 +526,8 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
   mado::SmallVector<FragHeader, 16> fhs;
   fhs.reserve(rec.frags.size());
   for (const TxFrag& f : rec.frags) fhs.push_back(f.header());
-  rec.header_block = slab_.take(PacketHeader::kWireSize +
-                                FragHeader::kWireSize * fhs.size());
+  rec.header_block = ps.slab.take(PacketHeader::kWireSize +
+                                  FragHeader::kWireSize * fhs.size());
   encode_header_block(rec.header_block, ph,
                       std::span<const FragHeader>(fhs.data(), fhs.size()));
 
@@ -436,19 +539,19 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
 
   ++rail.outstanding[drv::kTrackEager];
   rail.inflight_bytes += rec.wire_bytes;
-  stats_.inc("tx.packets");
-  stats_.inc("tx.bytes", rec.wire_bytes);
-  stats_.inc("tx.frags", rec.frags.size());
-  stats_.observe("tx.pkt_frags", rec.frags.size());
-  stats_.observe("tx.pkt_bytes", rec.wire_bytes);
+  ps.stats.inc("tx.packets");
+  ps.stats.inc("tx.bytes", rec.wire_bytes);
+  ps.stats.inc("tx.frags", rec.frags.size());
+  ps.stats.observe("tx.pkt_frags", rec.frags.size());
+  ps.stats.observe("tx.pkt_bytes", rec.wire_bytes);
   // Optimizer hold: how long each fragment waited in the collect layer
   // before leaving in a packet — submit → first favorable decision, split
   // by traffic class (nanoseconds).
   {
     const Nanos now = timers_.now();
     for (const TxFrag& f : rec.frags)
-      stats_.observe(kLatHold[static_cast<std::size_t>(f.cls)],
-                     now - std::min(now, f.submit_time));
+      ps.stats.observe(kLatHold[static_cast<std::size_t>(f.cls)],
+                       now - std::min(now, f.submit_time));
   }
   MADO_TRACE("node " << self_ << " tx packet " << token << " nfrags="
                      << rec.frags.size() << " bytes=" << rec.wire_bytes);
@@ -460,12 +563,13 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
 
 void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
                                     BulkChunk chunk) {
-  auto rit = rdv_tx_.find(chunk.token);
-  MADO_CHECK(rit != rdv_tx_.end());
+  auto rit = ps.rdv_tx.find(chunk.token);
+  MADO_CHECK(rit != ps.rdv_tx.end());
   RdvTx& rdv = rit->second;
 
-  const std::uint64_t token = next_pkt_token_++;
-  auto [it, inserted] = inflight_.emplace(token, InFlight{});
+  const std::uint64_t token =
+      next_pkt_token_.fetch_add(1, std::memory_order_relaxed);
+  auto [it, inserted] = ps.inflight.emplace(token, InFlight{});
   MADO_ASSERT(inserted);
   InFlight& rec = it->second;
   rec.peer = ps.id;
@@ -500,7 +604,7 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
     rec.tx_outstanding = 1;
     rt.unacked.push_back(token);
   }
-  rec.header_block = slab_.take(BulkHeader::kWireSize);
+  rec.header_block = ps.slab.take(BulkHeader::kWireSize);
   encode_bulk_header(rec.header_block, bh);
 
   GatherList gl;
@@ -511,8 +615,8 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
 
   ++rail.outstanding[rec.track];
   rail.inflight_bytes += rec.wire_bytes;
-  stats_.inc("tx.bulk_chunks");
-  stats_.inc("tx.bytes", rec.wire_bytes);
+  ps.stats.inc("tx.bulk_chunks");
+  ps.stats.inc("tx.bytes", rec.wire_bytes);
   trace_locked(TraceEvent::BulkTx, ps.id, rail.port.rail, chunk.token,
                chunk.offset, chunk.len, chunk.stripe);
   rail.ep->send(rec.track, gl, token);
@@ -536,16 +640,18 @@ void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
   const RailId rail_id = rail.port.rail;
   timers_.schedule_at(when, [this, alive = alive_, peer, rail_id, gen] {
     if (!alive->load()) return;
+    PeerState* p = find_peer(peer);
+    if (!p) return;
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      PeerState* p = find_peer_locked(peer);
-      if (!p || rail_id >= p->rails.size()) return;
+      PeerLock lk(*p);
+      if (rail_id >= p->rails.size()) return;
       Rail& r = *p->rails[rail_id];
       if (r.nagle_timer_gen != gen) return;  // superseded by a re-arm
       r.nagle_timer_pending = false;
+      drain_submit_ring_locked(*p);
       pump_rail_locked(*p, r);
     }
-    cv_.notify_all();
+    wake_peer(*p);
   });
 }
 
@@ -553,26 +659,52 @@ void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
 
 void Engine::on_send_complete(NodeId peer, RailId rail_id, drv::TrackId track,
                               std::uint64_t token) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    PeerState* ps = find_peer_locked(peer);
-    if (!ps) return;  // torn down
-    Rail& rail = *ps->rails[rail_id];
-    // A dead rail's in-flight records were drained by the failover; late
-    // completions from its driver refer to nothing and carry no news.
-    if (rail.state == RailState::Down) return;
-    complete_send_locked(*ps, rail, track, token);
-    // The NIC became idle: this is the optimizer's trigger (paper §3).
-    pump_rail_locked(*ps, rail);
-    maybe_send_ack_locked(*ps, rail);
+  if (detail::ProgressLap* lap = detail::t_progress_lap;
+      lap && lap->engine == this && lap->peer == peer) {
+    // Batched drain: progress() is pumping this peer's endpoints — stage
+    // the event and let it apply the batch under ONE lock acquisition.
+    auto* evs = static_cast<std::vector<RxEvent>*>(lap->events);
+    RxEvent ev;
+    ev.kind = RxEvent::Kind::SendComplete;
+    ev.rail = rail_id;
+    ev.track = track;
+    ev.token = token;
+    evs->push_back(std::move(ev));
+    return;
   }
-  cv_.notify_all();
+  PeerState* ps = find_peer(peer);
+  if (!ps) return;  // torn down
+  {
+    PeerLock lk(*ps);
+    apply_send_complete_locked(*ps, rail_id, track, token);
+    drain_submit_ring_locked(*ps);
+    if (rail_id < ps->rails.size()) {
+      Rail& rail = *ps->rails[rail_id];
+      if (rail.state != RailState::Down) {
+        // The NIC became idle: this is the optimizer's trigger (paper §3).
+        pump_rail_locked(*ps, rail);
+        maybe_send_ack_locked(*ps, rail);
+      }
+    }
+  }
+  wake_peer(*ps);
+}
+
+void Engine::apply_send_complete_locked(PeerState& ps, RailId rail_id,
+                                        drv::TrackId track,
+                                        std::uint64_t token) {
+  if (rail_id >= ps.rails.size()) return;
+  Rail& rail = *ps.rails[rail_id];
+  // A dead rail's in-flight records were drained by the failover; late
+  // completions from its driver refer to nothing and carry no news.
+  if (rail.state == RailState::Down) return;
+  complete_send_locked(ps, rail, track, token);
 }
 
 void Engine::complete_send_locked(PeerState& ps, Rail& rail,
                                   drv::TrackId track, std::uint64_t token) {
-  auto it = inflight_.find(token);
-  MADO_CHECK_MSG(it != inflight_.end(), "completion for unknown packet");
+  auto it = ps.inflight.find(token);
+  MADO_CHECK_MSG(it != ps.inflight.end(), "completion for unknown packet");
   InFlight& live = it->second;
   MADO_ASSERT(live.track == track);
   MADO_ASSERT(rail.outstanding[track] > 0);
@@ -589,16 +721,16 @@ void Engine::complete_send_locked(PeerState& ps, Rail& rail,
     if (!live.acked || live.tx_outstanding > 0) return;
   }
   InFlight rec = std::move(live);
-  inflight_.erase(it);
+  ps.inflight.erase(it);
   finalize_inflight_locked(ps, rec);
 }
 
 void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
-  slab_.recycle(std::move(rec.header_block));
+  ps.slab.recycle(std::move(rec.header_block));
 
   if (rec.is_bulk) {
-    auto rit = rdv_tx_.find(rec.rdv_token);
-    MADO_CHECK(rit != rdv_tx_.end());
+    auto rit = ps.rdv_tx.find(rec.rdv_token);
+    MADO_CHECK(rit != ps.rdv_tx.end());
     RdvTx& rdv = rit->second;
     rdv.completed += rec.chunk_len;
     MADO_ASSERT(rdv.completed <= rdv.total);
@@ -608,14 +740,14 @@ void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
       // local buffer hold is released here.
       if (rdv.state)
         complete_frag_state_locked(ps, rdv.channel, rdv.state);
-      stats_.inc("tx.rdv_completed");
+      ps.stats.inc("tx.rdv_completed");
       if (rdv.rts_timed) {
         const Nanos now = timers_.now();
-        stats_.observe("lat.rdv_complete",
-                       now - std::min(now, rdv.rts_time));
+        ps.stats.observe("lat.rdv_complete",
+                         now - std::min(now, rdv.rts_time));
       }
       trace_locked(TraceEvent::RdvDone, ps.id, 0, rec.rdv_token, rdv.total);
-      rdv_tx_.erase(rit);
+      ps.rdv_tx.erase(rit);
     }
     return;
   }
@@ -624,28 +756,29 @@ void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
       complete_frag_state_locked(ps, f.channel, f.state);
     // Return the payload copy (or control body) for reuse by future
     // submits; referenced (Later-mode) fragments have nothing to recycle.
-    slab_.recycle(std::move(f.owned));
+    ps.slab.recycle(std::move(f.owned));
   }
 }
 
 void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
                                         const SendStateRef& state) {
-  MADO_ASSERT(state->pending > 0);
-  if (--state->pending == 0) {
-    // A failed message already released its channel slot in
-    // fail_state_locked; a late completion must not double-release.
-    if (state->failed) return;
-    auto it = ps.channels.find(ch);
-    if (it != ps.channels.end()) {
-      MADO_ASSERT(it->second.outstanding_sends > 0);
-      --it->second.outstanding_sends;
-    }
-    stats_.inc("tx.msgs_completed");
-    // submit → every fragment fully transmitted, split by traffic class.
-    const Nanos now = timers_.now();
-    stats_.observe(kLatComplete[static_cast<std::size_t>(state->cls)],
-                   now - std::min(now, state->submit_time));
+  const std::uint32_t prev =
+      state->pending.fetch_sub(1, std::memory_order_acq_rel);
+  MADO_ASSERT(prev > 0);
+  if (prev != 1) return;
+  // A failed message already released its channel slot in
+  // fail_state_locked; a late completion must not double-release.
+  if (state->failed.load(std::memory_order_acquire)) return;
+  auto it = ps.channels.find(ch);
+  if (it != ps.channels.end()) {
+    MADO_ASSERT(it->second.outstanding_sends > 0);
+    --it->second.outstanding_sends;
   }
+  ps.stats.inc("tx.msgs_completed");
+  // submit → every fragment fully transmitted, split by traffic class.
+  const Nanos now = timers_.now();
+  ps.stats.observe(kLatComplete[static_cast<std::size_t>(state->cls)],
+                   now - std::min(now, state->submit_time));
 }
 
 // ---- reliability layer -------------------------------------------------------
@@ -673,8 +806,8 @@ void Engine::process_acks_locked(PeerState& ps, Rail& rail,
     if (!seq_less(rt.acked, a)) continue;
     while (!rt.unacked.empty()) {
       const std::uint64_t token = rt.unacked.front();
-      auto it = inflight_.find(token);
-      MADO_ASSERT(it != inflight_.end());
+      auto it = ps.inflight.find(token);
+      MADO_ASSERT(it != ps.inflight.end());
       InFlight& rec = it->second;
       if (!seq_less(rec.rel_seq, a)) break;
       rec.acked = true;
@@ -684,7 +817,7 @@ void Engine::process_acks_locked(PeerState& ps, Rail& rail,
         // All transmissions left the driver: safe to release the record
         // (gather segments no longer referenced).
         InFlight done = std::move(rec);
-        inflight_.erase(it);
+        ps.inflight.erase(it);
         finalize_inflight_locked(ps, done);
       }
     }
@@ -723,10 +856,11 @@ void Engine::arm_rto_locked(PeerState& ps, Rail& rail, int stream) {
       timers_.now() + rt.rto + wire_floor,
       [this, alive = alive_, peer, rail_id, stream, gen] {
         if (!alive->load()) return;
+        PeerState* p = find_peer(peer);
+        if (!p) return;
         {
-          std::lock_guard<std::mutex> lk(mu_);
-          PeerState* p = find_peer_locked(peer);
-          if (!p || rail_id >= p->rails.size()) return;
+          PeerLock lk(*p);
+          if (rail_id >= p->rails.size()) return;
           Rail& r = *p->rails[rail_id];
           RelTrack& t = r.rel[stream];
           if (t.rto_gen != gen) return;  // superseded by a re-arm
@@ -739,16 +873,19 @@ void Engine::arm_rto_locked(PeerState& ps, Rail& rail, int stream) {
           } else {
             rto_expired_locked(*p, r, stream);
           }
-          pump_rail_locked(*p, r);
+          drain_submit_ring_locked(*p);
+          // rto_expired may have failed the rail over: pump the whole peer
+          // so replayed traffic starts flowing on the survivor at once.
+          pump_peer_locked(*p);
         }
-        cv_.notify_all();
+        wake_peer(*p);
       });
 }
 
 void Engine::rto_expired_locked(PeerState& ps, Rail& rail, int stream) {
   RelTrack& rt = rail.rel[stream];
   ++rt.retries;
-  stats_.inc("rel.rto_backoffs");
+  ps.stats.inc("rel.rto_backoffs");
   if (rt.retries > cfg_.rel_max_retries) {
     // The link is not coming back: give up and fail over.
     fail_rail_locked(ps, rail);
@@ -759,23 +896,23 @@ void Engine::rto_expired_locked(PeerState& ps, Rail& rail, int stream) {
   // (the receiver discards anything past the first gap, so the whole tail
   // needs to fly again).
   for (const std::uint64_t token : rt.unacked) {
-    auto it = inflight_.find(token);
-    MADO_ASSERT(it != inflight_.end());
-    retransmit_locked(rail, token, it->second);
+    auto it = ps.inflight.find(token);
+    MADO_ASSERT(it != ps.inflight.end());
+    retransmit_locked(ps, rail, token, it->second);
   }
   rt.rto = std::min<Nanos>(rt.rto * 2, cfg_.rel_rto_max);
   arm_rto_locked(ps, rail, stream);
 }
 
-void Engine::retransmit_locked(Rail& rail, std::uint64_t token,
+void Engine::retransmit_locked(PeerState& ps, Rail& rail, std::uint64_t token,
                                InFlight& rec) {
   // Rebuild the gather list from the retained record; the driver token is
   // reused so every completion (original or retransmit) finds the record.
   GatherList gl;
   gl.add(rec.header_block.data(), rec.header_block.size());
   if (rec.is_bulk) {
-    auto rit = rdv_tx_.find(rec.rdv_token);
-    MADO_CHECK(rit != rdv_tx_.end());
+    auto rit = ps.rdv_tx.find(rec.rdv_token);
+    MADO_CHECK(rit != ps.rdv_tx.end());
     gl.add(rit->second.data + rec.chunk_off, rec.chunk_len);
   } else {
     for (const TxFrag& f : rec.frags) gl.add(f.data(), f.len);
@@ -783,8 +920,8 @@ void Engine::retransmit_locked(Rail& rail, std::uint64_t token,
   ++rec.tx_outstanding;
   ++rail.outstanding[rec.track];
   rail.inflight_bytes += rec.wire_bytes;
-  stats_.inc("rel.retransmits");
-  stats_.inc("tx.bytes", rec.wire_bytes);
+  ps.stats.inc("rel.retransmits");
+  ps.stats.inc("tx.bytes", rec.wire_bytes);
   trace_locked(TraceEvent::RelRetx, rec.peer, rec.rail, token,
                rec.rel_stream, rail.rel[rec.rel_stream].retries);
   MADO_TRACE("node " << self_ << " retransmit token=" << token << " stream="
@@ -800,8 +937,9 @@ void Engine::maybe_send_ack_locked(PeerState& ps, Rail& rail) {
   if (!rail.backlog.empty()) return;
   if (!rail.track_free(drv::kTrackEager)) return;
 
-  const std::uint64_t token = next_pkt_token_++;
-  auto [it, inserted] = inflight_.emplace(token, InFlight{});
+  const std::uint64_t token =
+      next_pkt_token_.fetch_add(1, std::memory_order_relaxed);
+  auto [it, inserted] = ps.inflight.emplace(token, InFlight{});
   MADO_ASSERT(inserted);
   InFlight& rec = it->second;
   rec.peer = ps.id;
@@ -815,7 +953,7 @@ void Engine::maybe_send_ack_locked(PeerState& ps, Rail& rail) {
   ph.ack_eager = rail.rel[0].rx_next;
   ph.ack_bulk = rail.rel[1].rx_next;
   rail.ack_owed = false;
-  rec.header_block = slab_.take(PacketHeader::kWireSize);
+  rec.header_block = ps.slab.take(PacketHeader::kWireSize);
   encode_header_block(rec.header_block, ph, std::span<const FragHeader>());
 
   GatherList gl;
@@ -823,13 +961,13 @@ void Engine::maybe_send_ack_locked(PeerState& ps, Rail& rail) {
   rec.wire_bytes = gl.total_bytes();
   ++rail.outstanding[drv::kTrackEager];
   rail.inflight_bytes += rec.wire_bytes;
-  stats_.inc("rel.acks_tx");
-  stats_.inc("tx.bytes", rec.wire_bytes);
+  ps.stats.inc("rel.acks_tx");
+  ps.stats.inc("tx.bytes", rec.wire_bytes);
   rail.ep->send(drv::kTrackEager, gl, token);
 }
 
-bool Engine::rel_rx_accept_locked(Rail& rail, int stream, std::uint8_t flags,
-                                  std::uint32_t seq) {
+bool Engine::rel_rx_accept_locked(PeerState& ps, Rail& rail, int stream,
+                                  std::uint8_t flags, std::uint32_t seq) {
   if (!cfg_.reliability || !(flags & kPhFlagRelSeq)) return true;
   RelTrack& rt = rail.rel[stream];
   if (seq == rt.rx_next) {
@@ -841,62 +979,78 @@ bool Engine::rel_rx_accept_locked(Rail& rail, int stream, std::uint8_t flags,
   if (seq_less(seq, rt.rx_next)) {
     // Retransmitted copy of something already delivered (our ack was lost
     // or late): suppress the duplicate, refresh the ack.
-    stats_.inc("rel.dup_drops");
+    ps.stats.inc("rel.dup_drops");
   } else {
     // Gap: a go-back-N receiver drops past the first hole; the sender's
     // timeout resends the whole tail in order.
-    stats_.inc("rel.ooo_drops");
+    ps.stats.inc("rel.ooo_drops");
   }
   return false;
 }
 
 void Engine::fail_state_locked(PeerState& ps, ChannelId ch,
                                const SendStateRef& state) {
-  if (!state || state->failed) return;
-  state->failed = true;
-  stats_.inc("rel.failed_sends");
+  if (!state) return;
+  if (state->failed.exchange(true, std::memory_order_acq_rel)) return;
+  ps.stats.inc("rel.failed_sends");
   if (ch == kRmaChannel) return;
   auto it = ps.channels.find(ch);
   if (it != ps.channels.end() && it->second.outstanding_sends > 0)
     --it->second.outstanding_sends;  // the message is over, unsuccessfully
 }
 
-void Engine::note_rdv_done_locked(NodeId peer, std::uint64_t token) {
+void Engine::note_rdv_done_locked(PeerState& ps, std::uint64_t token) {
   if (!cfg_.reliability) return;
-  if (!rdv_rx_done_.insert({peer, token}).second) return;
-  rdv_rx_done_fifo_.push_back({peer, token});
+  if (!ps.rdv_rx_done.insert(token).second) return;
+  ps.rdv_rx_done_fifo.push_back(token);
   // Bounded: old entries age out. A replay can only arrive while its
   // sender still holds the un-acked record, which is far fresher than the
   // retention horizon here.
-  while (rdv_rx_done_fifo_.size() > 1024) {
-    rdv_rx_done_.erase(rdv_rx_done_fifo_.front());
-    rdv_rx_done_fifo_.pop_front();
+  while (ps.rdv_rx_done_fifo.size() > 1024) {
+    ps.rdv_rx_done.erase(ps.rdv_rx_done_fifo.front());
+    ps.rdv_rx_done_fifo.pop_front();
   }
 }
 
-bool Engine::rdv_was_done_locked(NodeId peer, std::uint64_t token) const {
-  return cfg_.reliability && rdv_rx_done_.count({peer, token}) > 0;
+bool Engine::rdv_was_done_locked(const PeerState& ps,
+                                 std::uint64_t token) const {
+  return cfg_.reliability && ps.rdv_rx_done.count(token) > 0;
 }
 
 void Engine::on_link_down(NodeId peer, RailId rail_id) {
+  if (detail::ProgressLap* lap = detail::t_progress_lap;
+      lap && lap->engine == this && lap->peer == peer) {
+    auto* evs = static_cast<std::vector<RxEvent>*>(lap->events);
+    RxEvent ev;
+    ev.kind = RxEvent::Kind::LinkDown;
+    ev.rail = rail_id;
+    evs->push_back(std::move(ev));
+    return;
+  }
+  PeerState* ps = find_peer(peer);
+  if (!ps) return;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    PeerState* ps = find_peer_locked(peer);
-    if (!ps || rail_id >= ps->rails.size()) return;
-    Rail& rail = *ps->rails[rail_id];
-    if (rail.state == RailState::Down) return;
-    MADO_WARN("node " << self_ << ": rail " << int(rail_id) << " to peer "
-                      << peer << " is down");
-    fail_rail_locked(*ps, rail);
+    PeerLock lk(*ps);
+    apply_link_down_locked(*ps, rail_id);
+    drain_submit_ring_locked(*ps);
     pump_peer_locked(*ps);
   }
-  cv_.notify_all();
+  wake_peer(*ps);
+}
+
+void Engine::apply_link_down_locked(PeerState& ps, RailId rail_id) {
+  if (rail_id >= ps.rails.size()) return;
+  Rail& rail = *ps.rails[rail_id];
+  if (rail.state == RailState::Down) return;
+  MADO_WARN("node " << self_ << ": rail " << int(rail_id) << " to peer "
+                    << ps.id << " is down");
+  fail_rail_locked(ps, rail);
 }
 
 void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   if (rail.state == RailState::Down) return;
   rail.state = RailState::Down;
-  stats_.inc("rel.rail_failovers");
+  ps.stats.inc("rel.rail_failovers");
 
   // Orphan every pending timer on this rail (nagle + both RTOs).
   ++rail.nagle_timer_gen;
@@ -913,9 +1067,17 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
       survivor = r.get();
       break;
     }
+  // Submit-side fail-fast flag: once no rail is left, post()/rma() return
+  // dead handles without even taking the peer lock.
+  ps.any_rail_up.store(survivor != nullptr, std::memory_order_release);
 
   std::size_t replayed_frags = 0, replayed_chunks = 0, failed_sends = 0;
   const RailId rail_id = rail.port.rail;
+
+  // Replayed fragments re-enter the collect layer "now" with fresh orders
+  // (the flow index requires monotone (order, submit_time) pairs).
+  const Nanos replay_time = std::max(timers_.now(), ps.last_drain_time);
+  ps.last_drain_time = replay_time;
 
   // 1. In-flight records on this rail. Acked ones are finalized (the peer
   //    has the bytes; only the driver completion is lost with the link).
@@ -923,17 +1085,17 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   //    their payload storage lives in the record, so replay is a re-queue,
   //    not a copy. Without reliability (or a survivor) the sends fail.
   std::vector<std::uint64_t> tokens;
-  for (const auto& [token, rec] : inflight_)
-    if (rec.peer == ps.id && rec.rail == rail_id) tokens.push_back(token);
+  for (const auto& [token, rec] : ps.inflight)
+    if (rec.rail == rail_id) tokens.push_back(token);
   for (auto& rt : rail.rel) {
     rt.unacked.clear();
     rt.unacked_bytes = 0;
   }
 
   for (const std::uint64_t token : tokens) {
-    auto it = inflight_.find(token);
+    auto it = ps.inflight.find(token);
     InFlight rec = std::move(it->second);
-    inflight_.erase(it);
+    ps.inflight.erase(it);
     if (rec.reliable && rec.acked) {
       finalize_inflight_locked(ps, rec);
       continue;
@@ -949,16 +1111,13 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
         else
           survivor->bulk_q.push_back(chunk);
         ++replayed_chunks;
-        stats_.inc("rel.replayed_chunks");
+        ps.stats.inc("rel.replayed_chunks");
       } else {
         for (TxFrag& f : rec.frags) {
-          // Fresh order/submit_time: the backlog's flow index requires
-          // monotonicity, and "now" is when this fragment re-entered the
-          // collect layer.
-          f.submit_time = timers_.now();
-          f.order = next_submit_order_++;
+          f.submit_time = replay_time;
+          f.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
           ++replayed_frags;
-          stats_.inc("rel.replayed_frags");
+          ps.stats.inc("rel.replayed_frags");
           if (f.kind == FragKind::RdvCts || f.kind == FragKind::RmaAck)
             survivor->backlog.push_control(std::move(f));
           else
@@ -966,22 +1125,22 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
         }
         rec.frags.clear();
       }
-      slab_.recycle(std::move(rec.header_block));
+      ps.slab.recycle(std::move(rec.header_block));
       continue;
     }
     // No survivor (or reliability off): the bytes are gone.
     ++failed_sends;
     if (rec.is_bulk) {
-      auto rit = rdv_tx_.find(rec.rdv_token);
-      if (rit != rdv_tx_.end())
+      auto rit = ps.rdv_tx.find(rec.rdv_token);
+      if (rit != ps.rdv_tx.end())
         fail_state_locked(ps, rit->second.channel, rit->second.state);
     } else {
       for (TxFrag& f : rec.frags) {
         fail_state_locked(ps, f.channel, f.state);
-        slab_.recycle(std::move(f.owned));
+        ps.slab.recycle(std::move(f.owned));
       }
     }
-    slab_.recycle(std::move(rec.header_block));
+    ps.slab.recycle(std::move(rec.header_block));
   }
 
   // 2. The dead rail's backlog: control first (CTS/acks unblock the peer),
@@ -990,27 +1149,27 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   while (rail.backlog.has_control()) {
     TxFrag f = rail.backlog.pop_control();
     if (survivor) {
-      f.submit_time = timers_.now();
-      f.order = next_submit_order_++;
+      f.submit_time = replay_time;
+      f.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
       ++replayed_frags;
       survivor->backlog.push_control(std::move(f));
     } else {
       ++failed_sends;
       fail_state_locked(ps, f.channel, f.state);
-      slab_.recycle(std::move(f.owned));
+      ps.slab.recycle(std::move(f.owned));
     }
   }
   while (!rail.backlog.empty()) {
     TxFrag f = rail.backlog.pop(rail.backlog.oldest_flow());
     if (survivor) {
-      f.submit_time = timers_.now();
-      f.order = next_submit_order_++;
+      f.submit_time = replay_time;
+      f.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
       ++replayed_frags;
       survivor->backlog.push(std::move(f));
     } else {
       ++failed_sends;
       fail_state_locked(ps, f.channel, f.state);
-      slab_.recycle(std::move(f.owned));
+      ps.slab.recycle(std::move(f.owned));
     }
   }
 
@@ -1031,19 +1190,14 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   //    already failed above, keeping their queues would just hang waiters.
   if (!survivor) {
     ps.shared_bulk.clear();
-    for (auto it = rdv_tx_.begin(); it != rdv_tx_.end();) {
-      if (it->second.peer == ps.id) {
-        fail_state_locked(ps, it->second.channel, it->second.state);
-        it = rdv_tx_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    for (auto& [token, rdv] : ps.rdv_tx)
+      fail_state_locked(ps, rdv.channel, rdv.state);
+    ps.rdv_tx.clear();
   }
 
   // The driver may still deliver late completions for this rail; they are
-  // ignored (on_send_complete early-returns on Down), so the accounting is
-  // reset here in one stroke.
+  // ignored (apply_send_complete early-returns on Down), so the accounting
+  // is reset here in one stroke.
   rail.outstanding.assign(rail.outstanding.size(), 0);
   rail.inflight_bytes = 0;
 
@@ -1058,35 +1212,90 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
 
 // ---- progression / waiting -------------------------------------------------
 
-void Engine::progress() {
-  std::vector<drv::DriverEndpoint*> eps;
+bool Engine::progress() {
+  bool did_work = false;
+  // Snapshot the peer list (read-mostly map; shards are never erased).
+  std::vector<PeerState*> peers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [id, ps] : peers_)
-      for (auto& rail : ps->rails) eps.push_back(rail->ep.get());
+    std::shared_lock<std::shared_mutex> lk(peers_mu_);
+    peers.reserve(peers_.size());
+    for (auto& [id, ps] : peers_) peers.push_back(ps.get());
   }
-  for (auto* ep : eps) ep->progress();
-  timers_.run_due();
+  std::vector<RxEvent> events;
+  std::vector<drv::DriverEndpoint*> eps;
+  for (PeerState* ps : peers) {
+    events.clear();
+    eps.clear();
+    {
+      // Brief: snapshot the endpoint pointers (rails vector only grows, but
+      // add_rail may be concurrent during setup).
+      std::lock_guard<std::mutex> lk(ps->mu);
+      for (auto& rail : ps->rails) eps.push_back(rail->ep.get());
+    }
+    // Pump every endpoint with the lap context active: driver callbacks
+    // stage into `events` instead of taking the peer lock per event.
+    {
+      detail::ProgressLap lap;
+      lap.engine = this;
+      lap.peer = ps->id;
+      lap.events = &events;
+      LapScope scope(&lap);
+      for (auto* ep : eps) ep->progress();
+    }
+    const bool have_ring =
+        ps->ring_pending.load(std::memory_order_acquire) > 0;
+    if (events.empty() && !have_ring) continue;
+    did_work = true;
+    {
+      // ONE peer-lock acquisition applies the whole batch in arrival
+      // order, drains parked submissions, pumps, and settles owed acks.
+      PeerLock lk(*ps);
+      for (RxEvent& ev : events) {
+        switch (ev.kind) {
+          case RxEvent::Kind::SendComplete:
+            apply_send_complete_locked(*ps, ev.rail, ev.track, ev.token);
+            break;
+          case RxEvent::Kind::Packet:
+            apply_packet_locked(*ps, ev.rail, ev.payload);
+            break;
+          case RxEvent::Kind::SendFailed:
+          case RxEvent::Kind::LinkDown:
+            apply_link_down_locked(*ps, ev.rail);
+            break;
+        }
+      }
+      drain_submit_ring_locked(*ps);
+      pump_peer_locked(*ps);
+      if (cfg_.reliability)
+        for (auto& rail : ps->rails) maybe_send_ack_locked(*ps, *rail);
+    }
+    wake_peer(*ps);
+  }
+  if (timers_.run_due() > 0) did_work = true;
+  return did_work;
 }
 
 void Engine::set_external_progress(std::function<bool()> fn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(misc_mu_);
   external_progress_ = std::move(fn);
 }
 
 void Engine::set_tracer(Tracer* tracer) {
-  // The store is atomic (hot-path readers load-acquire once per record, so
-  // the check-then-use pair cannot tear against this), but mu_ is still
-  // taken: every trace site runs under the engine lock, so holding it here
-  // guarantees that when set_tracer(nullptr) returns no in-progress
-  // record() still references the old tracer — the caller may destroy it.
-  std::lock_guard<std::mutex> lk(mu_);
   tracer_.store(tracer, std::memory_order_release);
+  // Detach quiescence: every trace site runs under some peer lock or under
+  // peers_mu_. Sweeping all of them (one at a time) guarantees that when we
+  // return, no thread still references the previous tracer — the caller may
+  // destroy it.
+  std::unique_lock<std::shared_mutex> lk(peers_mu_);
+  for (auto& [id, ps] : peers_) {
+    std::lock_guard<std::mutex> plk(ps->mu);
+  }
 }
 
 std::map<std::string, std::uint64_t, std::less<>> Engine::counters_snapshot()
     const {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Sharded counters aggregate on read: no engine or peer lock, so any
+  // sampling rate is safe against the hot path.
   return stats_.counters();
 }
 
@@ -1107,9 +1316,38 @@ void Engine::start_progress_thread() {
                  "progress thread already running");
   stop_progress_.store(false);
   progress_thread_ = std::thread([this] {
+    // Adaptive backoff: spin (immediate re-poll) while work is fresh, yield
+    // the core when a burst ends, then park on the activity cv. The park is
+    // bounded by prog_idle_wait because driver IO threads cannot notify —
+    // they only feed queues that progress() polls.
+    auto& wakeups = stats_.handle("prog.wakeups");
+    auto& idle_sleeps = stats_.handle("prog.idle_sleeps");
+    const std::size_t spin_laps = cfg_.prog_spin_laps;
+    const std::size_t yield_laps = spin_laps + cfg_.prog_yield_laps;
+    std::size_t idle = 0;
     while (!stop_progress_.load(std::memory_order_acquire)) {
-      progress();
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (progress()) {
+        idle = 0;
+        continue;
+      }
+      ++idle;
+      if (idle <= spin_laps) continue;
+      if (idle <= yield_laps) {
+        std::this_thread::yield();
+        continue;
+      }
+      idle_sleeps.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::unique_lock<std::mutex> lk(prog_mu_);
+        if (stop_progress_.load(std::memory_order_acquire)) break;
+        prog_parked_.store(true, std::memory_order_release);
+        prog_cv_.wait_for(lk, std::chrono::nanoseconds(cfg_.prog_idle_wait));
+        prog_parked_.store(false, std::memory_order_release);
+      }
+      wakeups.fetch_add(1, std::memory_order_relaxed);
+      // Resume in the yield phase: if still idle we re-park quickly instead
+      // of burning a fresh spin window.
+      idle = yield_laps;
     }
   });
 }
@@ -1117,6 +1355,10 @@ void Engine::start_progress_thread() {
 void Engine::stop_progress_thread() {
   if (!progress_thread_.joinable()) return;
   stop_progress_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(prog_mu_);
+  }
+  prog_cv_.notify_all();
   progress_thread_.join();
 }
 
@@ -1128,64 +1370,105 @@ bool Engine::wait_until_impl(const std::function<bool()>& pred,
                              Nanos timeout) {
   std::function<bool()> ext;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(misc_mu_);
     ext = external_progress_;
   }
   if (ext) {
     // Cooperative simulation mode: pump the world until pred holds or the
     // event queue drains (virtual time — wall timeout does not apply).
+    // pred synchronizes itself.
     for (;;) {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (pred()) return true;
-      }
-      if (!ext()) {
-        std::lock_guard<std::mutex> lk(mu_);
-        return pred();
-      }
+      if (pred()) return true;
+      if (!ext()) return pred();
     }
   }
   const Nanos deadline = timers_.now() + timeout;
+  global_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  bool ok = false;
   for (;;) {
     progress();
-    std::unique_lock<std::mutex> lk(mu_);
-    if (pred()) return true;
-    if (timers_.now() > deadline) return false;
+    if (pred()) {
+      ok = true;
+      break;
+    }
+    if (timers_.now() > deadline) break;
+    std::unique_lock<std::mutex> lk(wait_mu_);
     cv_.wait_for(lk, std::chrono::microseconds(200));
   }
+  global_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+  return ok;
+}
+
+bool Engine::wait_peer_impl(PeerState& ps, const std::function<bool()>& pred,
+                            Nanos timeout) {
+  std::function<bool()> ext;
+  {
+    std::lock_guard<std::mutex> lk(misc_mu_);
+    ext = external_progress_;
+  }
+  if (ext) {
+    for (;;) {
+      if (pred()) return true;
+      if (!ext()) return pred();
+    }
+  }
+  const Nanos deadline = timers_.now() + timeout;
+  ps.waiters.fetch_add(1, std::memory_order_acq_rel);
+  bool ok = false;
+  for (;;) {
+    progress();
+    if (pred()) {
+      ok = true;
+      break;
+    }
+    if (timers_.now() > deadline) break;
+    std::unique_lock<std::mutex> lk(ps.wait_mu);
+    ps.cv.wait_for(lk, std::chrono::microseconds(200));
+  }
+  ps.waiters.fetch_sub(1, std::memory_order_acq_rel);
+  return ok;
 }
 
 bool Engine::send_done(const SendHandle& h) const {
   MADO_CHECK(h.valid());
-  std::lock_guard<std::mutex> lk(mu_);
-  return h.state_->pending == 0;
+  return h.state_->pending.load(std::memory_order_acquire) == 0;
 }
 
 bool Engine::send_failed(const SendHandle& h) const {
   MADO_CHECK(h.valid());
-  std::lock_guard<std::mutex> lk(mu_);
-  return h.state_->failed;
+  return h.state_->failed.load(std::memory_order_acquire);
 }
 
 bool Engine::wait_send(const SendHandle& h, Nanos timeout) {
   MADO_CHECK(h.valid());
   const SendStateRef state = h.state_;
   bool ok = false;
-  wait_until_impl(
-      [&state, &ok] {
-        ok = state->pending == 0;
-        return ok || state->failed;  // failed: stop waiting, report false
-      },
-      timeout);
+  const auto pred = [&state, &ok] {
+    ok = state->pending.load(std::memory_order_acquire) == 0;
+    // failed: stop waiting, report false
+    return ok || state->failed.load(std::memory_order_acquire);
+  };
+  PeerState* ps = find_peer(state->peer);
+  if (ps)
+    wait_peer_impl(*ps, pred, timeout);
+  else
+    wait_until_impl(pred, timeout);
   return ok;
 }
 
 bool Engine::flush(Nanos timeout) {
   return wait_until_impl(
       [this] {
-        if (!inflight_.empty() || !rdv_tx_.empty()) return false;
+        std::shared_lock<std::shared_mutex> plk(peers_mu_);
         for (const auto& [id, ps] : peers_) {
-          if (!ps->shared_bulk.empty()) return false;
+          // Check parked submissions BEFORE the queues: a drained ring op's
+          // fragments are visible under the lock taken just below.
+          if (ps->ring_pending.load(std::memory_order_acquire) > 0)
+            return false;
+          std::lock_guard<std::mutex> lk(ps->mu);
+          if (!ps->inflight.empty() || !ps->rdv_tx.empty() ||
+              !ps->shared_bulk.empty())
+            return false;
           for (const auto& rail : ps->rails)
             if (!rail->backlog.empty() || !rail->bulk_q.empty()) return false;
         }
@@ -1198,15 +1481,15 @@ bool Engine::flush(Nanos timeout) {
 
 void Engine::expose_window(WindowId id, void* base, std::size_t len) {
   MADO_CHECK(base != nullptr && len > 0);
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> lk(windows_mu_);
   const auto [it, inserted] =
       windows_.emplace(id, RmaWindow{static_cast<Byte*>(base), len});
   MADO_CHECK_MSG(inserted, "window " << id << " already exposed");
 }
 
-const Engine::RmaWindow& Engine::window_locked(WindowId id,
-                                               std::uint64_t offset,
-                                               std::uint64_t len) const {
+Engine::RmaWindow Engine::window_checked(WindowId id, std::uint64_t offset,
+                                         std::uint64_t len) const {
+  std::shared_lock<std::shared_mutex> lk(windows_mu_);
   auto it = windows_.find(id);
   MADO_CHECK_MSG(it != windows_.end(), "unknown RMA window " << id);
   MADO_CHECK_MSG(offset + len <= it->second.len,
@@ -1216,7 +1499,7 @@ const Engine::RmaWindow& Engine::window_locked(WindowId id,
   return it->second;
 }
 
-TxFrag Engine::make_rma_frag_locked(FragKind kind) {
+TxFrag Engine::make_rma_frag_locked(PeerState& ps, FragKind kind) {
   TxFrag tf;
   tf.channel = kRmaChannel;
   tf.msg_seq = 0;
@@ -1226,8 +1509,10 @@ TxFrag Engine::make_rma_frag_locked(FragKind kind) {
   tf.kind = kind;
   tf.cls = kind == FragKind::RmaAck ? TrafficClass::Control
                                     : TrafficClass::PutGet;
-  tf.submit_time = timers_.now();
-  tf.order = next_submit_order_++;
+  const Nanos t = std::max(timers_.now(), ps.last_drain_time);
+  ps.last_drain_time = t;
+  tf.submit_time = t;
+  tf.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
   return tf;
 }
 
@@ -1235,24 +1520,30 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
                            const void* data, std::size_t len,
                            TrafficClass cls) {
   MADO_CHECK(data != nullptr && len > 0);
-  std::lock_guard<std::mutex> lk(mu_);
-  PeerState& ps = peer_locked(peer);
+  PeerState& ps = peer_ref(peer);
+  auto state = std::make_shared<SendState>();
+  state->pending.store(1, std::memory_order_relaxed);  // peer's RmaAck
+  state->submit_time = timers_.now();
+  state->cls = cls;
+  state->peer = peer;
+
+  PeerLock lk(ps);
+  drain_submit_ring_locked(ps);
   MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
   const RailId rail_id = rail_for_class_locked(ps, cls);
   Rail& rail = *ps.rails[rail_id];
-  auto state = std::make_shared<SendState>();
-  state->pending = 1;  // completes on the peer's RmaAck
   if (rail.state == RailState::Down) {
-    state->failed = true;  // every rail toward the peer is dead
-    stats_.inc("rel.failed_sends");
+    state->failed.store(true, std::memory_order_release);
+    ps.stats.inc("rel.failed_sends");  // every rail toward the peer is dead
     return SendHandle(state);
   }
   const std::size_t rdv_thr = cfg_.rdv_threshold_override != 0
                                   ? cfg_.rdv_threshold_override
                                   : rail.ep->caps().rdv_threshold;
 
-  const std::uint64_t ack_token = next_rdv_token_++;
-  rma_acks_.emplace(ack_token, state);
+  const std::uint64_t ack_token =
+      next_rdv_token_.fetch_add(1, std::memory_order_relaxed);
+  ps.rma_acks.emplace(ack_token, state);
 
   if (len >= rdv_thr) {
     RdvTx rdv;
@@ -1264,10 +1555,10 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
     rdv.rts_time = timers_.now();
     rdv.rts_timed = true;
     rdv.cls = cls;
-    rdv_tx_.emplace(ack_token, std::move(rdv));
+    ps.rdv_tx.emplace(ack_token, std::move(rdv));
     trace_locked(TraceEvent::RdvRts, peer, rail_id, ack_token, len);
 
-    TxFrag tf = make_rma_frag_locked(FragKind::RdvRts);
+    TxFrag tf = make_rma_frag_locked(ps, FragKind::RdvRts);
     RtsBody body;
     body.token = ack_token;
     body.total_len = len;
@@ -1275,20 +1566,20 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
     body.window = window;
     body.offset = offset;
     body.aux = ack_token;
-    tf.owned = slab_.take(RtsBody::kWireSize);
+    tf.owned = ps.slab.take(RtsBody::kWireSize);
     encode_rts(tf.owned, body);
     tf.len = tf.owned.size();
     rail.backlog.push(std::move(tf));
   } else {
-    TxFrag tf = make_rma_frag_locked(FragKind::RmaPut);
-    tf.owned = slab_.take(RmaPutBody::kWireSize + len);
+    TxFrag tf = make_rma_frag_locked(ps, FragKind::RmaPut);
+    tf.owned = ps.slab.take(RmaPutBody::kWireSize + len);
     encode_rma_put(tf.owned, RmaPutBody{window, offset, ack_token});
     const auto* p = static_cast<const Byte*>(data);
     tf.owned.insert(tf.owned.end(), p, p + len);
     tf.len = tf.owned.size();
     rail.backlog.push(std::move(tf));
   }
-  stats_.inc("rma.puts");
+  ps.stats.inc("rma.puts");
   trace_locked(TraceEvent::RmaOp, peer, rail_id, 0, window, len);
   pump_rail_locked(ps, rail);
   return SendHandle(state);
@@ -1297,29 +1588,34 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
 SendHandle Engine::rma_get(NodeId peer, WindowId window, std::uint64_t offset,
                            void* dest, std::size_t len, TrafficClass cls) {
   MADO_CHECK(dest != nullptr && len > 0);
-  std::lock_guard<std::mutex> lk(mu_);
-  PeerState& ps = peer_locked(peer);
+  PeerState& ps = peer_ref(peer);
+  auto state = std::make_shared<SendState>();
+  state->pending.store(1, std::memory_order_relaxed);  // all bytes landed
+  state->submit_time = timers_.now();
+  state->cls = cls;
+  state->peer = peer;
+
+  PeerLock lk(ps);
+  drain_submit_ring_locked(ps);
   MADO_CHECK_MSG(!ps.rails.empty(), "no rails toward peer " << peer);
   const RailId rail_id = rail_for_class_locked(ps, cls);
   Rail& rail = *ps.rails[rail_id];
-
-  auto state = std::make_shared<SendState>();
-  state->pending = 1;  // completes when all requested bytes landed
   if (rail.state == RailState::Down) {
-    state->failed = true;  // every rail toward the peer is dead
-    stats_.inc("rel.failed_sends");
+    state->failed.store(true, std::memory_order_release);
+    ps.stats.inc("rel.failed_sends");  // every rail toward the peer is dead
     return SendHandle(state);
   }
-  const std::uint64_t get_token = next_rdv_token_++;
-  pending_gets_.emplace(get_token,
-                        PendingGet{static_cast<Byte*>(dest), len, state});
+  const std::uint64_t get_token =
+      next_rdv_token_.fetch_add(1, std::memory_order_relaxed);
+  ps.pending_gets.emplace(get_token,
+                          PendingGet{static_cast<Byte*>(dest), len, state});
 
-  TxFrag tf = make_rma_frag_locked(FragKind::RmaGet);
-  tf.owned = slab_.take(RmaGetBody::kWireSize);
+  TxFrag tf = make_rma_frag_locked(ps, FragKind::RmaGet);
+  tf.owned = ps.slab.take(RmaGetBody::kWireSize);
   encode_rma_get(tf.owned, RmaGetBody{window, offset, len, get_token});
   tf.len = tf.owned.size();
   rail.backlog.push(std::move(tf));
-  stats_.inc("rma.gets");
+  ps.stats.inc("rma.gets");
   trace_locked(TraceEvent::RmaOp, peer, rail_id, 1, window, len);
   pump_rail_locked(ps, rail);
   return SendHandle(state);
@@ -1328,23 +1624,25 @@ SendHandle Engine::rma_get(NodeId peer, WindowId window, std::uint64_t offset,
 // ---- traffic classes --------------------------------------------------------
 
 void Engine::set_class_rail(TrafficClass cls, RailId rail) {
-  std::lock_guard<std::mutex> lk(mu_);
-  class_rail_[static_cast<std::size_t>(cls)] = rail;
+  class_rail_[static_cast<std::size_t>(cls)].store(rail,
+                                                   std::memory_order_relaxed);
 }
 
 RailId Engine::class_rail(TrafficClass cls) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return class_rail_[static_cast<std::size_t>(cls)];
+  return class_rail_[static_cast<std::size_t>(cls)].load(
+      std::memory_order_relaxed);
 }
 
 void Engine::rebalance_classes() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> plk(peers_mu_);
   // Load per rail index, summed over peers: queued + in-flight bytes. A
   // rail that is Down toward ANY peer is ineligible — pinning a class to it
-  // would strand every peer sharing that index.
+  // would strand every peer sharing that index. Peer locks are taken one at
+  // a time; the view is per-peer consistent, which is all a heuristic needs.
   std::vector<std::size_t> load;
   std::vector<bool> dead;
   for (const auto& [id, ps] : peers_) {
+    std::lock_guard<std::mutex> lk(ps->mu);
     if (ps->rails.size() > load.size()) {
       load.resize(ps->rails.size(), 0);
       dead.resize(ps->rails.size(), false);
@@ -1367,8 +1665,10 @@ void Engine::rebalance_classes() {
   const auto lightest = static_cast<RailId>(best);
   // Latency-sensitive classes follow the least-loaded rail; bulk classes
   // keep their assignment (their chunks already spread per MultirailPolicy).
-  class_rail_[static_cast<std::size_t>(TrafficClass::Control)] = lightest;
-  class_rail_[static_cast<std::size_t>(TrafficClass::SmallEager)] = lightest;
+  class_rail_[static_cast<std::size_t>(TrafficClass::Control)].store(
+      lightest, std::memory_order_relaxed);
+  class_rail_[static_cast<std::size_t>(TrafficClass::SmallEager)].store(
+      lightest, std::memory_order_relaxed);
   stats_.inc("sched.rebalances");
   trace_locked(TraceEvent::Rebalance, 0, lightest, lightest);
 }
@@ -1376,7 +1676,7 @@ void Engine::rebalance_classes() {
 void Engine::set_auto_rebalance(Nanos interval) {
   MADO_CHECK(interval > 0);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(misc_mu_);
     auto_rebalance_interval_ = interval;
   }
   // Self-re-arming tick. NOTE: in simulation this keeps the fabric event
@@ -1395,7 +1695,7 @@ void Engine::set_auto_rebalance(Nanos interval) {
     rebalance_classes();
     Nanos period;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<std::mutex> lk(misc_mu_);
       period = auto_rebalance_interval_;
     }
     auto self = weak.lock();  // null once the engine dropped the chain
@@ -1403,7 +1703,7 @@ void Engine::set_auto_rebalance(Nanos interval) {
       timers_.schedule_at(timers_.now() + period, *self);
   };
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(misc_mu_);
     rebalance_tick_ = tick;
   }
   timers_.schedule_at(timers_.now() + interval, *tick);
@@ -1412,35 +1712,44 @@ void Engine::set_auto_rebalance(Nanos interval) {
 // ---- introspection ----------------------------------------------------------
 
 std::size_t Engine::backlog_frags(NodeId peer, RailId rail) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  const PeerState* ps = find_peer_locked(peer);
-  MADO_CHECK(ps && rail < ps->rails.size());
+  PeerState* ps = find_peer(peer);
+  MADO_CHECK(ps != nullptr);
+  std::lock_guard<std::mutex> lk(ps->mu);
+  MADO_CHECK(rail < ps->rails.size());
   return ps->rails[rail]->backlog.frag_count();
 }
 
 std::size_t Engine::inflight_packets() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return inflight_.size();
+  std::shared_lock<std::shared_mutex> plk(peers_mu_);
+  std::size_t n = 0;
+  for (const auto& [id, ps] : peers_) {
+    std::lock_guard<std::mutex> lk(ps->mu);
+    n += ps->inflight.size();
+  }
+  return n;
 }
 
 std::size_t Engine::pending_bulk_chunks(NodeId peer) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  const PeerState* ps = find_peer_locked(peer);
+  PeerState* ps = find_peer(peer);
   MADO_CHECK(ps != nullptr);
+  std::lock_guard<std::mutex> lk(ps->mu);
   std::size_t n = ps->shared_bulk.size();
   for (const auto& rail : ps->rails) n += rail->bulk_q.size();
   return n;
 }
 
 Engine::Snapshot Engine::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
   Snapshot s;
+  std::shared_lock<std::shared_mutex> plk(peers_mu_);
   for (const auto& [id, ps] : peers_) {
+    std::lock_guard<std::mutex> lk(ps->mu);
     Snapshot::PeerInfo pi;
     pi.id = id;
     pi.shared_bulk_chunks = ps->shared_bulk.size();
     pi.open_channels = ps->channels.size();
     pi.rx_pending_msgs = ps->rx_msgs.size();
+    pi.submit_ring_pending =
+        ps->ring_pending.load(std::memory_order_acquire);
     for (const auto& rail : ps->rails) {
       Snapshot::RailInfo ri;
       ri.driver = rail->ep->caps().name;
@@ -1454,13 +1763,17 @@ Engine::Snapshot Engine::snapshot() const {
           rail->rel[0].unacked.size() + rail->rel[1].unacked.size();
       pi.rails.push_back(std::move(ri));
     }
+    s.inflight_packets += ps->inflight.size();
+    s.rdv_tx_active += ps->rdv_tx.size();
+    s.rdv_rx_active += ps->rdv_rx.size();
+    s.pending_gets += ps->pending_gets.size();
     s.peers.push_back(std::move(pi));
   }
-  s.inflight_packets = inflight_.size();
-  s.rdv_tx_active = rdv_tx_.size();
-  s.rdv_rx_active = rdv_rx_.size();
-  s.windows_exposed = windows_.size();
-  s.pending_gets = pending_gets_.size();
+  plk.unlock();
+  {
+    std::shared_lock<std::shared_mutex> wlk(windows_mu_);
+    s.windows_exposed = windows_.size();
+  }
   return s;
 }
 
@@ -1468,7 +1781,7 @@ bool Engine::Snapshot::quiescent() const {
   if (inflight_packets || rdv_tx_active || rdv_rx_active || pending_gets)
     return false;
   for (const auto& p : peers) {
-    if (p.shared_bulk_chunks) return false;
+    if (p.shared_bulk_chunks || p.submit_ring_pending) return false;
     for (const auto& r : p.rails)
       if (r.backlog_frags || r.bulk_chunks || r.outstanding_packets)
         return false;
@@ -1484,7 +1797,8 @@ std::string Engine::Snapshot::to_string() const {
   for (const auto& p : peers) {
     os << "peer " << p.id << ": channels=" << p.open_channels
        << " rx_pending=" << p.rx_pending_msgs
-       << " shared_bulk=" << p.shared_bulk_chunks << "\n";
+       << " shared_bulk=" << p.shared_bulk_chunks
+       << " ring_pending=" << p.submit_ring_pending << "\n";
     for (std::size_t i = 0; i < p.rails.size(); ++i) {
       const auto& r = p.rails[i];
       os << "  rail " << i << " (" << r.driver << "): state="
@@ -1501,7 +1815,7 @@ std::string Engine::Snapshot::to_string() const {
 
 SendHandle Channel::post(Message msg) {
   MADO_CHECK(valid());
-  return eng_->submit(peer_, id_, std::move(msg));
+  return eng_->submit(peer_, id_, cls_, std::move(msg), peer_cache_);
 }
 
 IncomingMessage Channel::begin_recv() {

@@ -15,14 +15,24 @@
 // and the receive side (demultiplexing, unexpected-fragment buffering,
 // incremental unpack).
 //
-// Threading model: one mutex guards all engine state. Driver callbacks are
-// invoked without the lock (driver contract) and re-acquire it. In
-// simulation the caller pumps the shared Fabric (set_external_progress);
-// with real drivers a progress thread may be started instead.
+// Threading model (sharded; docs/internals.md §1 has the full write-up):
+// engine state is partitioned per peer. Each PeerState carries its own
+// mutex guarding everything reachable from it (rails, backlogs, reliability
+// windows, rendezvous tables, RX reassembly, in-flight records); the peer
+// map itself is read-mostly behind a shared_mutex and peers are never
+// erased, so a resolved PeerState* stays valid for the engine's lifetime.
+// Application threads submitting to different peers never contend. The
+// submit fast path does not even take the peer lock: fragments ride a
+// bounded lock-free MPMC ring drained by whoever holds the peer lock next
+// (flat combining). Lock order: peers_mu_ (shared) → PeerState::mu →
+// {windows_mu_, wait/park mutexes}; at most one peer lock is held at a
+// time. Counters are sharded per peer and aggregated on read, so
+// counters_snapshot() never stalls the hot path.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -47,6 +58,7 @@
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "drivers/driver.hpp"
+#include "util/queues.hpp"
 #include "util/stats.hpp"
 
 namespace mado::core {
@@ -67,34 +79,46 @@ class Engine final {
   std::size_t rail_count(NodeId peer) const;
 
   /// Open a logical flow to `peer`. Both sides must use the same id.
+  /// The peer map is resolved ONCE here; the returned Channel caches the
+  /// peer shard so post() never touches the map again.
   Channel open_channel(NodeId peer, ChannelId id,
                        TrafficClass cls = TrafficClass::SmallEager);
 
   // ---- progression ----------------------------------------------------
 
-  /// Drain driver completions/arrivals and due timers once.
-  void progress();
+  /// Drain driver completions/arrivals, submit rings and due timers once.
+  /// Returns true if any work was done (events applied, ring ops drained,
+  /// or timers fired) — the progress thread's backoff feeds on this.
+  bool progress();
 
   /// Simulation mode: a callback that advances the shared world by one
   /// event (e.g. [&]{ return fabric.step(); }); wait loops call it instead
   /// of sleeping. Returns false when the world is idle.
   void set_external_progress(std::function<bool()> fn);
 
-  /// Real-driver mode: spawn a thread that calls progress() continuously.
+  /// Real-driver mode: spawn a thread that calls progress() continuously,
+  /// with adaptive spin → yield → parked-wait backoff when idle (counted
+  /// in prog.wakeups / prog.idle_sleeps).
   void start_progress_thread();
   void stop_progress_thread();
 
   // ---- blocking helpers ----------------------------------------------
 
+  /// Lock-free: reads the handle's atomic completion state.
   bool send_done(const SendHandle& h) const;
   /// True once the engine gave up on the message (its rail died with no
   /// survivor to fail over to). wait_send() then returns false immediately.
   bool send_failed(const SendHandle& h) const;
+  /// Blocks on the *destination peer's* condition variable, so completing
+  /// one peer's send never wakes threads blocked on other peers.
   bool wait_send(const SendHandle& h, Nanos timeout = kDefaultTimeout);
-  /// Wait until `pred` holds. `pred` is evaluated under the engine lock.
+  /// Wait until `pred` holds. `pred` is evaluated WITHOUT any engine lock
+  /// held — it must do its own synchronization (e.g. via counters_snapshot
+  /// or snapshot()).
   bool wait_until(const std::function<bool()>& pred,
                   Nanos timeout = kDefaultTimeout);
-  /// Wait until all backlogs, bulk queues and in-flight packets drain.
+  /// Wait until all backlogs, submit rings, bulk queues and in-flight
+  /// packets drain.
   bool flush(Nanos timeout = kDefaultTimeout);
 
   // ---- one-sided put/get (paper §2, "put/get transfers") ---------------
@@ -131,6 +155,8 @@ class Engine final {
 
   // ---- introspection ---------------------------------------------------
 
+  /// Root stats registry: aggregates the per-peer shards on read. Reads
+  /// (counter(), histogram(), to_string()) are thread-safe and engine-wide.
   StatsRegistry& stats() { return stats_; }
 
   /// Attach an event tracer (nullptr detaches). May be shared by several
@@ -141,9 +167,9 @@ class Engine final {
   /// Currently attached tracer (racy read; for diagnostics).
   Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
 
-  /// Thread-safe copy of all counters (taken under the engine lock) —
-  /// usable from timer callbacks and monitoring threads while traffic is
-  /// in flight, unlike stats() which hands out the live registry.
+  /// Aggregated copy of all counters from the per-peer shards. Takes no
+  /// engine or peer lock — usable from timer callbacks and monitoring
+  /// threads at any sampling rate without stalling TX.
   std::map<std::string, std::uint64_t, std::less<>> counters_snapshot() const;
 
   const EngineConfig& config() const { return cfg_; }
@@ -156,6 +182,8 @@ class Engine final {
   std::size_t pending_bulk_chunks(NodeId peer) const;
 
   /// Consistent point-in-time view of all queues (for monitoring/tools).
+  /// Peer locks are taken one at a time, so the view is per-peer (not
+  /// cross-peer) consistent — the same guarantee monitoring had before.
   struct Snapshot {
     struct RailInfo {
       std::string driver;
@@ -173,6 +201,7 @@ class Engine final {
       std::size_t shared_bulk_chunks = 0;
       std::size_t open_channels = 0;
       std::size_t rx_pending_msgs = 0;
+      std::size_t submit_ring_pending = 0;  ///< ops enqueued, not drained
     };
     std::vector<PeerInfo> peers;
     std::size_t inflight_packets = 0;
@@ -226,7 +255,7 @@ class Engine final {
   /// Per-(rail, reliable stream) go-back-N state. Stream 0 carries eager
   /// packets, stream 1 bulk chunks — independent of the physical track
   /// (shared-track rails multiplex both streams on track 0; per-stream
-  /// sequence spaces keep them untangled). All guarded by the engine lock.
+  /// sequence spaces keep them untangled). All guarded by the peer lock.
   struct RelTrack {
     // Sender.
     std::uint32_t next_seq = 0;  ///< next reliable seq to assign
@@ -319,14 +348,6 @@ class Engine final {
 
   using RxKey = std::pair<ChannelId, MsgSeq>;
 
-  struct PeerState {
-    NodeId id = 0;
-    std::vector<std::unique_ptr<Rail>> rails;
-    std::map<ChannelId, ChannelState> channels;
-    std::map<RxKey, RxMessage> rx_msgs;
-    std::deque<BulkChunk> shared_bulk;  // DynamicSplit chunk pool
-  };
-
   /// Sender-side rendezvous state.
   struct RdvTx {
     NodeId peer = 0;
@@ -345,12 +366,13 @@ class Engine final {
     bool rts_timed = false;
     TrafficClass cls = TrafficClass::Bulk;
     /// Null for puts with remote acknowledgement (the handle then lives in
-    /// rma_acks_ and completes on the RmaAck, not on local chunk completion).
+    /// rma_acks and completes on the RmaAck, not on local chunk completion).
     SendStateRef state;
   };
 
-  /// Receiver-side rendezvous routing: where bulk chunks for (peer, token)
-  /// land, and what happens when the last byte arrives.
+  /// Receiver-side rendezvous routing: where bulk chunks for `token` land,
+  /// and what happens when the last byte arrives. Keyed by token alone —
+  /// the table lives inside the sending peer's shard now.
   struct RdvRx {
     RdvTarget target = RdvTarget::Message;
     // Message target:
@@ -407,9 +429,130 @@ class Engine final {
     std::uint32_t tx_outstanding = 0;  ///< driver sends not yet completed
   };
 
+  /// One application submit parked in the lock-free ring, waiting for the
+  /// next peer-lock holder to drain it into the backlog.
+  struct SubmitOp {
+    ChannelId channel = 0;
+    Message msg;
+    SendStateRef state;
+    Nanos enq_time = 0;
+  };
+
+  /// One driver event staged during a progress() lap, applied in batch
+  /// under ONE peer-lock acquisition instead of one per callback.
+  struct RxEvent {
+    enum class Kind : std::uint8_t {
+      SendComplete,
+      Packet,
+      SendFailed,
+      LinkDown,
+    };
+    Kind kind = Kind::SendComplete;
+    RailId rail = 0;
+    drv::TrackId track = 0;
+    std::uint64_t token = 0;
+    Bytes payload;
+  };
+
+  /// All state for one peer, guarded by its own `mu`. Everything the wire
+  /// protocols key by (peer, token) lives here keyed by token: rendezvous
+  /// tables, in-flight records, pending gets, RMA acks — they were always
+  /// peer-local by protocol; the sharding makes that locality structural.
+  /// PeerStates are created at add_rail time and never destroyed before the
+  /// engine, so raw pointers to them (Channel cache, timer captures) stay
+  /// valid.
+  struct PeerState {
+    PeerState(NodeId peer, const EngineConfig& cfg)
+        : id(peer),
+          slab(&stats),
+          strategy(StrategyRegistry::instance().create(cfg.strategy)) {
+      if (cfg.submit_ring > 0) {
+        std::size_t cap = 2;
+        while (cap < cfg.submit_ring) cap <<= 1;
+        ring = std::make_unique<MpmcRing<SubmitOp>>(cap);
+      }
+      lock_acqs = &stats.handle("opt.lock_acquisitions");
+      lock_wait_ns = &stats.handle("opt.lock_wait_ns");
+    }
+
+    const NodeId id;
+
+    mutable std::mutex mu;  ///< guards every non-atomic member below
+
+    /// Completion waiters parked on this peer (wait_send, wait_frag, ...).
+    /// `cv` is notified only when `waiters` is non-zero; waits are bounded,
+    /// so a racing lost notify costs one bounded nap, never a hang.
+    mutable std::condition_variable cv;
+    mutable std::mutex wait_mu;  ///< cv's mutex — NOT `mu`, so waiters
+                                 ///< never contend with the hot path
+    std::atomic<int> waiters{0};
+
+    /// Per-peer stats shard (registered as a child of the engine root).
+    StatsRegistry stats;
+    PayloadSlab slab;
+    std::unique_ptr<Strategy> strategy;  ///< strategies may be stateful
+
+    /// Lock-free submit fast path (null when cfg.submit_ring == 0).
+    std::unique_ptr<MpmcRing<SubmitOp>> ring;
+    /// Ops pushed but not yet drained — flush()/quiescence must count them.
+    std::atomic<std::size_t> ring_pending{0};
+    /// False once every rail is Down: submits fail fast without a lock.
+    std::atomic<bool> any_rail_up{false};
+
+    std::vector<std::unique_ptr<Rail>> rails;
+    std::map<ChannelId, ChannelState> channels;
+    std::map<RxKey, RxMessage> rx_msgs;
+    std::deque<BulkChunk> shared_bulk;  // DynamicSplit chunk pool
+    std::map<std::uint64_t, InFlight> inflight;
+    std::map<std::uint64_t, RdvTx> rdv_tx;
+    std::map<std::uint64_t, RdvRx> rdv_rx;
+    std::map<std::uint64_t, PendingGet> pending_gets;
+    std::map<std::uint64_t, SendStateRef> rma_acks;
+    /// Reliability: recently completed receiver-side rendezvous tokens;
+    /// dedup ring for cross-rail replays. Bounded (see note_rdv_done).
+    std::set<std::uint64_t> rdv_rx_done;
+    std::deque<std::uint64_t> rdv_rx_done_fifo;
+
+    /// Monotonic floor for drained submit times: ring enqueue timestamps
+    /// from racing threads can arrive slightly out of order, but the
+    /// backlog's flow index requires submit_time non-decreasing in `order`.
+    Nanos last_drain_time = 0;
+
+    /// Cached stats cells for the lock-contention instrumentation (hot:
+    /// bumped on every peer-lock acquisition, so no name lookup).
+    std::atomic<std::uint64_t>* lock_acqs = nullptr;
+    std::atomic<std::uint64_t>* lock_wait_ns = nullptr;
+  };
+
+  /// RAII peer-lock with contention accounting: try_lock fast path; on
+  /// contention the blocked time lands in opt.lock_wait_ns.
+  class PeerLock {
+   public:
+    explicit PeerLock(PeerState& ps) : ps_(ps) {
+      if (!ps.mu.try_lock()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ps.mu.lock();
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        ps.lock_wait_ns->fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count()),
+            std::memory_order_relaxed);
+      }
+      ps.lock_acqs->fetch_add(1, std::memory_order_relaxed);
+    }
+    ~PeerLock() { ps_.mu.unlock(); }
+    PeerLock(const PeerLock&) = delete;
+    PeerLock& operator=(const PeerLock&) = delete;
+
+   private:
+    PeerState& ps_;
+  };
+
   // ---- submit path (called from handles) -------------------------------
 
-  SendHandle submit(NodeId peer, ChannelId ch, Message msg);
+  SendHandle submit(NodeId peer, ChannelId ch, TrafficClass cls, Message msg,
+                    void* peer_hint);
   MsgSeq attach_recv(NodeId peer, ChannelId ch);
   bool probe_recv(NodeId peer, ChannelId ch) const;
   void post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
@@ -420,7 +563,7 @@ class Engine final {
   void finish_recv(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx nposted);
   void flush_channel(NodeId peer, ChannelId ch);
 
-  // ---- driver callback entry (lock NOT held) ---------------------------
+  // ---- driver callback entry (no engine lock held) ---------------------
 
   void on_send_complete(NodeId peer, RailId rail, drv::TrackId track,
                         std::uint64_t token);
@@ -432,16 +575,29 @@ class Engine final {
                       std::uint64_t token);
   void on_link_down(NodeId peer, RailId rail);
 
-  // ---- locked internals -------------------------------------------------
+  // ---- peer resolution (peers_mu_, shared) ------------------------------
 
-  PeerState& peer_locked(NodeId peer);
-  PeerState* find_peer_locked(NodeId peer);
-  const PeerState* find_peer_locked(NodeId peer) const;
+  /// Resolve a peer shard; the pointer stays valid for the engine's
+  /// lifetime (peers are never erased). Returns nullptr if unknown.
+  PeerState* find_peer(NodeId peer) const;
+  /// Like find_peer but CHECK-fails on unknown peers.
+  PeerState& peer_ref(NodeId peer) const;
+
+  // ---- locked internals (callers hold ps.mu) ----------------------------
+
   RailId rail_for_class_locked(const PeerState& ps, TrafficClass cls) const;
   /// Rail choice for an eager submission (honors EagerRailPolicy).
   RailId rail_for_submit_locked(const PeerState& ps, TrafficClass cls) const;
 
-  void pump_all_locked();
+  /// Drain the submit ring into the backlog (ring order), then return how
+  /// many ops were applied. Called by every peer-lock holder before
+  /// pumping, so parked submissions never strand.
+  std::size_t drain_submit_ring_locked(PeerState& ps);
+  /// The (former) body of submit(): assign the sequence, cut fragments,
+  /// queue rendezvous, push to the chosen rail's backlog.
+  void submit_locked(PeerState& ps, ChannelId ch, Message&& msg,
+                     const SendStateRef& state, Nanos enq_time);
+
   void pump_peer_locked(PeerState& ps);
   void pump_rail_locked(PeerState& ps, Rail& rail);
   bool try_send_eager_locked(PeerState& ps, Rail& rail);
@@ -460,6 +616,12 @@ class Engine final {
   /// completion; with it on, when acked and no transmission is in flight.
   void finalize_inflight_locked(PeerState& ps, InFlight& rec);
 
+  /// Apply one staged driver event (batched drain) or one direct callback.
+  void apply_send_complete_locked(PeerState& ps, RailId rail,
+                                  drv::TrackId track, std::uint64_t token);
+  void apply_packet_locked(PeerState& ps, RailId rail, const Bytes& payload);
+  void apply_link_down_locked(PeerState& ps, RailId rail);
+
   // ---- reliability layer (all no-ops unless cfg_.reliability) -----------
 
   /// Serial-number comparison on the u32 sequence circle.
@@ -470,23 +632,24 @@ class Engine final {
                            std::uint32_t ack_bulk);
   void arm_rto_locked(PeerState& ps, Rail& rail, int stream);
   void rto_expired_locked(PeerState& ps, Rail& rail, int stream);
-  void retransmit_locked(Rail& rail, std::uint64_t token, InFlight& rec);
+  void retransmit_locked(PeerState& ps, Rail& rail, std::uint64_t token,
+                         InFlight& rec);
   /// Send a standalone (zero-fragment) cumulative-ack packet if one is owed
   /// and no data packet is about to piggyback it.
   void maybe_send_ack_locked(PeerState& ps, Rail& rail);
   /// Accept/dup/ooo decision for an arriving reliable packet; true = accept.
-  bool rel_rx_accept_locked(Rail& rail, int stream, std::uint8_t flags,
-                            std::uint32_t seq);
+  bool rel_rx_accept_locked(PeerState& ps, Rail& rail, int stream,
+                            std::uint8_t flags, std::uint32_t seq);
   /// Declare a rail dead: drain its un-acked in-flight records, backlog and
   /// bulk queue onto a surviving Up rail (or fail the sends if none).
   void fail_rail_locked(PeerState& ps, Rail& rail);
   /// Mark a send as failed (idempotent) and release its channel slot.
   void fail_state_locked(PeerState& ps, ChannelId ch,
                          const SendStateRef& state);
-  /// Reliability: remember (peer, token) of a completed rendezvous so a
+  /// Reliability: remember the token of a completed rendezvous so a
   /// replayed RTS/chunk for it is dropped as a duplicate, bounded in size.
-  void note_rdv_done_locked(NodeId peer, std::uint64_t token);
-  bool rdv_was_done_locked(NodeId peer, std::uint64_t token) const;
+  void note_rdv_done_locked(PeerState& ps, std::uint64_t token);
+  bool rdv_was_done_locked(const PeerState& ps, std::uint64_t token) const;
 
   void handle_eager_packet_locked(PeerState& ps, RailId rail,
                                   const Bytes& payload);
@@ -519,22 +682,43 @@ class Engine final {
   void handle_rma_put_locked(PeerState& ps, ByteSpan payload);
   void handle_rma_get_locked(PeerState& ps, ByteSpan payload);
   void handle_rma_get_data_locked(PeerState& ps, ByteSpan payload);
-  void handle_rma_ack_locked(ByteSpan payload);
+  void handle_rma_ack_locked(PeerState& ps, ByteSpan payload);
   void send_auto_cts_locked(PeerState& ps, const FragHeader& fh,
                             std::uint64_t token);
   void push_rma_ack_locked(PeerState& ps, std::uint64_t ack_token);
-  const RmaWindow& window_locked(WindowId id, std::uint64_t offset,
-                                 std::uint64_t len) const;
-  TxFrag make_rma_frag_locked(FragKind kind);
+  /// Bounds-checked window lookup, BY VALUE under windows_mu_ (shared):
+  /// callers hold a peer lock, never the window map's.
+  RmaWindow window_checked(WindowId id, std::uint64_t offset,
+                           std::uint64_t len) const;
+  TxFrag make_rma_frag_locked(PeerState& ps, FragKind kind);
 
   // ---- wait plumbing ---------------------------------------------------
 
+  /// Generic wait: pred synchronizes itself; sleeps on the GLOBAL cv.
   bool wait_until_impl(const std::function<bool()>& pred, Nanos timeout);
+  /// Peer-scoped wait: pred synchronizes itself; sleeps on ps.cv so only
+  /// completions on this peer wake it.
+  bool wait_peer_impl(PeerState& ps, const std::function<bool()>& pred,
+                      Nanos timeout);
 
-  /// Emit a trace record if a tracer is attached (callable under the lock).
-  /// The pointer is loaded exactly once (acquire) so a concurrent
-  /// set_tracer cannot tear the check-then-use pair; see set_tracer for the
-  /// detach-quiescence guarantee.
+  /// Wake this peer's waiters and any global (flush / wait_until) waiters.
+  /// Cheap when nobody waits: two relaxed atomic loads.
+  void wake_peer(PeerState& ps) {
+    if (ps.waiters.load(std::memory_order_acquire) > 0) ps.cv.notify_all();
+    wake_global();
+  }
+  void wake_global() {
+    if (global_waiters_.load(std::memory_order_acquire) > 0)
+      cv_.notify_all();
+  }
+  /// Submit-side activity: unparks the progress thread if it is sleeping.
+  void note_activity() {
+    if (prog_parked_.load(std::memory_order_acquire)) prog_cv_.notify_one();
+  }
+
+  /// Emit a trace record if a tracer is attached. Callable under any peer
+  /// lock or peers_mu_; every trace site MUST hold one of those (that is
+  /// what makes set_tracer's detach-quiescence sweep sufficient).
   void trace_locked(TraceEvent ev, NodeId peer, RailId rail, std::uint64_t a,
                     std::uint64_t b = 0, std::uint64_t c = 0,
                     std::uint64_t d = 0) {
@@ -555,49 +739,59 @@ class Engine final {
 
   // ---- data --------------------------------------------------------------
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-
   const NodeId self_;
   EngineConfig cfg_;
   TimerHost& timers_;
+  /// Prototype instance (name/introspection); each peer owns its own.
   std::unique_ptr<Strategy> strategy_;
 
+  /// Peer map: read-mostly. Unique lock only in add_rail (topology setup);
+  /// everything else takes it shared. PeerStates are never erased.
+  mutable std::shared_mutex peers_mu_;
   std::map<NodeId, std::unique_ptr<PeerState>> peers_;
-  std::map<std::uint64_t, InFlight> inflight_;
-  std::map<std::uint64_t, RdvTx> rdv_tx_;
-  std::map<std::pair<NodeId, std::uint64_t>, RdvRx> rdv_rx_;
-  std::map<WindowId, RmaWindow> windows_;
-  std::map<std::uint64_t, PendingGet> pending_gets_;
-  std::map<std::uint64_t, SendStateRef> rma_acks_;
-  /// Reliability: recently completed receiver-side rendezvous (peer, token)
-  /// pairs; dedup ring for cross-rail replays. Bounded (see note_rdv_done).
-  std::set<std::pair<NodeId, std::uint64_t>> rdv_rx_done_;
-  std::deque<std::pair<NodeId, std::uint64_t>> rdv_rx_done_fifo_;
 
-  std::array<RailId, kTrafficClassCount> class_rail_{};
+  /// RMA windows: written by expose_window, read (shared) by RX handlers
+  /// under a peer lock — lock order ps.mu → windows_mu_.
+  mutable std::shared_mutex windows_mu_;
+  std::map<WindowId, RmaWindow> windows_;
+
+  /// Root stats: engine-level counters (sched.*, prog.*) plus aggregation
+  /// over the per-peer shards registered as children.
   StatsRegistry stats_;
-  /// Free-listed buffers for payload copies, control bodies and header
-  /// blocks. Declared after stats_ (it records its counters there).
-  PayloadSlab slab_{&stats_};
-  /// Atomic so attach/detach is race-free against hot-path reads (all trace
-  /// sites hold mu_, but set_tracer also takes mu_ only to guarantee no
-  /// in-progress record() outlives a detach — see set_tracer).
+  /// Atomic so attach/detach is race-free against hot-path reads; see
+  /// set_tracer for the detach-quiescence sweep.
   std::atomic<Tracer*> tracer_{nullptr};
 
-  std::uint64_t next_pkt_token_ = 1;
-  std::uint64_t next_rdv_token_ = 1;
-  std::uint64_t next_submit_order_ = 1;
+  std::atomic<std::uint64_t> next_pkt_token_{1};
+  std::atomic<std::uint64_t> next_rdv_token_{1};
+  std::atomic<std::uint64_t> next_submit_order_{1};
 
+  std::array<std::atomic<RailId>, kTrafficClassCount> class_rail_{};
+
+  /// Global waiters (flush / generic wait_until). Peer-scoped waits use the
+  /// per-peer cv instead, so one peer's completions don't wake the world.
+  mutable std::mutex wait_mu_;
+  mutable std::condition_variable cv_;
+  std::atomic<int> global_waiters_{0};
+
+  /// Progress-thread park (adaptive backoff): submit activity notifies.
+  std::mutex prog_mu_;
+  std::condition_variable prog_cv_;
+  std::atomic<bool> prog_parked_{false};
+
+  /// Guards the odds and ends below (external progress hook, rebalance
+  /// interval/chain).
+  mutable std::mutex misc_mu_;
   std::function<bool()> external_progress_;
-  std::thread progress_thread_;
-  std::atomic<bool> stop_progress_{false};
-  std::shared_ptr<std::atomic<bool>> alive_;
   Nanos auto_rebalance_interval_ = 0;
   /// Owner of the self-re-arming rebalance tick. The scheduled copies hold
   /// only a weak_ptr back to it, so no reference cycle forms and the chain
   /// dies with the engine (see set_auto_rebalance).
   std::shared_ptr<std::function<void()>> rebalance_tick_;
+
+  std::thread progress_thread_;
+  std::atomic<bool> stop_progress_{false};
+  std::shared_ptr<std::atomic<bool>> alive_;
 };
 
 }  // namespace mado::core

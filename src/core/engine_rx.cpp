@@ -1,9 +1,17 @@
 // Receive side of the engine: packet demultiplexing, fragment reassembly,
 // the unexpected queue, rendezvous RTS/CTS handling and incremental unpack.
+//
+// Locking: every handler below runs under exactly one peer lock (ps.mu).
+// on_packet() is the driver entry; during a progress() lap it stages the
+// packet into the lap's event batch instead of locking (see
+// progress_lap.hpp), so a pump of N endpoints costs one lock acquisition,
+// not N.
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "core/engine.hpp"
+#include "core/progress_lap.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -14,39 +22,24 @@ namespace mado::core {
 void Engine::on_packet(NodeId peer, RailId rail_id, drv::TrackId track,
                        Bytes payload) {
   (void)track;  // demux is by magic, so shared-track configs need no branch
+  if (detail::ProgressLap* lap = detail::t_progress_lap;
+      lap && lap->engine == this && lap->peer == peer) {
+    // Batched drain: progress() is pumping this peer's endpoints — stage
+    // the arrival and let it apply the batch under ONE lock acquisition.
+    auto* evs = static_cast<std::vector<RxEvent>*>(lap->events);
+    RxEvent ev;
+    ev.kind = RxEvent::Kind::Packet;
+    ev.rail = rail_id;
+    ev.payload = std::move(payload);
+    evs->push_back(std::move(ev));
+    return;
+  }
+  PeerState* ps = find_peer(peer);
+  if (!ps) return;  // torn down
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    PeerState* ps = find_peer_locked(peer);
-    if (!ps) return;  // torn down
-    try {
-      MADO_CHECK_MSG(payload.size() >= 4, "runt packet");
-      const std::uint32_t magic =
-          static_cast<std::uint32_t>(payload[0]) |
-          (static_cast<std::uint32_t>(payload[1]) << 8) |
-          (static_cast<std::uint32_t>(payload[2]) << 16) |
-          (static_cast<std::uint32_t>(payload[3]) << 24);
-      if (magic == kPacketMagic) {
-        handle_eager_packet_locked(*ps, rail_id, payload);
-      } else if (magic == kBulkMagic) {
-        handle_bulk_packet_locked(*ps, rail_id, payload);
-      } else {
-        MADO_CHECK_MSG(false, "unknown packet magic");
-      }
-    } catch (const PayloadCrcError& err) {
-      // Headers decoded cleanly but the payload was damaged on the wire.
-      // The reliable sequence was NOT consumed, so the sender's retransmit
-      // repairs this — counted separately from protocol violations.
-      stats_.inc("rel.payload_crc_drops");
-      MADO_WARN("node " << self_ << ": dropping corrupt payload from peer "
-                        << peer << ": " << err.what());
-    } catch (const CheckError& err) {
-      // A malformed or protocol-violating packet must not take the engine
-      // down with it (the socket driver's RX thread delivers these); count
-      // and drop. The CRC makes corrupted headers land here.
-      stats_.inc("rx.malformed");
-      MADO_WARN("node " << self_ << ": dropping malformed packet from peer "
-                        << peer << ": " << err.what());
-    }
+    PeerLock lk(*ps);
+    apply_packet_locked(*ps, rail_id, payload);
+    drain_submit_ring_locked(*ps);
     // Arrivals can enqueue control fragments (CTS) or bulk chunks — pump.
     pump_peer_locked(*ps);
     // If the pump found nothing to piggyback the owed ack on, send it
@@ -54,7 +47,41 @@ void Engine::on_packet(NodeId peer, RailId rail_id, drv::TrackId track,
     if (cfg_.reliability && rail_id < ps->rails.size())
       maybe_send_ack_locked(*ps, *ps->rails[rail_id]);
   }
-  cv_.notify_all();
+  wake_peer(*ps);
+}
+
+void Engine::apply_packet_locked(PeerState& ps, RailId rail_id,
+                                 const Bytes& payload) {
+  if (rail_id >= ps.rails.size()) return;
+  try {
+    MADO_CHECK_MSG(payload.size() >= 4, "runt packet");
+    const std::uint32_t magic =
+        static_cast<std::uint32_t>(payload[0]) |
+        (static_cast<std::uint32_t>(payload[1]) << 8) |
+        (static_cast<std::uint32_t>(payload[2]) << 16) |
+        (static_cast<std::uint32_t>(payload[3]) << 24);
+    if (magic == kPacketMagic) {
+      handle_eager_packet_locked(ps, rail_id, payload);
+    } else if (magic == kBulkMagic) {
+      handle_bulk_packet_locked(ps, rail_id, payload);
+    } else {
+      MADO_CHECK_MSG(false, "unknown packet magic");
+    }
+  } catch (const PayloadCrcError& err) {
+    // Headers decoded cleanly but the payload was damaged on the wire.
+    // The reliable sequence was NOT consumed, so the sender's retransmit
+    // repairs this — counted separately from protocol violations.
+    ps.stats.inc("rel.payload_crc_drops");
+    MADO_WARN("node " << self_ << ": dropping corrupt payload from peer "
+                      << ps.id << ": " << err.what());
+  } catch (const CheckError& err) {
+    // A malformed or protocol-violating packet must not take the engine
+    // down with it (the socket driver's RX thread delivers these); count
+    // and drop. The CRC makes corrupted headers land here.
+    ps.stats.inc("rx.malformed");
+    MADO_WARN("node " << self_ << ": dropping malformed packet from peer "
+                      << ps.id << ": " << err.what());
+  }
 }
 
 // ---- eager path ---------------------------------------------------------------
@@ -70,13 +97,13 @@ void Engine::handle_eager_packet_locked(PeerState& ps, RailId rail_id,
     process_acks_locked(ps, rail, ph.ack_eager, ph.ack_bulk);
   }
   if (cfg_.reliability && ph.nfrags == 0 && !(ph.flags & kPhFlagRelSeq)) {
-    stats_.inc("rel.acks_rx");  // standalone ack: nothing else to deliver
+    ps.stats.inc("rel.acks_rx");  // standalone ack: nothing else to deliver
     return;
   }
-  if (!rel_rx_accept_locked(rail, 0, ph.flags, ph.pkt_seq)) return;
-  stats_.inc("rx.packets");
-  stats_.inc("rx.bytes", payload.size());
-  stats_.inc("rx.frags", pkt.frags.size());
+  if (!rel_rx_accept_locked(ps, rail, 0, ph.flags, ph.pkt_seq)) return;
+  ps.stats.inc("rx.packets");
+  ps.stats.inc("rx.bytes", payload.size());
+  ps.stats.inc("rx.frags", pkt.frags.size());
   trace_locked(TraceEvent::PacketRx, ps.id, rail_id, pkt.frags.size(),
                payload.size(), 0, ph.pkt_seq);
   for (std::size_t i = 0; i < pkt.frags.size(); ++i) {
@@ -101,7 +128,7 @@ void Engine::handle_eager_packet_locked(PeerState& ps, RailId rail_id,
         handle_rma_get_data_locked(ps, pkt.payloads[i]);
         break;
       case FragKind::RmaAck:
-        handle_rma_ack_locked(pkt.payloads[i]);
+        handle_rma_ack_locked(ps, pkt.payloads[i]);
         break;
     }
   }
@@ -130,7 +157,7 @@ void Engine::deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
     auto cit = ps.channels.find(fh.channel);
     if (cit != ps.channels.end() &&
         fh.msg_seq < cit->second.rx_done_floor) {
-      stats_.inc("rel.dup_drops");
+      ps.stats.inc("rel.dup_drops");
       return;
     }
   }
@@ -138,7 +165,7 @@ void Engine::deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
   note_nfrags_locked(msg, fh);
   RxSlot& slot = msg.slot(fh.frag_idx);
   if (cfg_.reliability && (slot.have_data || slot.is_rdv)) {
-    stats_.inc("rel.dup_drops");
+    ps.stats.inc("rel.dup_drops");
     return;
   }
   MADO_CHECK_MSG(!slot.have_data && !slot.is_rdv, "duplicate fragment");
@@ -152,7 +179,7 @@ void Engine::deliver_data_frag_locked(PeerState& ps, const FragHeader& fh,
     mark_slot_done_locked(msg, slot);
   } else {
     slot.buffered.assign(payload.begin(), payload.end());
-    stats_.inc("rx.unexpected_frags");
+    ps.stats.inc("rx.unexpected_frags");
   }
 }
 
@@ -168,8 +195,8 @@ void Engine::mark_slot_done_locked(RxMessage& msg, RxSlot& slot) {
 void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
                                ByteSpan payload) {
   const RtsBody rts = decode_rts(payload);
-  if (rdv_was_done_locked(ps.id, rts.token)) {
-    stats_.inc("rel.dup_drops");  // replayed RTS of a finished rendezvous
+  if (rdv_was_done_locked(ps, rts.token)) {
+    ps.stats.inc("rel.dup_drops");  // replayed RTS of a finished rendezvous
     return;
   }
   trace_locked(TraceEvent::RdvRts, ps.id, 0, rts.token, rts.total_len);
@@ -179,7 +206,7 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
         auto cit = ps.channels.find(fh.channel);
         if (cit != ps.channels.end() &&
             fh.msg_seq < cit->second.rx_done_floor) {
-          stats_.inc("rel.dup_drops");
+          ps.stats.inc("rel.dup_drops");
           return;
         }
       }
@@ -187,7 +214,7 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
       note_nfrags_locked(msg, fh);
       RxSlot& slot = msg.slot(fh.frag_idx);
       if (cfg_.reliability && (slot.have_data || slot.is_rdv)) {
-        stats_.inc("rel.dup_drops");
+        ps.stats.inc("rel.dup_drops");
         return;
       }
       MADO_CHECK_MSG(!slot.have_data && !slot.is_rdv, "duplicate RTS");
@@ -199,8 +226,8 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
       rx.channel = fh.channel;
       rx.seq = fh.msg_seq;
       rx.idx = fh.frag_idx;
-      rdv_rx_[{ps.id, rts.token}] = rx;
-      stats_.inc("rx.rdv_rts");
+      ps.rdv_rx[rts.token] = rx;
+      ps.stats.inc("rx.rdv_rts");
       if (slot.posted) {
         MADO_CHECK_MSG(slot.dest_len == slot.total,
                        "unpack size " << slot.dest_len
@@ -213,37 +240,36 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
     case RdvTarget::Window: {
       // One-sided put: the destination is an exposed window — no
       // application receive exists, so the engine answers the CTS itself.
-      const RmaWindow& win =
-          window_locked(rts.window, rts.offset, rts.total_len);
+      const RmaWindow win =
+          window_checked(rts.window, rts.offset, rts.total_len);
       RdvRx rx;
       rx.target = RdvTarget::Window;
       rx.base = win.base + rts.offset;
       rx.len = rts.total_len;
       rx.ack_token = rts.aux;
-      if (cfg_.reliability && rdv_rx_.count({ps.id, rts.token})) {
-        stats_.inc("rel.dup_drops");  // replayed RTS, transfer in progress
+      if (cfg_.reliability && ps.rdv_rx.count(rts.token)) {
+        ps.stats.inc("rel.dup_drops");  // replayed RTS, transfer in progress
         return;
       }
-      MADO_CHECK_MSG(rdv_rx_.emplace(std::make_pair(ps.id, rts.token), rx)
-                         .second,
+      MADO_CHECK_MSG(ps.rdv_rx.emplace(rts.token, rx).second,
                      "duplicate RTS token");
-      stats_.inc("rx.rma_put_rts");
+      ps.stats.inc("rx.rma_put_rts");
       send_auto_cts_locked(ps, fh, rts.token);
       return;
     }
     case RdvTarget::GetBuffer: {
       // Bulk reply to our own rma_get: route chunks into the requester's
       // destination buffer.
-      if (cfg_.reliability && rdv_rx_.count({ps.id, rts.token})) {
-        stats_.inc("rel.dup_drops");  // replayed RTS, transfer in progress
+      if (cfg_.reliability && ps.rdv_rx.count(rts.token)) {
+        ps.stats.inc("rel.dup_drops");  // replayed RTS, transfer in progress
         return;
       }
-      auto it = pending_gets_.find(rts.aux);
-      if (cfg_.reliability && it == pending_gets_.end()) {
-        stats_.inc("rel.dup_drops");  // replayed RTS, get already finished
+      auto it = ps.pending_gets.find(rts.aux);
+      if (cfg_.reliability && it == ps.pending_gets.end()) {
+        ps.stats.inc("rel.dup_drops");  // replayed RTS, get already finished
         return;
       }
-      MADO_CHECK_MSG(it != pending_gets_.end(),
+      MADO_CHECK_MSG(it != ps.pending_gets.end(),
                      "RTS for unknown get token " << rts.aux);
       MADO_CHECK_MSG(it->second.len == rts.total_len,
                      "get reply size mismatch");
@@ -252,8 +278,7 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
       rx.base = it->second.dest;
       rx.len = rts.total_len;
       rx.get_token = rts.aux;
-      MADO_CHECK_MSG(rdv_rx_.emplace(std::make_pair(ps.id, rts.token), rx)
-                         .second,
+      MADO_CHECK_MSG(ps.rdv_rx.emplace(rts.token, rx).second,
                      "duplicate RTS token");
       send_auto_cts_locked(ps, fh, rts.token);
       return;
@@ -270,14 +295,16 @@ void Engine::send_auto_cts_locked(PeerState& ps, const FragHeader& fh,
   tf.nfrags_total = fh.nfrags_total;
   tf.kind = FragKind::RdvCts;
   tf.cls = TrafficClass::Control;
-  tf.owned = slab_.take(CtsBody::kWireSize);
+  tf.owned = ps.slab.take(CtsBody::kWireSize);
   encode_cts(tf.owned, CtsBody{token});
   tf.len = tf.owned.size();
-  tf.submit_time = timers_.now();
-  tf.order = next_submit_order_++;
+  const Nanos t = std::max(timers_.now(), ps.last_drain_time);
+  ps.last_drain_time = t;
+  tf.submit_time = t;
+  tf.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
   const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
   ps.rails[rail]->backlog.push_control(std::move(tf));
-  stats_.inc("tx.rdv_cts");
+  ps.stats.inc("tx.rdv_cts");
 }
 
 void Engine::send_cts_locked(PeerState& ps, const FragHeader& fh,
@@ -292,38 +319,40 @@ void Engine::send_cts_locked(PeerState& ps, const FragHeader& fh,
   tf.kind = FragKind::RdvCts;
   tf.cls = TrafficClass::Control;
   CtsBody body{slot.token};
-  tf.owned = slab_.take(CtsBody::kWireSize);
+  tf.owned = ps.slab.take(CtsBody::kWireSize);
   encode_cts(tf.owned, body);
   tf.len = tf.owned.size();
-  tf.submit_time = timers_.now();
-  tf.order = next_submit_order_++;
+  const Nanos t = std::max(timers_.now(), ps.last_drain_time);
+  ps.last_drain_time = t;
+  tf.submit_time = t;
+  tf.order = next_submit_order_.fetch_add(1, std::memory_order_relaxed);
   const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
   ps.rails[rail]->backlog.push_control(std::move(tf));
-  stats_.inc("tx.rdv_cts");
+  ps.stats.inc("tx.rdv_cts");
   // Caller pumps (post_unpack and handle_eager_packet both do).
 }
 
 void Engine::handle_cts_locked(PeerState& ps, ByteSpan payload) {
   const CtsBody cts = decode_cts(payload);
   trace_locked(TraceEvent::RdvCts, ps.id, 0, cts.token);
-  auto it = rdv_tx_.find(cts.token);
-  if (cfg_.reliability && it == rdv_tx_.end()) {
-    stats_.inc("rel.dup_drops");  // replayed CTS, rendezvous already done
+  auto it = ps.rdv_tx.find(cts.token);
+  if (cfg_.reliability && it == ps.rdv_tx.end()) {
+    ps.stats.inc("rel.dup_drops");  // replayed CTS, rendezvous already done
     return;
   }
-  MADO_CHECK_MSG(it != rdv_tx_.end(), "CTS for unknown rendezvous");
+  MADO_CHECK_MSG(it != ps.rdv_tx.end(), "CTS for unknown rendezvous");
   RdvTx& rdv = it->second;
   if (cfg_.reliability && rdv.cts_received) {
-    stats_.inc("rel.dup_drops");  // replayed CTS, chunks already queued
+    ps.stats.inc("rel.dup_drops");  // replayed CTS, chunks already queued
     return;
   }
   MADO_CHECK_MSG(!rdv.cts_received, "duplicate CTS");
   rdv.cts_received = true;
-  stats_.inc("rx.rdv_cts");
+  ps.stats.inc("rx.rdv_cts");
   // Handshake latency: RTS submitted → CTS back from the receiver.
   if (rdv.rts_timed) {
     const Nanos now = timers_.now();
-    stats_.observe("lat.rdv_handshake", now - std::min(now, rdv.rts_time));
+    ps.stats.observe("lat.rdv_handshake", now - std::min(now, rdv.rts_time));
   }
   distribute_chunks_locked(ps, cts.token, rdv);
 }
@@ -419,10 +448,10 @@ void Engine::stripe_chunks_locked(PeerState& ps, std::uint64_t token,
     shares.assign(ps.rails.size(), 0);
     shares[r] = rdv.total;
   }
-  stats_.inc("stripe.transfers");
+  ps.stats.inc("stripe.transfers");
   // Histogram values are integral; record the predicted spread in percent.
-  stats_.observe("stripe.imbalance_pct",
-                 static_cast<std::uint64_t>(imbalance + 0.5));
+  ps.stats.observe("stripe.imbalance_pct",
+                   static_cast<std::uint64_t>(imbalance + 0.5));
 
   // Cut each rail's contiguous range into chunks on its queue. Offsets run
   // low-to-high across rails in index order; stripe ids are global over the
@@ -441,7 +470,7 @@ void Engine::stripe_chunks_locked(PeerState& ps, std::uint64_t token,
       left -= chunk.len;
       rdv.queued += chunk.len;
       ps.rails[i]->bulk_q.push_back(chunk);
-      stats_.inc("stripe.chunks");
+      ps.stats.inc("stripe.chunks");
     }
   }
   MADO_ASSERT(off == rdv.total);
@@ -456,30 +485,30 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
   Rail& rail = *ps.rails[rail_id];
   if (cfg_.reliability && (bh.flags & kPhFlagAck))
     process_acks_locked(ps, rail, bh.ack_eager, bh.ack_bulk);
-  if (!rel_rx_accept_locked(rail, 1, bh.flags, bh.pkt_seq)) return;
-  auto it = rdv_rx_.find({ps.id, bh.token});
-  if (it == rdv_rx_.end() && rdv_was_done_locked(ps.id, bh.token)) {
+  if (!rel_rx_accept_locked(ps, rail, 1, bh.flags, bh.pkt_seq)) return;
+  auto it = ps.rdv_rx.find(bh.token);
+  if (it == ps.rdv_rx.end() && rdv_was_done_locked(ps, bh.token)) {
     // A chunk delivered on a rail that then died was replayed on the
     // survivor (its ack was lost in the failover) after the rendezvous
     // finished: drop the second copy.
-    stats_.inc("rel.dup_drops");
+    ps.stats.inc("rel.dup_drops");
     return;
   }
-  MADO_CHECK_MSG(it != rdv_rx_.end(), "bulk chunk for unknown rendezvous");
+  MADO_CHECK_MSG(it != ps.rdv_rx.end(), "bulk chunk for unknown rendezvous");
   RdvRx& rx = it->second;
   if (cfg_.reliability && !rx.seen_offsets.insert(bh.offset).second) {
     // Same story, rendezvous still in progress: the offset already landed.
-    stats_.inc("rel.dup_drops");
+    ps.stats.inc("rel.dup_drops");
     return;
   }
-  stats_.inc("rx.bulk_chunks");
-  stats_.inc("rx.bytes", payload.size());
+  ps.stats.inc("rx.bulk_chunks");
+  ps.stats.inc("rx.bytes", payload.size());
   // Reassembly watermark: a chunk starting above the in-order front arrived
   // out of order — another rail (or a stolen chunk) ran ahead. The memcpy
   // below is offset-addressed, so OOO landing is free; the counter just
   // makes cross-rail interleaving observable.
   if (bh.offset > rx.next_contig)
-    stats_.inc("stripe.reassembly_ooo");
+    ps.stats.inc("stripe.reassembly_ooo");
   else
     rx.next_contig = std::max(rx.next_contig, bh.offset + bh.len);
   trace_locked(TraceEvent::BulkRx, ps.id, rail_id, bh.token, bh.offset,
@@ -499,9 +528,9 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
     MADO_ASSERT(slot.received <= slot.total);
     if (slot.received == slot.total) {
       mark_slot_done_locked(msg, slot);
-      note_rdv_done_locked(ps.id, bh.token);
-      rdv_rx_.erase(it);
-      stats_.inc("rx.rdv_completed");
+      note_rdv_done_locked(ps, bh.token);
+      ps.rdv_rx.erase(it);
+      ps.stats.inc("rx.rdv_completed");
       trace_locked(TraceEvent::RdvDone, ps.id, rail_id, bh.token,
                    slot.total);
     }
@@ -517,45 +546,46 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
 
   if (rx.target == RdvTarget::Window) {
     push_rma_ack_locked(ps, rx.ack_token);
-    stats_.inc("rx.rma_puts_completed");
+    ps.stats.inc("rx.rma_puts_completed");
   } else {
-    auto git = pending_gets_.find(rx.get_token);
-    MADO_CHECK(git != pending_gets_.end());
-    MADO_ASSERT(git->second.state->pending > 0);
-    if (--git->second.state->pending == 0) stats_.inc("rma.gets_completed");
-    pending_gets_.erase(git);
+    auto git = ps.pending_gets.find(rx.get_token);
+    MADO_CHECK(git != ps.pending_gets.end());
+    if (git->second.state->pending.fetch_sub(1, std::memory_order_acq_rel) ==
+        1)
+      ps.stats.inc("rma.gets_completed");
+    ps.pending_gets.erase(git);
   }
-  note_rdv_done_locked(ps.id, bh.token);
+  note_rdv_done_locked(ps, bh.token);
   trace_locked(TraceEvent::RdvDone, ps.id, rail_id, bh.token, rx.len);
-  rdv_rx_.erase(it);
+  ps.rdv_rx.erase(it);
 }
 
 // ---- RMA eager paths -----------------------------------------------------------
 
 void Engine::push_rma_ack_locked(PeerState& ps, std::uint64_t ack_token) {
-  TxFrag tf = make_rma_frag_locked(FragKind::RmaAck);
-  tf.owned = slab_.take(RmaAckBody::kWireSize);
+  TxFrag tf = make_rma_frag_locked(ps, FragKind::RmaAck);
+  tf.owned = ps.slab.take(RmaAckBody::kWireSize);
   encode_rma_ack(tf.owned, RmaAckBody{ack_token});
   tf.len = tf.owned.size();
   const RailId rail = rail_for_class_locked(ps, TrafficClass::Control);
   ps.rails[rail]->backlog.push_control(std::move(tf));
-  stats_.inc("tx.rma_acks");
+  ps.stats.inc("tx.rma_acks");
 }
 
 void Engine::handle_rma_put_locked(PeerState& ps, ByteSpan payload) {
   ByteSpan data;
   const RmaPutBody b = decode_rma_put(payload, data);
-  const RmaWindow& win = window_locked(b.window, b.offset, data.size());
+  const RmaWindow win = window_checked(b.window, b.offset, data.size());
   if (!data.empty())
     std::memcpy(win.base + b.offset, data.data(), data.size());
-  stats_.inc("rx.rma_puts");
+  ps.stats.inc("rx.rma_puts");
   push_rma_ack_locked(ps, b.ack_token);
 }
 
 void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
   const RmaGetBody b = decode_rma_get(payload);
-  const RmaWindow& win = window_locked(b.window, b.offset, b.len);
-  stats_.inc("rx.rma_gets");
+  const RmaWindow win = window_checked(b.window, b.offset, b.len);
+  ps.stats.inc("rx.rma_gets");
 
   MADO_CHECK(!ps.rails.empty());
   const RailId rail_id = rail_for_class_locked(ps, TrafficClass::PutGet);
@@ -566,7 +596,8 @@ void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
   if (b.len >= rdv_thr) {
     // Bulk reply: rendezvous straight from the window into the requester's
     // get buffer (the requester auto-answers the CTS).
-    const std::uint64_t token = next_rdv_token_++;
+    const std::uint64_t token =
+        next_rdv_token_.fetch_add(1, std::memory_order_relaxed);
     RdvTx rdv;
     rdv.peer = ps.id;
     rdv.channel = kRmaChannel;
@@ -576,22 +607,22 @@ void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
     rdv.rts_time = timers_.now();
     rdv.rts_timed = true;
     rdv.cls = TrafficClass::PutGet;
-    rdv_tx_.emplace(token, std::move(rdv));
+    ps.rdv_tx.emplace(token, std::move(rdv));
     trace_locked(TraceEvent::RdvRts, ps.id, rail_id, token, b.len);
 
-    TxFrag tf = make_rma_frag_locked(FragKind::RdvRts);
+    TxFrag tf = make_rma_frag_locked(ps, FragKind::RdvRts);
     RtsBody rts;
     rts.token = token;
     rts.total_len = b.len;
     rts.target = RdvTarget::GetBuffer;
     rts.aux = b.get_token;
-    tf.owned = slab_.take(RtsBody::kWireSize);
+    tf.owned = ps.slab.take(RtsBody::kWireSize);
     encode_rts(tf.owned, rts);
     tf.len = tf.owned.size();
     rail.backlog.push(std::move(tf));
   } else {
-    TxFrag tf = make_rma_frag_locked(FragKind::RmaGetData);
-    tf.owned = slab_.take(RmaGetDataBody::kWireSize + b.len);
+    TxFrag tf = make_rma_frag_locked(ps, FragKind::RmaGetData);
+    tf.owned = ps.slab.take(RmaGetDataBody::kWireSize + b.len);
     encode_rma_get_data(tf.owned, RmaGetDataBody{b.get_token});
     tf.owned.insert(tf.owned.end(), win.base + b.offset,
                     win.base + b.offset + b.len);
@@ -601,50 +632,50 @@ void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
 }
 
 void Engine::handle_rma_get_data_locked(PeerState& ps, ByteSpan payload) {
-  (void)ps;
   ByteSpan data;
   const RmaGetDataBody b = decode_rma_get_data(payload, data);
-  auto it = pending_gets_.find(b.get_token);
-  if (cfg_.reliability && it == pending_gets_.end()) {
-    stats_.inc("rel.dup_drops");  // replayed reply, get already finished
+  auto it = ps.pending_gets.find(b.get_token);
+  if (cfg_.reliability && it == ps.pending_gets.end()) {
+    ps.stats.inc("rel.dup_drops");  // replayed reply, get already finished
     return;
   }
-  MADO_CHECK_MSG(it != pending_gets_.end(),
+  MADO_CHECK_MSG(it != ps.pending_gets.end(),
                  "get reply for unknown token " << b.get_token);
   MADO_CHECK_MSG(it->second.len == data.size(), "get reply size mismatch");
   std::memcpy(it->second.dest, data.data(), data.size());
-  MADO_ASSERT(it->second.state->pending > 0);
-  if (--it->second.state->pending == 0) stats_.inc("rma.gets_completed");
-  pending_gets_.erase(it);
+  if (it->second.state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    ps.stats.inc("rma.gets_completed");
+  ps.pending_gets.erase(it);
 }
 
-void Engine::handle_rma_ack_locked(ByteSpan payload) {
+void Engine::handle_rma_ack_locked(PeerState& ps, ByteSpan payload) {
   const RmaAckBody b = decode_rma_ack(payload);
-  auto it = rma_acks_.find(b.ack_token);
-  if (cfg_.reliability && it == rma_acks_.end()) {
-    stats_.inc("rel.dup_drops");  // replayed ack, put already completed
+  auto it = ps.rma_acks.find(b.ack_token);
+  if (cfg_.reliability && it == ps.rma_acks.end()) {
+    ps.stats.inc("rel.dup_drops");  // replayed ack, put already completed
     return;
   }
-  MADO_CHECK_MSG(it != rma_acks_.end(), "unexpected RMA ack " << b.ack_token);
-  MADO_ASSERT(it->second->pending > 0);
-  if (--it->second->pending == 0) stats_.inc("rma.puts_completed");
-  rma_acks_.erase(it);
+  MADO_CHECK_MSG(it != ps.rma_acks.end(),
+                 "unexpected RMA ack " << b.ack_token);
+  if (it->second->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    ps.stats.inc("rma.puts_completed");
+  ps.rma_acks.erase(it);
 }
 
 // ---- application receive API ------------------------------------------------------
 
 MsgSeq Engine::attach_recv(NodeId peer, ChannelId ch) {
-  std::lock_guard<std::mutex> lk(mu_);
-  PeerState& ps = peer_locked(peer);
+  PeerState& ps = peer_ref(peer);
+  std::lock_guard<std::mutex> lk(ps.mu);
   auto it = ps.channels.find(ch);
   MADO_CHECK_MSG(it != ps.channels.end(), "channel " << ch << " not open");
   return it->second.next_attach_seq++;
 }
 
 bool Engine::probe_recv(NodeId peer, ChannelId ch) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  const PeerState* ps = find_peer_locked(peer);
+  const PeerState* ps = find_peer(peer);
   if (!ps) return false;
+  std::lock_guard<std::mutex> lk(ps->mu);
   auto cit = ps->channels.find(ch);
   MADO_CHECK_MSG(cit != ps->channels.end(), "channel " << ch << " not open");
   auto it = ps->rx_msgs.find({ch, cit->second.next_attach_seq});
@@ -654,9 +685,9 @@ bool Engine::probe_recv(NodeId peer, ChannelId ch) const {
 void Engine::post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
                          void* buf, std::size_t len) {
   MADO_CHECK(buf != nullptr || len == 0);
+  PeerState& ps = peer_ref(peer);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    PeerState& ps = peer_locked(peer);
+    std::lock_guard<std::mutex> lk(ps.mu);
     RxMessage& msg = ps.rx_msgs[{ch, seq}];
     RxSlot& slot = msg.slot(idx);
     MADO_CHECK_MSG(!slot.posted, "fragment already unpacked");
@@ -684,16 +715,17 @@ void Engine::post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
       pump_peer_locked(ps);
     }
   }
-  cv_.notify_all();
+  wake_peer(ps);
 }
 
 void Engine::wait_frag(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx) {
-  const bool ok = wait_until_impl(
-      [this, peer, ch, seq, idx] {
-        const PeerState* ps = find_peer_locked(peer);
-        if (!ps) return false;
-        auto it = ps->rx_msgs.find({ch, seq});
-        if (it == ps->rx_msgs.end()) return false;
+  PeerState& ps = peer_ref(peer);
+  const bool ok = wait_peer_impl(
+      ps,
+      [&ps, ch, seq, idx] {
+        std::lock_guard<std::mutex> lk(ps.mu);
+        auto it = ps.rx_msgs.find({ch, seq});
+        if (it == ps.rx_msgs.end()) return false;
         if (it->second.slots.size() <= idx) return false;
         return it->second.slots[idx].done;
       },
@@ -707,13 +739,14 @@ std::size_t Engine::wait_frag_size(NodeId peer, ChannelId ch, MsgSeq seq,
                                    FragIdx idx) {
   // A fragment's size is known once either its eager payload is buffered,
   // its unpack already completed, or — for rendezvous — the RTS arrived.
+  PeerState& ps = peer_ref(peer);
   std::size_t size = 0;
-  const bool ok = wait_until_impl(
-      [this, peer, ch, seq, idx, &size] {
-        const PeerState* ps = find_peer_locked(peer);
-        if (!ps) return false;
-        auto it = ps->rx_msgs.find({ch, seq});
-        if (it == ps->rx_msgs.end() || it->second.slots.size() <= idx)
+  const bool ok = wait_peer_impl(
+      ps,
+      [&ps, ch, seq, idx, &size] {
+        std::lock_guard<std::mutex> lk(ps.mu);
+        auto it = ps.rx_msgs.find({ch, seq});
+        if (it == ps.rx_msgs.end() || it->second.slots.size() <= idx)
           return false;
         const RxSlot& slot = it->second.slots[idx];
         if (slot.is_rdv) {
@@ -740,52 +773,55 @@ void Engine::finish_recv(NodeId peer, ChannelId ch, MsgSeq seq,
   // First learn the message's fragment count (the first arrived fragment
   // carries it), then check the application consumed everything, then wait
   // for full delivery.
-  bool ok = wait_until_impl(
-      [this, peer, ch, seq] {
-        const PeerState* ps = find_peer_locked(peer);
-        if (!ps) return false;
-        auto it = ps->rx_msgs.find({ch, seq});
-        return it != ps->rx_msgs.end() && it->second.nfrags_total != 0;
+  PeerState& ps = peer_ref(peer);
+  bool ok = wait_peer_impl(
+      ps,
+      [&ps, ch, seq] {
+        std::lock_guard<std::mutex> lk(ps.mu);
+        auto it = ps.rx_msgs.find({ch, seq});
+        return it != ps.rx_msgs.end() && it->second.nfrags_total != 0;
       },
       kDefaultTimeout);
   MADO_CHECK_MSG(ok, "timed out waiting for message " << seq);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    PeerState& ps = peer_locked(peer);
+    std::lock_guard<std::mutex> lk(ps.mu);
     const RxMessage& msg = ps.rx_msgs.at({ch, seq});
     MADO_CHECK_MSG(nposted == msg.nfrags_total,
                    "finish() after unpacking " << nposted << " of "
                                                << msg.nfrags_total
                                                << " fragments");
   }
-  ok = wait_until_impl(
-      [this, peer, ch, seq] {
-        const PeerState* ps = find_peer_locked(peer);
-        if (!ps) return false;
-        auto it = ps->rx_msgs.find({ch, seq});
-        return it != ps->rx_msgs.end() && it->second.complete();
+  ok = wait_peer_impl(
+      ps,
+      [&ps, ch, seq] {
+        std::lock_guard<std::mutex> lk(ps.mu);
+        auto it = ps.rx_msgs.find({ch, seq});
+        return it != ps.rx_msgs.end() && it->second.complete();
       },
       kDefaultTimeout);
   MADO_CHECK_MSG(ok, "timed out completing message " << seq);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    PeerState& ps = peer_locked(peer);
+    std::lock_guard<std::mutex> lk(ps.mu);
     ps.rx_msgs.erase({ch, seq});
     auto cit = ps.channels.find(ch);
     if (cit != ps.channels.end() && seq >= cit->second.rx_done_floor)
       cit->second.rx_done_floor = seq + 1;  // dedup floor for rail replays
-    stats_.inc("rx.msgs_completed");
+    ps.stats.inc("rx.msgs_completed");
   }
 }
 
 void Engine::flush_channel(NodeId peer, ChannelId ch) {
-  const bool ok = wait_until_impl(
-      [this, peer, ch] {
-        const PeerState* ps = find_peer_locked(peer);
-        if (!ps) return true;
+  PeerState* ps = find_peer(peer);
+  if (!ps) return;  // peer never attached: trivially flushed
+  const bool ok = wait_peer_impl(
+      *ps,
+      [ps, ch] {
+        std::lock_guard<std::mutex> lk(ps->mu);
         auto it = ps->channels.find(ch);
         return it == ps->channels.end() ||
-               it->second.outstanding_sends == 0;
+               (it->second.outstanding_sends == 0 &&
+                (!ps->ring ||
+                 ps->ring_pending.load(std::memory_order_acquire) == 0));
       },
       kDefaultTimeout);
   MADO_CHECK_MSG(ok, "timed out flushing channel " << ch);

@@ -1,0 +1,33 @@
+// Batched completion drain: thread-local lap context shared by engine.cpp
+// and engine_rx.cpp.
+//
+// While Engine::progress() pumps one peer's driver endpoints, the driver
+// callbacks (on_send_complete / on_packet / on_link_down) do not take the
+// peer lock once per event — they append to a thread-local staging vector
+// and return. When every endpoint of the peer has been pumped, progress()
+// takes the peer lock ONCE and applies the whole batch in arrival order.
+//
+// The context is deliberately type-erased (void*): the event vector's
+// element type (Engine::RxEvent) is private to Engine, and only Engine
+// member functions — which can name it — ever dereference `events`. The
+// `engine` / `peer` fields let a callback detect that it belongs to the lap
+// currently running on this thread; callbacks from any other source (the
+// simulation fabric delivering directly, a different engine sharing the
+// thread) fall back to the classic lock-per-event path.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace mado::core::detail {
+
+struct ProgressLap {
+  const void* engine = nullptr;  ///< the Engine running the lap
+  NodeId peer = 0;               ///< the peer whose endpoints are pumped
+  void* events = nullptr;        ///< std::vector<Engine::RxEvent>*
+};
+
+/// Non-null only between progress()'s "pump endpoints" and "apply batch"
+/// phases on the pumping thread.
+extern thread_local ProgressLap* t_progress_lap;
+
+}  // namespace mado::core::detail

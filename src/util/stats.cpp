@@ -4,11 +4,77 @@
 
 namespace mado {
 
+void StatsRegistry::accumulate_counters(
+    std::map<std::string, std::uint64_t, std::less<>>& out) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  for (const auto& [name, v] : counters_)
+    out[name] += v.load(std::memory_order_relaxed);
+  for (const StatsRegistry* c : children_) c->accumulate_counters(out);
+}
+
+void StatsRegistry::accumulate_histograms(
+    std::map<std::string, Log2Histogram, std::less<>>& out) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  for (const auto& [name, h] : histograms_) out[name].merge_from(h);
+  for (const StatsRegistry* c : children_) c->accumulate_histograms(out);
+}
+
+std::map<std::string, std::uint64_t, std::less<>> StatsRegistry::counters()
+    const {
+  std::map<std::string, std::uint64_t, std::less<>> out;
+  accumulate_counters(out);
+  return out;
+}
+
+std::map<std::string, Log2Histogram, std::less<>> StatsRegistry::histograms()
+    const {
+  std::map<std::string, Log2Histogram, std::less<>> out;
+  accumulate_histograms(out);
+  return out;
+}
+
+const Log2Histogram* StatsRegistry::histogram(std::string_view name) const {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    if (children_.empty()) {
+      auto it = histograms_.find(name);
+      return it == histograms_.end() ? nullptr : &it->second;
+    }
+  }
+  // Children attached: merge own + all shards into a cache node whose
+  // address is stable across calls, and hand that out. Contents are a
+  // snapshot as of this call.
+  Log2Histogram merged;
+  bool found = false;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      merged.merge_from(it->second);
+      found = true;
+    }
+    for (const StatsRegistry* c : children_) {
+      // Shards are leaf registries in practice, but recurse for generality.
+      if (const Log2Histogram* h = c->histogram(name)) {
+        merged.merge_from(*h);
+        found = true;
+      }
+    }
+  }
+  if (!found) return nullptr;
+  std::lock_guard<std::mutex> lk(merge_mu_);
+  Log2Histogram& slot = merge_cache_[std::string(name)];
+  slot = merged;
+  return &slot;
+}
+
 std::string StatsRegistry::to_string() const {
+  const auto counters = this->counters();
+  const auto histograms = this->histograms();
   std::ostringstream os;
-  for (const auto& [name, value] : counters_)
+  for (const auto& [name, value] : counters)
     os << name << "=" << value << "\n";
-  for (const auto& [name, h] : histograms_)
+  for (const auto& [name, h] : histograms)
     os << name << ": count=" << h.count() << " mean=" << h.mean()
        << " p50<=" << h.quantile_upper_bound(0.50)
        << " p99<=" << h.quantile_upper_bound(0.99) << "\n";

@@ -2,11 +2,22 @@
 // mean/variance accumulation, and a named-stats registry that the engine
 // exposes so benchmarks can report aggregation ratios, transaction counts,
 // latency distributions, etc.
+//
+// Since the engine-lock sharding, StatsRegistry is thread-safe and
+// composable: each peer shard owns a registry and the engine's root registry
+// aggregates them on read (counters()/histograms()/counter() sum own values
+// plus all registered children). Mutation is wait-free after the first bump
+// of a name: values live in std::atomic cells behind map nodes whose
+// addresses are stable, so hot paths can cache a handle() reference and
+// bump it without any lookup or lock at all.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,7 +26,7 @@
 
 namespace mado {
 
-/// Online mean/variance (Welford).
+/// Online mean/variance (Welford). Not thread-safe (single-writer use only).
 class Welford {
  public:
   void add(double x) {
@@ -47,14 +58,37 @@ class Welford {
 
 /// Histogram with log2 buckets: bucket i counts values in [2^i, 2^(i+1)).
 /// Value 0 lands in bucket 0. Suited to latency (ns) and size distributions.
+///
+/// add() is thread-safe (relaxed atomics: per-bucket counts, total count and
+/// sum are each independently exact; a reader racing a writer may see a sum
+/// from one more/fewer sample than the count — harmless for monitoring).
+/// Copying takes a relaxed snapshot, so value-semantics users keep working.
 class Log2Histogram {
  public:
   static constexpr int kBuckets = 64;
 
+  Log2Histogram() = default;
+  Log2Histogram(const Log2Histogram& o) { copy_from(o); }
+  Log2Histogram& operator=(const Log2Histogram& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+
   void add(std::uint64_t v) {
-    buckets_[bucket_of(v)]++;
-    ++count_;
-    sum_ += v;
+    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Fold another histogram's (snapshot of) contents into this one; used by
+  /// the registry's cross-shard aggregation.
+  void merge_from(const Log2Histogram& o) {
+    for (int i = 0; i < kBuckets; ++i)
+      buckets_[static_cast<std::size_t>(i)].fetch_add(
+          o.bucket(i), std::memory_order_relaxed);
+    count_.fetch_add(o.count(), std::memory_order_relaxed);
+    sum_.fetch_add(o.sum(), std::memory_order_relaxed);
   }
 
   static int bucket_of(std::uint64_t v) {
@@ -62,82 +96,169 @@ class Log2Histogram {
     return 63 - static_cast<int>(__builtin_clzll(v));
   }
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+    const std::uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0;
   }
-  std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
 
   /// Upper bound of the bucket containing the q-quantile (q in [0,1]).
   std::uint64_t quantile_upper_bound(double q) const {
-    if (count_ == 0) return 0;
-    auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_));
-    if (target >= count_) target = count_ - 1;  // q = 1.0 → last sample
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (target >= n) target = n - 1;  // q = 1.0 → last sample
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
-      seen += buckets_[static_cast<std::size_t>(i)];
+      seen += bucket(i);
       if (seen > target) return i >= 63 ? ~0ull : (1ull << (i + 1)) - 1;
     }
     return ~0ull;
   }
 
+  /// Zero all cells, keeping the object in place (registry reset()).
+  void clear() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
  private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
+  void copy_from(const Log2Histogram& o) {
+    for (int i = 0; i < kBuckets; ++i)
+      buckets_[static_cast<std::size_t>(i)].store(o.bucket(i),
+                                                  std::memory_order_relaxed);
+    count_.store(o.count(), std::memory_order_relaxed);
+    sum_.store(o.sum(), std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
 };
 
-/// Named counters + histograms. Not thread-safe by design: each engine owns
-/// one and all mutation happens under the engine lock.
+/// Named counters + histograms. Thread-safe: the maps' *structure* is
+/// guarded by a shared_mutex (unique only on the first bump of a new name);
+/// the *values* are atomics behind stable map nodes, so concurrent inc() /
+/// observe() after creation are lock-free writes under a shared lock.
 ///
 /// Lookups are transparent (string_view keys, std::less<>): bumping an
 /// existing counter performs no heap allocation, which keeps StatsRegistry
 /// safe to use from the optimizer's zero-allocation decision loop. Only the
-/// FIRST bump of a new name allocates (the map node + key copy).
+/// FIRST bump of a new name allocates (the map node + key copy). Hot paths
+/// can go one step further and cache handle(name) — a stable atomic
+/// reference that skips even the map lookup.
+///
+/// Aggregation: add_child() registers shard registries (the engine's
+/// per-peer stats). Readers — counter(), counters(), histogram(),
+/// histograms(), to_string() — return own values plus the sum over all
+/// children, so monitoring sees one engine-wide view while writers on
+/// different peers never share a cacheline. counters()/histograms() return
+/// snapshots BY VALUE; histogram() serves merged children data from an
+/// internal cache whose node addresses are stable for the registry's
+/// lifetime.
 class StatsRegistry {
  public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
   void inc(std::string_view name, std::uint64_t by = 1) {
+    handle(name).fetch_add(by, std::memory_order_relaxed);
+  }
+
+  /// Stable reference to the counter cell for `name` (created on first use).
+  /// Valid for the registry's lifetime; survives reset().
+  std::atomic<std::uint64_t>& handle(std::string_view name) {
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      auto it = counters_.find(name);
+      if (it != counters_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lk(mu_);
     auto it = counters_.find(name);
     if (it == counters_.end())
-      it = counters_.emplace(std::string(name), std::uint64_t{0}).first;
-    it->second += by;
+      it = counters_
+               .emplace(std::piecewise_construct,
+                        std::forward_as_tuple(name), std::forward_as_tuple(0))
+               .first;
+    return it->second;
   }
+
+  /// Own value plus the sum over all children.
   std::uint64_t counter(std::string_view name) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    std::uint64_t v = 0;
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    if (it != counters_.end()) v = it->second.load(std::memory_order_relaxed);
+    for (const StatsRegistry* c : children_) v += c->counter(name);
+    return v;
   }
 
   void observe(std::string_view name, std::uint64_t v) {
-    auto it = histograms_.find(name);
-    if (it == histograms_.end())
-      it = histograms_.emplace(std::string(name), Log2Histogram{}).first;
-    it->second.add(v);
-  }
-  const Log2Histogram* histogram(std::string_view name) const {
-    auto it = histograms_.find(name);
-    return it == histograms_.end() ? nullptr : &it->second;
-  }
-
-  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
-    return counters_;
-  }
-  const std::map<std::string, Log2Histogram, std::less<>>& histograms() const {
-    return histograms_;
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      auto it = histograms_.find(name);
+      if (it != histograms_.end()) {
+        it->second.add(v);
+        return;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    histograms_[std::string(name)].add(v);
   }
 
+  /// Histogram for `name`, aggregated across children; nullptr when no shard
+  /// has observed it. The pointer stays valid for the registry's lifetime,
+  /// but with children attached its *contents* are a snapshot taken at this
+  /// call (refreshed on the next call).
+  const Log2Histogram* histogram(std::string_view name) const;
+
+  /// Snapshot by value, own + children.
+  std::map<std::string, std::uint64_t, std::less<>> counters() const;
+  std::map<std::string, Log2Histogram, std::less<>> histograms() const;
+
+  /// Register a shard whose values aggregate into this registry's reads.
+  /// The child must outlive this registry (the engine owns both). reset()
+  /// cascades to children.
+  void add_child(StatsRegistry* child) {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    children_.push_back(child);
+  }
+
+  /// Zero every value (cells stay allocated, handle() refs stay valid) and
+  /// cascade to children.
   void reset() {
-    counters_.clear();
-    histograms_.clear();
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    for (auto& [name, v] : counters_) v.store(0, std::memory_order_relaxed);
+    for (auto& [name, h] : histograms_) h.clear();
+    for (StatsRegistry* c : children_) c->reset();
   }
 
-  /// Render "name=value" lines, sorted by name (for logs and debugging).
+  /// Render "name=value" lines, sorted by name (for logs and debugging),
+  /// aggregated across children.
   std::string to_string() const;
 
  private:
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  void accumulate_counters(
+      std::map<std::string, std::uint64_t, std::less<>>& out) const;
+  void accumulate_histograms(
+      std::map<std::string, Log2Histogram, std::less<>>& out) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::atomic<std::uint64_t>, std::less<>> counters_;
   std::map<std::string, Log2Histogram, std::less<>> histograms_;
+  std::vector<StatsRegistry*> children_;
+
+  // histogram() needs to hand out a pointer to *merged* data when children
+  // exist; merged snapshots live here so the pointer outlives the call.
+  mutable std::mutex merge_mu_;
+  mutable std::map<std::string, Log2Histogram, std::less<>> merge_cache_;
 };
 
 }  // namespace mado

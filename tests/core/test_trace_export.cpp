@@ -275,7 +275,9 @@ TEST(TraceExport, EveryEventCarriesRequiredFields) {
       ASSERT_TRUE(e.has("dur")) << "complete event without duration";
       EXPECT_GT(e.at("dur").num, 0.0);
     }
-    if (ph == 'i') EXPECT_TRUE(e.has("s"));  // instant scope
+    if (ph == 'i') {
+      EXPECT_TRUE(e.has("s"));  // instant scope
+    }
   }
 }
 
