@@ -108,7 +108,15 @@ struct EngineConfig {
   /// a rail is declared Down and its traffic fails over.
   std::size_t rel_max_retries = 10;
 
-  // --- Threading: submit ring + progress-thread backoff --------------------
+  // --- Threading: submit ring + progress threads ---------------------------
+
+  /// Number of progress threads started by start_progress_thread(). Peer
+  /// shards are statically assigned to threads (insertion order modulo
+  /// this count) with rail affinity: every rail of a peer is pumped by the
+  /// shard's single owner, keeping per-lap hot structures cache-resident.
+  /// Idle threads steal un-pumped shards from busy owners. 1 (the default)
+  /// preserves the single-pump behavior exactly.
+  std::size_t progress_threads = 1;
 
   /// Capacity (rounded up to a power of two) of the per-peer lock-free
   /// submit ring. Uncontended posts take the peer lock and submit inline

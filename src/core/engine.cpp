@@ -29,21 +29,42 @@ constexpr const char* kLatComplete[kTrafficClassCount] = {
     "lat.complete.control", "lat.complete.small_eager", "lat.complete.bulk",
     "lat.complete.putget"};
 
-/// RAII setter for the thread-local lap context (exception-safe reset).
-struct LapScope {
-  explicit LapScope(detail::ProgressLap* lap) { detail::t_progress_lap = lap; }
-  ~LapScope() { detail::t_progress_lap = nullptr; }
-  LapScope(const LapScope&) = delete;
-  LapScope& operator=(const LapScope&) = delete;
+/// Which engine's progress thread (if any) is executing on this thread.
+/// Lets a timer callback decide "am I already on the shard's owner?"
+/// without any lock; distinct engines sharing a thread never confuse each
+/// other because the engine pointer is part of the identity.
+struct ProgThreadId {
+  const void* engine = nullptr;
+  std::size_t idx = 0;
 };
+thread_local ProgThreadId t_prog_id;
 }  // namespace
 
 Engine::Engine(NodeId self, EngineConfig cfg, TimerHost& timers)
-    : self_(self), cfg_(std::move(cfg)), timers_(timers),
+    : self_(self), cfg_(std::move(cfg)),
+      prog_nthreads_(cfg_.progress_threads == 0 ? 1 : cfg_.progress_threads),
+      timers_(timers),
       strategy_(StrategyRegistry::instance().create(cfg_.strategy)),
       alive_(std::make_shared<std::atomic<bool>>(true)) {
   for (std::size_t i = 0; i < kTrafficClassCount; ++i)
     class_rail_[i].store(cfg_.class_rail[i], std::memory_order_relaxed);
+  // Park slots exist for the engine's whole lifetime (not just while the
+  // threads run): note_activity() may race start/stop_progress_thread.
+  prog_slots_.reserve(prog_nthreads_);
+  for (std::size_t i = 0; i < prog_nthreads_; ++i) {
+    auto slot = std::make_unique<ProgSlot>();
+    const std::string prefix = "prog.t" + std::to_string(i) + ".";
+    slot->laps = &stats_.handle(prefix + "shard_laps");
+    slot->steals = &stats_.handle(prefix + "steals");
+    slot->wakeups = &stats_.handle(prefix + "wakeups");
+    slot->idle_sleeps = &stats_.handle(prefix + "idle_sleeps");
+    prog_slots_.push_back(std::move(slot));
+  }
+  prog_laps_total_ = &stats_.handle("prog.shard_laps");
+  prog_steals_total_ = &stats_.handle("prog.steals");
+  prog_wakeups_total_ = &stats_.handle("prog.wakeups");
+  prog_idle_total_ = &stats_.handle("prog.idle_sleeps");
+  prog_self_pumps_ = &stats_.handle("prog.self_pumps");
 }
 
 Engine::~Engine() {
@@ -66,7 +87,12 @@ RailId Engine::add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep) {
     std::unique_lock<std::shared_mutex> lk(peers_mu_);
     auto& slot = peers_[peer];
     if (!slot) {
-      slot = std::make_unique<PeerState>(peer, cfg_);
+      // Static shard→thread assignment: insertion order modulo thread
+      // count. All rails added to this peer later share the owner (rail
+      // affinity) — the owner's lap pumps the whole shard.
+      const auto owner = static_cast<std::uint32_t>((peers_.size() - 1) %
+                                                    prog_nthreads_);
+      slot = std::make_unique<PeerState>(peer, cfg_, owner);
       // Register the shard: the root registry aggregates it on every read.
       stats_.add_child(&slot->stats);
     }
@@ -195,6 +221,9 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, TrafficClass cls,
       drain_submit_ring_locked(ps);
       submit_locked(ps, ch, std::move(msg), state, state->submit_time);
       ps.mu.unlock();
+      // Even an inline submit leaves driver completions to poll (e.g. the
+      // shm driver queues them locally): wake the shard's owner if parked.
+      note_activity(ps);
       return SendHandle(state);
     }
     // Shard busy: park the message in the submit ring and return without
@@ -209,7 +238,7 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, TrafficClass cls,
     op.enq_time = state->submit_time;
     if (ps.ring->try_push(std::move(op))) {
       ps.ring_pending.fetch_add(1, std::memory_order_release);
-      note_activity();
+      note_activity(ps);
       if (ps.mu.try_lock()) {
         // The holder may have released between our failed try_lock and the
         // push landing; re-check so the op cannot linger un-drained until
@@ -227,9 +256,12 @@ SendHandle Engine::submit(NodeId peer, ChannelId ch, TrafficClass cls,
     msg = std::move(op.msg);
   }
 
-  PeerLock lk(ps);
-  drain_submit_ring_locked(ps);
-  submit_locked(ps, ch, std::move(msg), state, state->submit_time);
+  {
+    PeerLock lk(ps);
+    drain_submit_ring_locked(ps);
+    submit_locked(ps, ch, std::move(msg), state, state->submit_time);
+  }
+  note_activity(ps);
   return SendHandle(state);
 }
 
@@ -638,7 +670,8 @@ void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
   trace_locked(TraceEvent::NagleWait, ps.id, rail.port.rail, when);
   const NodeId peer = ps.id;
   const RailId rail_id = rail.port.rail;
-  timers_.schedule_at(when, [this, alive = alive_, peer, rail_id, gen] {
+  schedule_peer_timer(when, ps.owner, [this, alive = alive_, peer, rail_id,
+                                       gen] {
     if (!alive->load()) return;
     PeerState* p = find_peer(peer);
     if (!p) return;
@@ -688,6 +721,9 @@ void Engine::on_send_complete(NodeId peer, RailId rail_id, drv::TrackId track,
     }
   }
   wake_peer(*ps);
+  // Out-of-lap delivery (a driver IO thread, not a progress lap): follow-up
+  // work — acks owed, tracks freed — belongs to the shard's owner.
+  note_activity(*ps);
 }
 
 void Engine::apply_send_complete_locked(PeerState& ps, RailId rail_id,
@@ -852,8 +888,8 @@ void Engine::arm_rto_locked(PeerState& ps, Rail& rail, int stream) {
       rail.rel[0].unacked_bytes + rail.rel[1].unacked_bytes;
   const Nanos wire_floor =
       model.busy_time(pending_bytes, 1) + 2 * model.propagation_latency();
-  timers_.schedule_at(
-      timers_.now() + rt.rto + wire_floor,
+  schedule_peer_timer(
+      timers_.now() + rt.rto + wire_floor, ps.owner,
       [this, alive = alive_, peer, rail_id, stream, gen] {
         if (!alive->load()) return;
         PeerState* p = find_peer(peer);
@@ -1036,6 +1072,7 @@ void Engine::on_link_down(NodeId peer, RailId rail_id) {
     pump_peer_locked(*ps);
   }
   wake_peer(*ps);
+  note_activity(*ps);  // failover queued replays for the owner to pump
 }
 
 void Engine::apply_link_down_locked(PeerState& ps, RailId rail_id) {
@@ -1212,6 +1249,66 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
 
 // ---- progression / waiting -------------------------------------------------
 
+bool Engine::pump_shard(PeerState& ps, std::vector<RxEvent>& events,
+                        std::vector<drv::DriverEndpoint*>& eps) {
+  // Claim the shard: whoever wins drives the whole pump. A lost claim means
+  // another thread (owner, stealer, or a manual progress() caller) is
+  // already on it — skipping is correct, not a missed lap.
+  bool expected = false;
+  if (!ps.pumping.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel))
+    return false;
+  events.clear();
+  eps.clear();
+  {
+    // Brief: snapshot the endpoint pointers (rails vector only grows, but
+    // add_rail may be concurrent during setup).
+    std::lock_guard<std::mutex> lk(ps.mu);
+    for (auto& rail : ps.rails) eps.push_back(rail->ep.get());
+  }
+  // Pump every endpoint with the lap context active: driver callbacks
+  // stage into `events` instead of taking the peer lock per event.
+  {
+    detail::ProgressLap lap;
+    lap.engine = this;
+    lap.peer = ps.id;
+    lap.events = &events;
+    detail::LapScope scope(&lap);
+    for (auto* ep : eps) ep->progress();
+  }
+  const bool have_ring = ps.ring_pending.load(std::memory_order_acquire) > 0;
+  bool did_work = false;
+  if (!events.empty() || have_ring) {
+    did_work = true;
+    {
+      // ONE peer-lock acquisition applies the whole batch in arrival
+      // order, drains parked submissions, pumps, and settles owed acks.
+      PeerLock lk(ps);
+      for (RxEvent& ev : events) {
+        switch (ev.kind) {
+          case RxEvent::Kind::SendComplete:
+            apply_send_complete_locked(ps, ev.rail, ev.track, ev.token);
+            break;
+          case RxEvent::Kind::Packet:
+            apply_packet_locked(ps, ev.rail, ev.payload);
+            break;
+          case RxEvent::Kind::SendFailed:
+          case RxEvent::Kind::LinkDown:
+            apply_link_down_locked(ps, ev.rail);
+            break;
+        }
+      }
+      drain_submit_ring_locked(ps);
+      pump_peer_locked(ps);
+      if (cfg_.reliability)
+        for (auto& rail : ps.rails) maybe_send_ack_locked(ps, *rail);
+    }
+    wake_peer(ps);
+  }
+  ps.pumping.store(false, std::memory_order_release);
+  return did_work;
+}
+
 bool Engine::progress() {
   bool did_work = false;
   // Snapshot the peer list (read-mostly map; shards are never erased).
@@ -1223,56 +1320,59 @@ bool Engine::progress() {
   }
   std::vector<RxEvent> events;
   std::vector<drv::DriverEndpoint*> eps;
-  for (PeerState* ps : peers) {
-    events.clear();
-    eps.clear();
-    {
-      // Brief: snapshot the endpoint pointers (rails vector only grows, but
-      // add_rail may be concurrent during setup).
-      std::lock_guard<std::mutex> lk(ps->mu);
-      for (auto& rail : ps->rails) eps.push_back(rail->ep.get());
-    }
-    // Pump every endpoint with the lap context active: driver callbacks
-    // stage into `events` instead of taking the peer lock per event.
-    {
-      detail::ProgressLap lap;
-      lap.engine = this;
-      lap.peer = ps->id;
-      lap.events = &events;
-      LapScope scope(&lap);
-      for (auto* ep : eps) ep->progress();
-    }
-    const bool have_ring =
-        ps->ring_pending.load(std::memory_order_acquire) > 0;
-    if (events.empty() && !have_ring) continue;
-    did_work = true;
-    {
-      // ONE peer-lock acquisition applies the whole batch in arrival
-      // order, drains parked submissions, pumps, and settles owed acks.
-      PeerLock lk(*ps);
-      for (RxEvent& ev : events) {
-        switch (ev.kind) {
-          case RxEvent::Kind::SendComplete:
-            apply_send_complete_locked(*ps, ev.rail, ev.track, ev.token);
-            break;
-          case RxEvent::Kind::Packet:
-            apply_packet_locked(*ps, ev.rail, ev.payload);
-            break;
-          case RxEvent::Kind::SendFailed:
-          case RxEvent::Kind::LinkDown:
-            apply_link_down_locked(*ps, ev.rail);
-            break;
-        }
-      }
-      drain_submit_ring_locked(*ps);
-      pump_peer_locked(*ps);
-      if (cfg_.reliability)
-        for (auto& rail : ps->rails) maybe_send_ack_locked(*ps, *rail);
-    }
-    wake_peer(*ps);
-  }
+  for (PeerState* ps : peers)
+    if (pump_shard(*ps, events, eps)) did_work = true;
+  // With no progress threads attached, the manual caller also owns the
+  // deferred timer queues (nothing else would ever drain them).
+  if (!prog_running_.load(std::memory_order_acquire))
+    for (auto& slot : prog_slots_)
+      if (drain_deferred(*slot) > 0) did_work = true;
   if (timers_.run_due() > 0) did_work = true;
   return did_work;
+}
+
+std::size_t Engine::drain_deferred(ProgSlot& s) {
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lk(s.defer_mu);
+    fns.swap(s.deferred);
+  }
+  for (auto& fn : fns) fn();  // outside defer_mu: fn may defer again
+  return fns.size();
+}
+
+Nanos Engine::park_bound() const {
+  Nanos bound = cfg_.prog_idle_wait;
+  const Nanos next = timers_.next_deadline();
+  if (next != TimerHost::kNoDeadline) {
+    const Nanos now = timers_.now();
+    bound = std::min(bound, next > now ? next - now : Nanos{1});
+  }
+  return std::max(bound, Nanos{1});
+}
+
+void Engine::schedule_peer_timer(Nanos when, std::uint32_t owner,
+                                 std::function<void()> fn) {
+  timers_.schedule_at(when, [this, alive = alive_, owner,
+                             fn = std::move(fn)]() mutable {
+    if (!alive->load()) return;
+    // Owner affinity: run_due() may execute this on any progress thread
+    // (or an application thread self-pumping). If that is not the shard's
+    // owner while progress threads run, hand the callback to the owner —
+    // the shard's hot state stays on one core and the timer contends with
+    // exactly the thread that owns the peer lock anyway.
+    if (prog_running_.load(std::memory_order_acquire) && prog_nthreads_ > 1 &&
+        !(t_prog_id.engine == this && t_prog_id.idx == owner)) {
+      ProgSlot& s = *prog_slots_[owner];
+      {
+        std::lock_guard<std::mutex> lk(s.defer_mu);
+        s.deferred.push_back(std::move(fn));
+      }
+      wake_slot(s);
+      return;
+    }
+    fn();
+  });
 }
 
 void Engine::set_external_progress(std::function<bool()> fn) {
@@ -1311,55 +1411,136 @@ void Engine::on_send_failed(NodeId peer, RailId rail_id, drv::TrackId track,
   on_link_down(peer, rail_id);
 }
 
-void Engine::start_progress_thread() {
-  MADO_CHECK_MSG(!progress_thread_.joinable(),
-                 "progress thread already running");
-  stop_progress_.store(false);
-  progress_thread_ = std::thread([this] {
-    // Adaptive backoff: spin (immediate re-poll) while work is fresh, yield
-    // the core when a burst ends, then park on the activity cv. The park is
-    // bounded by prog_idle_wait because driver IO threads cannot notify —
-    // they only feed queues that progress() polls.
-    auto& wakeups = stats_.handle("prog.wakeups");
-    auto& idle_sleeps = stats_.handle("prog.idle_sleeps");
-    const std::size_t spin_laps = cfg_.prog_spin_laps;
-    const std::size_t yield_laps = spin_laps + cfg_.prog_yield_laps;
-    std::size_t idle = 0;
-    while (!stop_progress_.load(std::memory_order_acquire)) {
-      if (progress()) {
-        idle = 0;
-        continue;
+void Engine::progress_thread_main(std::size_t idx) {
+  t_prog_id = ProgThreadId{this, idx};
+  ProgSlot& slot = *prog_slots_[idx];
+
+  // Ownership partition, re-snapshotted only when add_rail grows the map
+  // (peers are never erased, so a stale snapshot is merely incomplete).
+  std::vector<PeerState*> mine, others;
+  std::size_t seen_peers = 0;
+  std::vector<RxEvent> events;
+  std::vector<drv::DriverEndpoint*> eps;
+
+  // One full poll pass: deferred timers first (they were routed here for
+  // affinity), then every owned shard, then — only when idle and past the
+  // yield phase — at most one stolen shard, then due timers.
+  auto lap = [&](bool steal_ok) {
+    {
+      std::shared_lock<std::shared_mutex> lk(peers_mu_);
+      if (peers_.size() != seen_peers) {
+        seen_peers = peers_.size();
+        mine.clear();
+        others.clear();
+        for (auto& [id, ps] : peers_)
+          (ps->owner == idx ? mine : others).push_back(ps.get());
       }
-      ++idle;
-      if (idle <= spin_laps) continue;
-      if (idle <= yield_laps) {
-        std::this_thread::yield();
-        continue;
-      }
-      idle_sleeps.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::unique_lock<std::mutex> lk(prog_mu_);
-        if (stop_progress_.load(std::memory_order_acquire)) break;
-        prog_parked_.store(true, std::memory_order_release);
-        prog_cv_.wait_for(lk, std::chrono::nanoseconds(cfg_.prog_idle_wait));
-        prog_parked_.store(false, std::memory_order_release);
-      }
-      wakeups.fetch_add(1, std::memory_order_relaxed);
-      // Resume in the yield phase: if still idle we re-park quickly instead
-      // of burning a fresh spin window.
-      idle = yield_laps;
     }
-  });
+    bool work = drain_deferred(slot) > 0;
+    for (PeerState* ps : mine)
+      if (pump_shard(*ps, events, eps)) work = true;
+    if (steal_ok && !work) {
+      // Work stealing: this thread has nothing of its own — help a busy
+      // (or wedged) owner by pumping ONE of its shards. One per lap keeps
+      // the help incremental; the victim's shards stay primarily its own.
+      for (PeerState* ps : others) {
+        if (pump_shard(*ps, events, eps)) {
+          work = true;
+          slot.steals->fetch_add(1, std::memory_order_relaxed);
+          prog_steals_total_->fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    if (timers_.run_due() > 0) work = true;
+    slot.laps->fetch_add(1, std::memory_order_relaxed);
+    prog_laps_total_->fetch_add(1, std::memory_order_relaxed);
+    return work;
+  };
+
+  // Adaptive backoff: spin (immediate re-poll) while work is fresh, yield
+  // the core when a burst ends, then park on the slot's cv. The park stays
+  // bounded (park_bound) because driver IO threads cannot notify — they
+  // only feed queues the lap polls — and due timers must not oversleep.
+  const std::size_t spin_laps = cfg_.prog_spin_laps;
+  const std::size_t yield_laps = spin_laps + cfg_.prog_yield_laps;
+  std::size_t idle = 0;
+  while (!stop_progress_.load(std::memory_order_acquire)) {
+    if (lap(idle >= yield_laps)) {
+      idle = 0;
+      continue;
+    }
+    ++idle;
+    if (idle <= spin_laps) continue;
+    if (idle <= yield_laps) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Eventcount park (closes the lost-wakeup race the old global park
+    // had): record the ticket, arm the slot, poll ONCE more — activity
+    // published before the arm is caught by that poll; activity after it
+    // bumps the ticket, which the check under the lock sees. Either way a
+    // submit racing the park costs at most one lap, never a full
+    // prog_idle_wait.
+    const std::uint64_t ticket =
+        slot.ticket.load(std::memory_order_seq_cst);
+    slot.armed.store(true, std::memory_order_seq_cst);
+    if (lap(true)) {
+      slot.armed.store(false, std::memory_order_seq_cst);
+      idle = 0;
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(slot.mu);
+      if (stop_progress_.load(std::memory_order_acquire)) {
+        slot.armed.store(false, std::memory_order_seq_cst);
+        break;
+      }
+      if (slot.ticket.load(std::memory_order_seq_cst) == ticket) {
+        slot.idle_sleeps->fetch_add(1, std::memory_order_relaxed);
+        prog_idle_total_->fetch_add(1, std::memory_order_relaxed);
+        slot.parked.store(true, std::memory_order_seq_cst);
+        slot.cv.wait_for(lk, std::chrono::nanoseconds(park_bound()));
+        slot.parked.store(false, std::memory_order_seq_cst);
+      }
+    }
+    slot.armed.store(false, std::memory_order_seq_cst);
+    slot.wakeups->fetch_add(1, std::memory_order_relaxed);
+    prog_wakeups_total_->fetch_add(1, std::memory_order_relaxed);
+    // Resume in the yield phase: if still idle we re-park quickly instead
+    // of burning a fresh spin window.
+    idle = yield_laps;
+  }
+  // Teardown: one last pass over the owned shards so RxEvents and ring ops
+  // staged while the stop flag was being raised drain before the join.
+  lap(false);
+  t_prog_id = ProgThreadId{};
+}
+
+void Engine::start_progress_thread() {
+  MADO_CHECK_MSG(progress_threads_.empty(), "progress threads already running");
+  stop_progress_.store(false);
+  prog_running_.store(true, std::memory_order_release);
+  progress_threads_.reserve(prog_nthreads_);
+  for (std::size_t i = 0; i < prog_nthreads_; ++i)
+    progress_threads_.emplace_back([this, i] { progress_thread_main(i); });
 }
 
 void Engine::stop_progress_thread() {
-  if (!progress_thread_.joinable()) return;
-  stop_progress_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lk(prog_mu_);
+  if (progress_threads_.empty()) return;
+  stop_progress_.store(true, std::memory_order_seq_cst);
+  for (auto& slot : prog_slots_) {
+    { std::lock_guard<std::mutex> lk(slot->mu); }
+    slot->cv.notify_all();
   }
-  prog_cv_.notify_all();
-  progress_thread_.join();
+  for (auto& t : progress_threads_) t.join();
+  progress_threads_.clear();
+  prog_running_.store(false, std::memory_order_release);
+  // Teardown ordering: a submit, arrival or timer can land between a
+  // thread's final lap and the join. Now that no thread owns anything, one
+  // manual pass delivers every staged event, parked ring op and deferred
+  // timer callback — callers observe a fully drained engine after stop.
+  progress();
 }
 
 bool Engine::wait_until(const std::function<bool()>& pred, Nanos timeout) {
@@ -1386,7 +1567,16 @@ bool Engine::wait_until_impl(const std::function<bool()>& pred,
   global_waiters_.fetch_add(1, std::memory_order_acq_rel);
   bool ok = false;
   for (;;) {
-    progress();
+    // Self-pump only when no progress thread is attached: with one (or N)
+    // running, a waiter pumping too would double-poll endpoints and
+    // contend every shard lock it touches (inflating opt.lock_wait_ns for
+    // nothing) — park on the cv and let the owners work instead. Checked
+    // every iteration so a stop_progress_thread() mid-wait hands the
+    // pumping duty back to the waiter.
+    if (!prog_running_.load(std::memory_order_acquire)) {
+      progress();
+      prog_self_pumps_->fetch_add(1, std::memory_order_relaxed);
+    }
     if (pred()) {
       ok = true;
       break;
@@ -1416,7 +1606,12 @@ bool Engine::wait_peer_impl(PeerState& ps, const std::function<bool()>& pred,
   ps.waiters.fetch_add(1, std::memory_order_acq_rel);
   bool ok = false;
   for (;;) {
-    progress();
+    // Same self-pump gate as wait_until_impl: pump only when no progress
+    // thread is attached, park on the peer's cv otherwise.
+    if (!prog_running_.load(std::memory_order_acquire)) {
+      progress();
+      prog_self_pumps_->fetch_add(1, std::memory_order_relaxed);
+    }
     if (pred()) {
       ok = true;
       break;
@@ -1582,6 +1777,9 @@ SendHandle Engine::rma_put(NodeId peer, WindowId window, std::uint64_t offset,
   ps.stats.inc("rma.puts");
   trace_locked(TraceEvent::RmaOp, peer, rail_id, 0, window, len);
   pump_rail_locked(ps, rail);
+  // Wake the shard's owner for the completion poll (slot mutexes sit below
+  // ps.mu in the lock order, so notifying under the peer lock is fine).
+  note_activity(ps);
   return SendHandle(state);
 }
 
@@ -1618,6 +1816,7 @@ SendHandle Engine::rma_get(NodeId peer, WindowId window, std::uint64_t offset,
   ps.stats.inc("rma.gets");
   trace_locked(TraceEvent::RmaOp, peer, rail_id, 1, window, len);
   pump_rail_locked(ps, rail);
+  note_activity(ps);  // wake the shard's owner for the completion poll
   return SendHandle(state);
 }
 

@@ -24,8 +24,20 @@
 // Application threads submitting to different peers never contend. The
 // submit fast path does not even take the peer lock: fragments ride a
 // bounded lock-free MPMC ring drained by whoever holds the peer lock next
-// (flat combining). Lock order: peers_mu_ (shared) → PeerState::mu →
-// {windows_mu_, wait/park mutexes}; at most one peer lock is held at a
+// (flat combining).
+//
+// Progress runs on cfg.progress_threads shard-owning threads: every peer
+// is statically assigned an owner (insertion order modulo thread count,
+// all rails of the peer included — rail affinity), submit/RX activity
+// wakes ONLY the owner's park slot, and a thread idle past its yield phase
+// steals un-pumped shards from busy owners. A per-shard pump claim
+// (PeerState::pumping) keeps driver progress() single-entrant per endpoint
+// whichever thread — owner, stealer, or a manual progress() caller — runs
+// the lap. Peer-scoped timers (nagle, RTO) fire on the shard's owner: a
+// foreign thread defers the callback into the owner's queue and wakes it.
+//
+// Lock order: peers_mu_ (shared) → PeerState::mu → {windows_mu_, wait/park
+// mutexes, ProgSlot::mu/defer_mu}; at most one peer lock is held at a
 // time. Counters are sharded per peer and aggregated on read, so
 // counters_snapshot() never stalls the hot path.
 #pragma once
@@ -96,9 +108,12 @@ class Engine final {
   /// of sleeping. Returns false when the world is idle.
   void set_external_progress(std::function<bool()> fn);
 
-  /// Real-driver mode: spawn a thread that calls progress() continuously,
-  /// with adaptive spin → yield → parked-wait backoff when idle (counted
-  /// in prog.wakeups / prog.idle_sleeps).
+  /// Real-driver mode: spawn cfg.progress_threads shard-owning threads,
+  /// each pumping its peers continuously with adaptive spin → yield →
+  /// parked-wait backoff when idle (counted per thread in prog.t<i>.* and
+  /// in the prog.shard_laps / prog.steals / prog.wakeups / prog.idle_sleeps
+  /// totals). stop_progress_thread() joins them and then runs one final
+  /// drain so work staged in the stop window is never stranded.
   void start_progress_thread();
   void stop_progress_thread();
 
@@ -462,8 +477,9 @@ class Engine final {
   /// engine, so raw pointers to them (Channel cache, timer captures) stay
   /// valid.
   struct PeerState {
-    PeerState(NodeId peer, const EngineConfig& cfg)
+    PeerState(NodeId peer, const EngineConfig& cfg, std::uint32_t owner_idx)
         : id(peer),
+          owner(owner_idx),
           slab(&stats),
           strategy(StrategyRegistry::instance().create(cfg.strategy)) {
       if (cfg.submit_ring > 0) {
@@ -476,6 +492,19 @@ class Engine final {
     }
 
     const NodeId id;
+
+    /// Owning progress-thread index (static: insertion order modulo
+    /// cfg.progress_threads). Submit/RX activity wakes only this thread's
+    /// park slot; its laps pump every rail of this peer (rail affinity).
+    const std::uint32_t owner;
+
+    /// Pump claim: the thread that CASes this false→true drives the whole
+    /// endpoint pump of this shard for one lap. Owners, stealers and manual
+    /// progress() callers all contend here, so a driver endpoint is never
+    /// progressed from two threads at once (not part of the driver
+    /// contract) and "every peer is progressed by exactly one pumper per
+    /// lap" holds by construction.
+    std::atomic<bool> pumping{false};
 
     mutable std::mutex mu;  ///< guards every non-atomic member below
 
@@ -701,6 +730,78 @@ class Engine final {
   bool wait_peer_impl(PeerState& ps, const std::function<bool()>& pred,
                       Nanos timeout);
 
+  // ---- progress threads -------------------------------------------------
+
+  /// One park/wakeup slot per progress thread. The armed/parked/ticket
+  /// trio is an eventcount: the thread publishes `armed` (seq_cst), runs
+  /// one last poll lap, then parks only if `ticket` did not move — so a
+  /// waker that bumps the ticket between the final poll and the cv wait is
+  /// never lost (the wait is skipped). Wakers notify under `mu` so the
+  /// notify cannot slip into the gap between the parked-check and the wait.
+  struct ProgSlot {
+    std::mutex mu;               ///< cv's mutex (park protocol only)
+    std::condition_variable cv;
+    std::atomic<bool> armed{false};   ///< thread is in its pre-park window
+    std::atomic<bool> parked{false};  ///< thread is inside cv.wait_for
+    std::atomic<std::uint64_t> ticket{0};  ///< activity epoch while armed
+
+    /// Timer callbacks deferred to this thread (peer-timer affinity: RTO
+    /// and nagle deadlines fire on the shard's owner; see
+    /// schedule_peer_timer). Drained at the top of every lap.
+    std::mutex defer_mu;
+    std::vector<std::function<void()>> deferred;
+
+    // Cached per-thread counter cells (prog.t<i>.*).
+    std::atomic<std::uint64_t>* laps = nullptr;
+    std::atomic<std::uint64_t>* steals = nullptr;
+    std::atomic<std::uint64_t>* wakeups = nullptr;
+    std::atomic<std::uint64_t>* idle_sleeps = nullptr;
+  };
+
+  /// Unpark `s` if its thread is (about to go) idle. The armed gate keeps
+  /// the hot path cheap: while the thread is actively polling, this is one
+  /// relaxed-ish load and nothing else.
+  void wake_slot(ProgSlot& s) {
+    if (!s.armed.load(std::memory_order_seq_cst)) return;
+    s.ticket.fetch_add(1, std::memory_order_seq_cst);
+    if (s.parked.load(std::memory_order_seq_cst)) {
+      // Lock/unlock before notifying: a notify issued while the parking
+      // thread is between its parked-store and cv.wait would otherwise be
+      // lost — exactly the race this slot protocol exists to close.
+      { std::lock_guard<std::mutex> lk(s.mu); }
+      s.cv.notify_one();
+    }
+  }
+
+  /// Submit/RX activity on `ps`: route the wakeup to the owning thread's
+  /// park slot only — other progress threads keep sleeping.
+  void note_activity(PeerState& ps) { wake_slot(*prog_slots_[ps.owner]); }
+
+  /// Pump one shard end-to-end (endpoint poll under a lap, then one locked
+  /// batch apply + ring drain + pump + acks), guarded by the pump claim.
+  /// `events`/`eps` are caller-owned scratch (capacity reuse across laps).
+  /// Returns true if the shard produced work; false also when another
+  /// thread holds the claim.
+  bool pump_shard(PeerState& ps, std::vector<RxEvent>& events,
+                  std::vector<drv::DriverEndpoint*>& eps);
+
+  /// Body of progress thread `idx` (shard ownership, steal, park backoff).
+  void progress_thread_main(std::size_t idx);
+
+  /// Run deferred timer callbacks parked on `s`; returns how many ran.
+  std::size_t drain_deferred(ProgSlot& s);
+
+  /// Park bound: cfg_.prog_idle_wait clipped by the earliest scheduled
+  /// timer deadline, so an RTO never waits out a full park.
+  Nanos park_bound() const;
+
+  /// Schedule a peer-scoped timer with owner affinity: when it fires on a
+  /// foreign thread while progress threads run, the callback is deferred
+  /// to the owning thread's queue (and the owner woken) instead of running
+  /// in place.
+  void schedule_peer_timer(Nanos when, std::uint32_t owner,
+                           std::function<void()> fn);
+
   /// Wake this peer's waiters and any global (flush / wait_until) waiters.
   /// Cheap when nobody waits: two relaxed atomic loads.
   void wake_peer(PeerState& ps) {
@@ -710,10 +811,6 @@ class Engine final {
   void wake_global() {
     if (global_waiters_.load(std::memory_order_acquire) > 0)
       cv_.notify_all();
-  }
-  /// Submit-side activity: unparks the progress thread if it is sleeping.
-  void note_activity() {
-    if (prog_parked_.load(std::memory_order_acquire)) prog_cv_.notify_one();
   }
 
   /// Emit a trace record if a tracer is attached. Callable under any peer
@@ -741,6 +838,10 @@ class Engine final {
 
   const NodeId self_;
   EngineConfig cfg_;
+  /// Progress-thread count (cfg_.progress_threads floored at 1). Fixed at
+  /// construction: shard→owner assignment must never move under a running
+  /// thread.
+  const std::size_t prog_nthreads_;
   TimerHost& timers_;
   /// Prototype instance (name/introspection); each peer owns its own.
   std::unique_ptr<Strategy> strategy_;
@@ -774,10 +875,19 @@ class Engine final {
   mutable std::condition_variable cv_;
   std::atomic<int> global_waiters_{0};
 
-  /// Progress-thread park (adaptive backoff): submit activity notifies.
-  std::mutex prog_mu_;
-  std::condition_variable prog_cv_;
-  std::atomic<bool> prog_parked_{false};
+  /// Park/wakeup slots, one per progress thread, created in the
+  /// constructor so note_activity() never races start/stop of the threads.
+  /// unique_ptr: slots hold mutexes/cvs and must never move.
+  std::vector<std::unique_ptr<ProgSlot>> prog_slots_;
+
+  /// Totals across threads (the per-thread cells live in each ProgSlot).
+  std::atomic<std::uint64_t>* prog_laps_total_ = nullptr;
+  std::atomic<std::uint64_t>* prog_steals_total_ = nullptr;
+  std::atomic<std::uint64_t>* prog_wakeups_total_ = nullptr;
+  std::atomic<std::uint64_t>* prog_idle_total_ = nullptr;
+  /// wait_until/wait_peer pumped the engine themselves (no progress thread
+  /// attached) — stays 0 while threads run (the double-pump bugfix).
+  std::atomic<std::uint64_t>* prog_self_pumps_ = nullptr;
 
   /// Guards the odds and ends below (external progress hook, rebalance
   /// interval/chain).
@@ -789,8 +899,12 @@ class Engine final {
   /// dies with the engine (see set_auto_rebalance).
   std::shared_ptr<std::function<void()>> rebalance_tick_;
 
-  std::thread progress_thread_;
+  std::vector<std::thread> progress_threads_;
   std::atomic<bool> stop_progress_{false};
+  /// True between start_progress_thread() and the end of
+  /// stop_progress_thread(): wait loops park instead of self-pumping, and
+  /// peer timers defer to their owners, only while this holds.
+  std::atomic<bool> prog_running_{false};
   std::shared_ptr<std::atomic<bool>> alive_;
 };
 

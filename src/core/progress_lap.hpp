@@ -1,11 +1,18 @@
 // Batched completion drain: thread-local lap context shared by engine.cpp
 // and engine_rx.cpp.
 //
-// While Engine::progress() pumps one peer's driver endpoints, the driver
-// callbacks (on_send_complete / on_packet / on_link_down) do not take the
-// peer lock once per event — they append to a thread-local staging vector
-// and return. When every endpoint of the peer has been pumped, progress()
-// takes the peer lock ONCE and applies the whole batch in arrival order.
+// While a progress thread pumps one peer shard's driver endpoints, the
+// driver callbacks (on_send_complete / on_packet / on_link_down) do not
+// take the peer lock once per event — they append to a thread-local staging
+// vector and return. When every endpoint of the shard has been pumped, the
+// pumper takes the peer lock ONCE and applies the whole batch in arrival
+// order.
+//
+// With cfg.progress_threads > 1 several laps run concurrently, one per
+// thread, each over a different shard: the per-shard pump claim
+// (PeerState::pumping) guarantees at most one lap references a given peer
+// at any instant, so the thread-local (engine, peer) match below stays
+// unambiguous no matter which thread — owner or stealer — runs the lap.
 //
 // The context is deliberately type-erased (void*): the event vector's
 // element type (Engine::RxEvent) is private to Engine, and only Engine
@@ -26,8 +33,16 @@ struct ProgressLap {
   void* events = nullptr;        ///< std::vector<Engine::RxEvent>*
 };
 
-/// Non-null only between progress()'s "pump endpoints" and "apply batch"
-/// phases on the pumping thread.
+/// Non-null only between a lap's "pump endpoints" and "apply batch" phases
+/// on the pumping thread.
 extern thread_local ProgressLap* t_progress_lap;
+
+/// RAII setter for the thread-local lap context (exception-safe reset).
+struct LapScope {
+  explicit LapScope(ProgressLap* lap) { t_progress_lap = lap; }
+  ~LapScope() { t_progress_lap = nullptr; }
+  LapScope(const LapScope&) = delete;
+  LapScope& operator=(const LapScope&) = delete;
+};
 
 }  // namespace mado::core::detail

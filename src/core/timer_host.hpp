@@ -27,6 +27,14 @@ class TimerHost {
   /// Execute due timers now (no-op for hosts whose timers run elsewhere,
   /// like the simulation fabric). Called from Engine::progress().
   virtual std::size_t run_due() { return 0; }
+
+  /// Sentinel for next_deadline(): no timer is scheduled.
+  static constexpr Nanos kNoDeadline = static_cast<Nanos>(-1);
+
+  /// Earliest scheduled deadline, or kNoDeadline. Parked progress threads
+  /// bound their sleep by this so a due timer never waits out a full park
+  /// interval (RTO deadlines must fire on time even on an idle engine).
+  virtual Nanos next_deadline() const { return kNoDeadline; }
 };
 
 /// Virtual-time timers: delegate to the simulation fabric.
@@ -74,6 +82,11 @@ class RealTimerHost final : public TimerHost {
   bool has_pending() const {
     std::lock_guard<std::mutex> lk(mu_);
     return !heap_.empty();
+  }
+
+  Nanos next_deadline() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return heap_.empty() ? kNoDeadline : heap_.front().when;
   }
 
  private:

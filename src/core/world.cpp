@@ -1,11 +1,27 @@
 #include "core/world.hpp"
 
+#include <cstdlib>
+
 #include "drivers/shm_driver.hpp"
 #include "drivers/sim_driver.hpp"
 #include "drivers/socket_driver.hpp"
 #include "util/assert.hpp"
 
 namespace mado::core {
+
+namespace {
+/// MADO_PROGRESS_THREADS=N re-runs the whole threaded-world test matrix
+/// (socket/shm suites, lossy, stripe) under N progress threads without
+/// recompiling — CI's TSan job uses 4. Applies only to the worlds that
+/// start progress threads; SimWorld is cooperative and has none.
+EngineConfig threaded_config(EngineConfig cfg) {
+  if (const char* env = std::getenv("MADO_PROGRESS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) cfg.progress_threads = static_cast<std::size_t>(n);
+  }
+  return cfg;
+}
+}  // namespace
 
 SimWorld::SimWorld(std::size_t nodes, const EngineConfig& cfg)
     : SimWorld(std::vector<EngineConfig>(nodes, cfg)) {}
@@ -58,9 +74,10 @@ drv::SimEndpoint& SimWorld::endpoint(NodeId a, NodeId b, RailId rail) {
 
 SocketWorld::SocketWorld(const EngineConfig& cfg,
                          const drv::Capabilities& caps, std::size_t rails) {
+  const EngineConfig tcfg = threaded_config(cfg);
   for (NodeId i = 0; i < 2; ++i) {
     timers_.push_back(std::make_unique<RealTimerHost>());
-    engines_.push_back(std::make_unique<Engine>(i, cfg, *timers_.back()));
+    engines_.push_back(std::make_unique<Engine>(i, tcfg, *timers_.back()));
   }
   for (std::size_t r = 0; r < rails; ++r) {
     auto pair = drv::SocketEndpoint::make_pair(caps);
@@ -77,9 +94,10 @@ SocketWorld::~SocketWorld() {
 }
 
 ShmWorld::ShmWorld(const EngineConfig& cfg, std::size_t rails) {
+  const EngineConfig tcfg = threaded_config(cfg);
   for (NodeId i = 0; i < 2; ++i) {
     timers_.push_back(std::make_unique<RealTimerHost>());
-    engines_.push_back(std::make_unique<Engine>(i, cfg, *timers_.back()));
+    engines_.push_back(std::make_unique<Engine>(i, tcfg, *timers_.back()));
   }
   for (std::size_t r = 0; r < rails; ++r) {
     auto pair = drv::ShmEndpoint::make_pair();
