@@ -108,6 +108,29 @@ struct EngineConfig {
   /// a rail is declared Down and its traffic fails over.
   std::size_t rel_max_retries = 10;
 
+  // --- Per-peer memory budgets (million-flow capacity; cap.* counters) -----
+
+  /// Payload-slab free-list depth per peer. Completed buffers beyond this
+  /// are released immediately (counted as cap.slab_sheds).
+  std::size_t slab_buffers = 64;
+
+  /// Largest buffer the payload slab retains; bigger ones are never pooled.
+  std::size_t slab_max_capacity = 64 * 1024;
+
+  /// Smallest slot-array capacity (rounded up to a power of two) for the
+  /// per-peer token tables (inflight, rendezvous, pending gets, ...).
+  std::size_t table_min_capacity = 16;
+
+  /// Shrink token tables back toward table_min_capacity when a flow burst
+  /// drains (<= 1/8 load). Rehashes are counted as cap.table_shrinks /
+  /// cap.table_growths.
+  bool table_shrink = true;
+
+  /// Reliability: how many recently-completed rendezvous tokens each peer
+  /// remembers for cross-rail replay dedup. Older tokens are evicted FIFO
+  /// (counted as cap.rdv_done_evictions).
+  std::size_t rdv_done_window = 1024;
+
   // --- Threading: submit ring + progress threads ---------------------------
 
   /// Number of progress threads started by start_progress_thread(). Peer

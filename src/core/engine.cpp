@@ -65,6 +65,9 @@ Engine::Engine(NodeId self, EngineConfig cfg, TimerHost& timers)
   prog_wakeups_total_ = &stats_.handle("prog.wakeups");
   prog_idle_total_ = &stats_.handle("prog.idle_sleeps");
   prog_self_pumps_ = &stats_.handle("prog.self_pumps");
+  timer_arms_ = &stats_.handle("timer.arms");
+  timer_cancelled_ = &stats_.handle("timer.cancelled");
+  timer_stale_ = &stats_.handle("timer.stale_fires");
 }
 
 Engine::~Engine() {
@@ -425,6 +428,13 @@ void Engine::pump_rail_locked(PeerState& ps, Rail& rail) {
       }
     }
   }
+  // The backlog drained with a nagle hold still armed (the held fragment
+  // got aggregated into an earlier packet, or a flush consumed it): cancel
+  // the timer. A logically idle engine must hold no pending deadline —
+  // otherwise has_pending() stays true and parked progress threads keep
+  // waking for a timer that has nothing to do.
+  if (rail.backlog.empty() && timers_.cancel(rail.nagle_timer))
+    timer_cancelled_->fetch_add(1, std::memory_order_relaxed);
 }
 
 bool Engine::try_send_eager_locked(PeerState& ps, Rail& rail) {
@@ -523,9 +533,9 @@ bool Engine::pop_bulk_chunk_locked(PeerState& ps, Rail& rail,
 void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
   const std::uint64_t token =
       next_pkt_token_.fetch_add(1, std::memory_order_relaxed);
-  auto [it, inserted] = ps.inflight.emplace(token, InFlight{});
+  auto [recp, inserted] = ps.inflight.emplace(token);
   MADO_ASSERT(inserted);
-  InFlight& rec = it->second;
+  InFlight& rec = *recp;
   rec.peer = ps.id;
   rec.rail = rail.port.rail;
   rec.track = drv::kTrackEager;
@@ -595,15 +605,15 @@ void Engine::send_packet_locked(PeerState& ps, Rail& rail, FragList&& frags) {
 
 void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
                                     BulkChunk chunk) {
-  auto rit = ps.rdv_tx.find(chunk.token);
-  MADO_CHECK(rit != ps.rdv_tx.end());
-  RdvTx& rdv = rit->second;
+  RdvTx* rdvp = ps.rdv_tx.find(chunk.token);
+  MADO_CHECK(rdvp != nullptr);
+  RdvTx& rdv = *rdvp;
 
   const std::uint64_t token =
       next_pkt_token_.fetch_add(1, std::memory_order_relaxed);
-  auto [it, inserted] = ps.inflight.emplace(token, InFlight{});
+  auto [recp, inserted] = ps.inflight.emplace(token);
   MADO_ASSERT(inserted);
-  InFlight& rec = it->second;
+  InFlight& rec = *recp;
   rec.peer = ps.id;
   rec.rail = rail.port.rail;
   rec.track = rail.bulk_track();
@@ -657,35 +667,38 @@ void Engine::send_bulk_chunk_locked(PeerState& ps, Rail& rail,
 
 void Engine::schedule_nagle_timer_locked(PeerState& ps, Rail& rail,
                                          Nanos when) {
-  // Keep the earliest requested deadline. The old behavior dropped `when`
-  // whenever a timer was already pending, so a strategy that asked for an
-  // EARLIER wake-up (new traffic shortening its hold window) kept sleeping
-  // until the stale, later deadline — inflating latency by the difference.
-  // TimerHost cannot cancel, so re-arming bumps the generation; the
-  // superseded callback no-ops when its generation no longer matches.
-  if (rail.nagle_timer_pending && when >= rail.nagle_deadline) return;
-  rail.nagle_timer_pending = true;
-  rail.nagle_deadline = when;
-  const std::uint64_t gen = ++rail.nagle_timer_gen;
+  // Keep the earliest requested deadline: a strategy asking for an EARLIER
+  // wake-up (new traffic shortening its hold window) moves the timer; a
+  // later request while one is pending is a no-op. Re-arming physically
+  // relocates the wheel entry in O(1) — no superseded closure lingers, no
+  // dead deadline pollutes next_deadline().
+  if (rail.nagle_timer.armed() && when >= rail.nagle_timer.deadline())
+    return;
   trace_locked(TraceEvent::NagleWait, ps.id, rail.port.rail, when);
-  const NodeId peer = ps.id;
-  const RailId rail_id = rail.port.rail;
-  schedule_peer_timer(when, ps.owner, [this, alive = alive_, peer, rail_id,
-                                       gen] {
-    if (!alive->load()) return;
-    PeerState* p = find_peer(peer);
-    if (!p) return;
-    {
-      PeerLock lk(*p);
-      if (rail_id >= p->rails.size()) return;
-      Rail& r = *p->rails[rail_id];
-      if (r.nagle_timer_gen != gen) return;  // superseded by a re-arm
-      r.nagle_timer_pending = false;
-      drain_submit_ring_locked(*p);
-      pump_rail_locked(*p, r);
-    }
-    wake_peer(*p);
-  });
+  if (!rail.nagle_timer.has_callback()) {
+    const NodeId peer = ps.id;
+    const RailId rail_id = rail.port.rail;
+    rail.nagle_timer.set_callback(peer_timer_cb(
+        ps.owner, [this, peer, rail_id](std::uint64_t gen) {
+          PeerState* p = find_peer(peer);
+          if (!p) return;
+          {
+            PeerLock lk(*p);
+            if (rail_id >= p->rails.size()) return;
+            Rail& r = *p->rails[rail_id];
+            if (r.nagle_timer.gen() != gen) {
+              // A re-arm or cancel raced this firing out of the wheel.
+              timer_stale_->fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            drain_submit_ring_locked(*p);
+            pump_rail_locked(*p, r);
+          }
+          wake_peer(*p);
+        }));
+  }
+  timer_arms_->fetch_add(1, std::memory_order_relaxed);
+  arm_peer_timer(ps, rail.nagle_timer, when);
 }
 
 // ---- completion path --------------------------------------------------------
@@ -739,9 +752,9 @@ void Engine::apply_send_complete_locked(PeerState& ps, RailId rail_id,
 
 void Engine::complete_send_locked(PeerState& ps, Rail& rail,
                                   drv::TrackId track, std::uint64_t token) {
-  auto it = ps.inflight.find(token);
-  MADO_CHECK_MSG(it != ps.inflight.end(), "completion for unknown packet");
-  InFlight& live = it->second;
+  InFlight* livep = ps.inflight.find(token);
+  MADO_CHECK_MSG(livep != nullptr, "completion for unknown packet");
+  InFlight& live = *livep;
   MADO_ASSERT(live.track == track);
   MADO_ASSERT(rail.outstanding[track] > 0);
   --rail.outstanding[track];
@@ -757,7 +770,7 @@ void Engine::complete_send_locked(PeerState& ps, Rail& rail,
     if (!live.acked || live.tx_outstanding > 0) return;
   }
   InFlight rec = std::move(live);
-  ps.inflight.erase(it);
+  ps.inflight.erase(token);
   finalize_inflight_locked(ps, rec);
 }
 
@@ -765,9 +778,9 @@ void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
   ps.slab.recycle(std::move(rec.header_block));
 
   if (rec.is_bulk) {
-    auto rit = ps.rdv_tx.find(rec.rdv_token);
-    MADO_CHECK(rit != ps.rdv_tx.end());
-    RdvTx& rdv = rit->second;
+    RdvTx* rdvp = ps.rdv_tx.find(rec.rdv_token);
+    MADO_CHECK(rdvp != nullptr);
+    RdvTx& rdv = *rdvp;
     rdv.completed += rec.chunk_len;
     MADO_ASSERT(rdv.completed <= rdv.total);
     if (rdv.completed == rdv.total) {
@@ -783,7 +796,7 @@ void Engine::finalize_inflight_locked(PeerState& ps, InFlight& rec) {
                          now - std::min(now, rdv.rts_time));
       }
       trace_locked(TraceEvent::RdvDone, ps.id, 0, rec.rdv_token, rdv.total);
-      ps.rdv_tx.erase(rit);
+      ps.rdv_tx.erase(rec.rdv_token);
     }
     return;
   }
@@ -825,9 +838,11 @@ void Engine::complete_frag_state_locked(PeerState& ps, ChannelId ch,
 // seq") and piggyback on every reliable data packet; a standalone ack
 // packet (zero fragments, kPhFlagAck without kPhFlagRelSeq — so it is
 // never acked itself) goes out only when nothing else is about to carry
-// one. The retransmit timer follows the nagle-timer protocol: TimerHost
-// cannot cancel, so re-arms bump a generation and superseded callbacks
-// no-op. Everything below is inert unless cfg_.reliability.
+// one. The retransmit timer is a persistent cancellable TimerHandle per
+// (rail, stream): ack progress cancels or restarts it in O(1), and the
+// handle's generation guards the one remaining race (a firing that left
+// the wheel before a concurrent cancel/re-arm). Everything below is inert
+// unless cfg_.reliability.
 
 void Engine::process_acks_locked(PeerState& ps, Rail& rail,
                                  std::uint32_t ack_eager,
@@ -842,9 +857,9 @@ void Engine::process_acks_locked(PeerState& ps, Rail& rail,
     if (!seq_less(rt.acked, a)) continue;
     while (!rt.unacked.empty()) {
       const std::uint64_t token = rt.unacked.front();
-      auto it = ps.inflight.find(token);
-      MADO_ASSERT(it != ps.inflight.end());
-      InFlight& rec = it->second;
+      InFlight* recp = ps.inflight.find(token);
+      MADO_ASSERT(recp != nullptr);
+      InFlight& rec = *recp;
       if (!seq_less(rec.rel_seq, a)) break;
       rec.acked = true;
       rt.unacked.pop_front();
@@ -853,13 +868,21 @@ void Engine::process_acks_locked(PeerState& ps, Rail& rail,
         // All transmissions left the driver: safe to release the record
         // (gather segments no longer referenced).
         InFlight done = std::move(rec);
-        ps.inflight.erase(it);
+        ps.inflight.erase(token);
         finalize_inflight_locked(ps, done);
       }
     }
     rt.acked = a;
     rt.retries = 0;
     rt.rto = cfg_.rel_rto_initial;
+    // Ack progress retires the pending timeout. Fully acked: cancel — the
+    // wheel entry is removed NOW, so an idle engine holds no RTO deadline
+    // (the old gen-counter idiom left it to fire into a no-op, keeping
+    // has_pending() true and waking parked threads for nothing). A tail
+    // remains: restart the clock for it (cancel + fresh arm, both O(1)).
+    if (timers_.cancel(rt.rto_timer))
+      timer_cancelled_->fetch_add(1, std::memory_order_relaxed);
+    if (!rt.unacked.empty()) arm_rto_locked(ps, rail, s);
     progressed = true;
   }
   // The peer is demonstrably hearing us again.
@@ -869,13 +892,49 @@ void Engine::process_acks_locked(PeerState& ps, Rail& rail,
 
 void Engine::arm_rto_locked(PeerState& ps, Rail& rail, int stream) {
   RelTrack& rt = rail.rel[stream];
-  if (rt.rto_pending || rt.unacked.empty()) return;
+  if (rt.rto_timer.armed() || rt.unacked.empty()) return;
   if (rt.rto == 0) rt.rto = cfg_.rel_rto_initial;
-  rt.rto_pending = true;
   rt.armed_acked = rt.acked;
-  const std::uint64_t gen = ++rt.rto_gen;
-  const NodeId peer = ps.id;
-  const RailId rail_id = rail.port.rail;
+  if (!rt.rto_timer.has_callback()) {
+    // Installed once per (rail, stream) for the rail's lifetime; every
+    // subsequent re-arm is an O(1), allocation-free wheel splice. The
+    // armed_acked check below stays even though cancel() is now physical:
+    // a firing that already left the wheel when the ack-path cancel ran
+    // (cancel returned false, generation unchanged) still reaches this
+    // callback — progress since arming means "not a timeout".
+    const NodeId peer = ps.id;
+    const RailId rail_id = rail.port.rail;
+    rt.rto_timer.set_callback(peer_timer_cb(
+        ps.owner, [this, peer, rail_id, stream](std::uint64_t gen) {
+          PeerState* p = find_peer(peer);
+          if (!p) return;
+          {
+            PeerLock lk(*p);
+            if (rail_id >= p->rails.size()) return;
+            Rail& r = *p->rails[rail_id];
+            RelTrack& t = r.rel[stream];
+            if (t.rto_timer.gen() != gen) {
+              // A re-arm or cancel raced this firing out of the wheel.
+              timer_stale_->fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            if (r.state == RailState::Down || t.unacked.empty()) return;
+            if (t.armed_acked != t.acked) {
+              // Acks advanced since arming: not a timeout — restart the
+              // clock for the remaining tail.
+              arm_rto_locked(*p, r, stream);
+            } else {
+              rto_expired_locked(*p, r, stream);
+            }
+            drain_submit_ring_locked(*p);
+            // rto_expired may have failed the rail over: pump the whole
+            // peer so replayed traffic starts flowing on the survivor at
+            // once.
+            pump_peer_locked(*p);
+          }
+          wake_peer(*p);
+        }));
+  }
   // Floor the deadline with the cost model's estimate of draining every
   // un-acked byte on the rail (both streams share the physical link) plus
   // an ack round trip. A bare fixed RTO fires spuriously the moment one
@@ -888,34 +947,8 @@ void Engine::arm_rto_locked(PeerState& ps, Rail& rail, int stream) {
       rail.rel[0].unacked_bytes + rail.rel[1].unacked_bytes;
   const Nanos wire_floor =
       model.busy_time(pending_bytes, 1) + 2 * model.propagation_latency();
-  schedule_peer_timer(
-      timers_.now() + rt.rto + wire_floor, ps.owner,
-      [this, alive = alive_, peer, rail_id, stream, gen] {
-        if (!alive->load()) return;
-        PeerState* p = find_peer(peer);
-        if (!p) return;
-        {
-          PeerLock lk(*p);
-          if (rail_id >= p->rails.size()) return;
-          Rail& r = *p->rails[rail_id];
-          RelTrack& t = r.rel[stream];
-          if (t.rto_gen != gen) return;  // superseded by a re-arm
-          t.rto_pending = false;
-          if (r.state == RailState::Down || t.unacked.empty()) return;
-          if (t.armed_acked != t.acked) {
-            // Acks advanced since arming: not a timeout — restart the
-            // clock for the remaining tail.
-            arm_rto_locked(*p, r, stream);
-          } else {
-            rto_expired_locked(*p, r, stream);
-          }
-          drain_submit_ring_locked(*p);
-          // rto_expired may have failed the rail over: pump the whole peer
-          // so replayed traffic starts flowing on the survivor at once.
-          pump_peer_locked(*p);
-        }
-        wake_peer(*p);
-      });
+  timer_arms_->fetch_add(1, std::memory_order_relaxed);
+  arm_peer_timer(ps, rt.rto_timer, timers_.now() + rt.rto + wire_floor);
 }
 
 void Engine::rto_expired_locked(PeerState& ps, Rail& rail, int stream) {
@@ -932,9 +965,9 @@ void Engine::rto_expired_locked(PeerState& ps, Rail& rail, int stream) {
   // (the receiver discards anything past the first gap, so the whole tail
   // needs to fly again).
   for (const std::uint64_t token : rt.unacked) {
-    auto it = ps.inflight.find(token);
-    MADO_ASSERT(it != ps.inflight.end());
-    retransmit_locked(ps, rail, token, it->second);
+    InFlight* rec = ps.inflight.find(token);
+    MADO_ASSERT(rec != nullptr);
+    retransmit_locked(ps, rail, token, *rec);
   }
   rt.rto = std::min<Nanos>(rt.rto * 2, cfg_.rel_rto_max);
   arm_rto_locked(ps, rail, stream);
@@ -947,9 +980,9 @@ void Engine::retransmit_locked(PeerState& ps, Rail& rail, std::uint64_t token,
   GatherList gl;
   gl.add(rec.header_block.data(), rec.header_block.size());
   if (rec.is_bulk) {
-    auto rit = ps.rdv_tx.find(rec.rdv_token);
-    MADO_CHECK(rit != ps.rdv_tx.end());
-    gl.add(rit->second.data + rec.chunk_off, rec.chunk_len);
+    RdvTx* rdv = ps.rdv_tx.find(rec.rdv_token);
+    MADO_CHECK(rdv != nullptr);
+    gl.add(rdv->data + rec.chunk_off, rec.chunk_len);
   } else {
     for (const TxFrag& f : rec.frags) gl.add(f.data(), f.len);
   }
@@ -975,9 +1008,9 @@ void Engine::maybe_send_ack_locked(PeerState& ps, Rail& rail) {
 
   const std::uint64_t token =
       next_pkt_token_.fetch_add(1, std::memory_order_relaxed);
-  auto [it, inserted] = ps.inflight.emplace(token, InFlight{});
+  auto [recp, inserted] = ps.inflight.emplace(token);
   MADO_ASSERT(inserted);
-  InFlight& rec = it->second;
+  InFlight& rec = *recp;
   rec.peer = ps.id;
   rec.rail = rail.port.rail;
   rec.track = drv::kTrackEager;
@@ -1037,20 +1070,21 @@ void Engine::fail_state_locked(PeerState& ps, ChannelId ch,
 
 void Engine::note_rdv_done_locked(PeerState& ps, std::uint64_t token) {
   if (!cfg_.reliability) return;
-  if (!ps.rdv_rx_done.insert(token).second) return;
+  if (!ps.rdv_rx_done.insert(token)) return;
   ps.rdv_rx_done_fifo.push_back(token);
-  // Bounded: old entries age out. A replay can only arrive while its
-  // sender still holds the un-acked record, which is far fresher than the
-  // retention horizon here.
-  while (ps.rdv_rx_done_fifo.size() > 1024) {
+  // Bounded by cfg_.rdv_done_window: old entries age out. A replay can
+  // only arrive while its sender still holds the un-acked record, which is
+  // far fresher than the retention horizon here.
+  while (ps.rdv_rx_done_fifo.size() > cfg_.rdv_done_window) {
     ps.rdv_rx_done.erase(ps.rdv_rx_done_fifo.front());
     ps.rdv_rx_done_fifo.pop_front();
+    ps.stats.inc("cap.rdv_done_evictions");
   }
 }
 
 bool Engine::rdv_was_done_locked(const PeerState& ps,
                                  std::uint64_t token) const {
-  return cfg_.reliability && ps.rdv_rx_done.count(token) > 0;
+  return cfg_.reliability && ps.rdv_rx_done.contains(token);
 }
 
 void Engine::on_link_down(NodeId peer, RailId rail_id) {
@@ -1089,13 +1123,14 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   rail.state = RailState::Down;
   ps.stats.inc("rel.rail_failovers");
 
-  // Orphan every pending timer on this rail (nagle + both RTOs).
-  ++rail.nagle_timer_gen;
-  rail.nagle_timer_pending = false;
-  for (auto& rt : rail.rel) {
-    ++rt.rto_gen;
-    rt.rto_pending = false;
-  }
+  // Cancel every pending timer on this rail (nagle + both RTOs). Physical
+  // cancellation: the wheel entries are unlinked here, not left to fire
+  // into no-ops at their dead deadlines.
+  if (timers_.cancel(rail.nagle_timer))
+    timer_cancelled_->fetch_add(1, std::memory_order_relaxed);
+  for (auto& rt : rail.rel)
+    if (timers_.cancel(rt.rto_timer))
+      timer_cancelled_->fetch_add(1, std::memory_order_relaxed);
   rail.ack_owed = false;
 
   Rail* survivor = nullptr;
@@ -1122,17 +1157,18 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   //    their payload storage lives in the record, so replay is a re-queue,
   //    not a copy. Without reliability (or a survivor) the sends fail.
   std::vector<std::uint64_t> tokens;
-  for (const auto& [token, rec] : ps.inflight)
+  ps.inflight.for_each([&](std::uint64_t token, const InFlight& rec) {
     if (rec.rail == rail_id) tokens.push_back(token);
+  });
   for (auto& rt : rail.rel) {
     rt.unacked.clear();
     rt.unacked_bytes = 0;
   }
 
   for (const std::uint64_t token : tokens) {
-    auto it = ps.inflight.find(token);
-    InFlight rec = std::move(it->second);
-    ps.inflight.erase(it);
+    InFlight* recp = ps.inflight.find(token);
+    InFlight rec = std::move(*recp);
+    ps.inflight.erase(token);
     if (rec.reliable && rec.acked) {
       finalize_inflight_locked(ps, rec);
       continue;
@@ -1168,9 +1204,8 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
     // No survivor (or reliability off): the bytes are gone.
     ++failed_sends;
     if (rec.is_bulk) {
-      auto rit = ps.rdv_tx.find(rec.rdv_token);
-      if (rit != ps.rdv_tx.end())
-        fail_state_locked(ps, rit->second.channel, rit->second.state);
+      if (RdvTx* rdv = ps.rdv_tx.find(rec.rdv_token))
+        fail_state_locked(ps, rdv->channel, rdv->state);
     } else {
       for (TxFrag& f : rec.frags) {
         fail_state_locked(ps, f.channel, f.state);
@@ -1227,8 +1262,11 @@ void Engine::fail_rail_locked(PeerState& ps, Rail& rail) {
   //    already failed above, keeping their queues would just hang waiters.
   if (!survivor) {
     ps.shared_bulk.clear();
-    for (auto& [token, rdv] : ps.rdv_tx)
+    // fail_state_locked touches channels/send states only, never rdv_tx
+    // itself — safe inside for_each (no same-table mutation).
+    ps.rdv_tx.for_each([&](std::uint64_t, RdvTx& rdv) {
       fail_state_locked(ps, rdv.channel, rdv.state);
+    });
     ps.rdv_tx.clear();
   }
 
@@ -1373,6 +1411,39 @@ void Engine::schedule_peer_timer(Nanos when, std::uint32_t owner,
     }
     fn();
   });
+}
+
+TimerHandle::Callback Engine::peer_timer_cb(
+    std::uint32_t owner, std::function<void(std::uint64_t)> fn) {
+  // Same affinity policy as schedule_peer_timer, but built once per handle:
+  // steady-state re-arms reuse this closure, so the per-packet RTO path
+  // never allocates. (The foreign-thread defer below copies fn — that path
+  // only runs under multi-threaded progress, never in the arm itself.)
+  return [this, alive = alive_, owner,
+          fn = std::move(fn)](std::uint64_t gen) {
+    if (!alive->load()) return;
+    if (prog_running_.load(std::memory_order_acquire) && prog_nthreads_ > 1 &&
+        !(t_prog_id.engine == this && t_prog_id.idx == owner)) {
+      ProgSlot& s = *prog_slots_[owner];
+      {
+        std::lock_guard<std::mutex> lk(s.defer_mu);
+        s.deferred.push_back([fn, gen] { fn(gen); });
+      }
+      wake_slot(s);
+      return;
+    }
+    fn(gen);
+  };
+}
+
+void Engine::arm_peer_timer(PeerState& ps, TimerHandle& h, Nanos when) {
+  timers_.arm(h, when);
+  // A thread parked against the previous earliest deadline (park_bound
+  // snapshotted BEFORE this arm) would sleep out its full bound and fire
+  // this timer late. Wake the shard's owner so it re-derives the bound.
+  // Slot mutexes sit below the peer lock in the lock order, so notifying
+  // from under ps.mu is legal (same precedent as note_activity in rma_put).
+  wake_slot(*prog_slots_[ps.owner]);
 }
 
 void Engine::set_external_progress(std::function<bool()> fn) {

@@ -67,6 +67,7 @@
 #include "core/payload_pool.hpp"
 #include "core/strategy.hpp"
 #include "core/timer_host.hpp"
+#include "core/token_table.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "drivers/driver.hpp"
@@ -277,10 +278,12 @@ class Engine final {
     std::uint32_t acked = 0;     ///< cumulative: all seqs < acked are acked
     std::deque<std::uint64_t> unacked;  ///< inflight tokens, seq order
     std::size_t unacked_bytes = 0;      ///< wire bytes awaiting ack
-    // Retransmit timer (TimerHost cannot cancel → generation counter, same
-    // protocol as the nagle timer below).
-    bool rto_pending = false;
-    std::uint64_t rto_gen = 0;
+    // Retransmit timer: a persistent cancellable handle (re-arms are O(1)
+    // and allocation-free on the wheel; superseding arms physically remove
+    // the old entry instead of leaving a dead deadline behind). The
+    // callback is installed lazily on first arm (it needs the peer/rail
+    // context) and stays for the rail's lifetime.
+    TimerHandle rto_timer;
     std::uint32_t armed_acked = 0;  ///< `acked` when the timer was armed
     Nanos rto = 0;                  ///< current backoff (0 = cfg initial)
     std::size_t retries = 0;        ///< consecutive no-progress timeouts
@@ -298,13 +301,10 @@ class Engine final {
     RailState state = RailState::Up;
     RelTrack rel[2];       // [0] eager stream, [1] bulk stream
     bool ack_owed = false; // reliable data accepted since our last ack out
-    // Nagle timer state. TimerHost cannot cancel a scheduled timer, so a
-    // re-arm bumps the generation and the superseded callback no-ops on
-    // the mismatch. `nagle_deadline` is only meaningful while
-    // `nagle_timer_pending` is set.
-    bool nagle_timer_pending = false;
-    Nanos nagle_deadline = 0;
-    std::uint64_t nagle_timer_gen = 0;
+    // Nagle hold timer: persistent cancellable handle, armed while a lone
+    // small fragment waits for company and cancelled the moment the
+    // backlog drains — an idle rail holds no timer state at all.
+    TimerHandle nagle_timer;
     std::uint64_t flow_index_ops_flushed = 0;  // backlog ops already counted
     std::uint32_t pkt_seq = 0;
     std::size_t inflight_bytes = 0;
@@ -402,7 +402,9 @@ class Engine final {
     std::uint64_t get_token = 0;  ///< GetBuffer: pending get to complete
     /// Reliability: chunk offsets already applied, so a chunk replayed on a
     /// surviving rail (delivered once, ack lost) is not double-counted.
-    std::set<std::uint64_t> seen_offsets;
+    /// TokenSet: allocation-free while empty (the lossless-fabric common
+    /// case), shrinks back after a reassembly burst.
+    TokenSet seen_offsets;
     /// Reassembly watermark: lowest offset not yet known-contiguous from 0.
     /// Chunks landing above it arrived out of order (another rail ran
     /// ahead) — counted as `stripe.reassembly_ooo`.
@@ -480,7 +482,8 @@ class Engine final {
     PeerState(NodeId peer, const EngineConfig& cfg, std::uint32_t owner_idx)
         : id(peer),
           owner(owner_idx),
-          slab(&stats),
+          slab(&stats, PayloadSlab::Limits{cfg.slab_buffers,
+                                           cfg.slab_max_capacity}),
           strategy(StrategyRegistry::instance().create(cfg.strategy)) {
       if (cfg.submit_ring > 0) {
         std::size_t cap = 2;
@@ -489,6 +492,20 @@ class Engine final {
       }
       lock_acqs = &stats.handle("opt.lock_acquisitions");
       lock_wait_ns = &stats.handle("opt.lock_wait_ns");
+      // State tables share one budget policy: start empty, grow in powers
+      // of two, shrink back when a burst drains. Rehashes land in the
+      // cap.* counters so a misbehaving workload is visible.
+      TokenTableOpts topts;
+      topts.min_capacity = cfg.table_min_capacity;
+      topts.shrink = cfg.table_shrink;
+      topts.growths = &stats.handle("cap.table_growths");
+      topts.shrinks = &stats.handle("cap.table_shrinks");
+      inflight.set_opts(topts);
+      rdv_tx.set_opts(topts);
+      rdv_rx.set_opts(topts);
+      pending_gets.set_opts(topts);
+      rma_acks.set_opts(topts);
+      rdv_rx_done.set_opts(topts);
     }
 
     const NodeId id;
@@ -532,14 +549,17 @@ class Engine final {
     std::map<ChannelId, ChannelState> channels;
     std::map<RxKey, RxMessage> rx_msgs;
     std::deque<BulkChunk> shared_bulk;  // DynamicSplit chunk pool
-    std::map<std::uint64_t, InFlight> inflight;
-    std::map<std::uint64_t, RdvTx> rdv_tx;
-    std::map<std::uint64_t, RdvRx> rdv_rx;
-    std::map<std::uint64_t, PendingGet> pending_gets;
-    std::map<std::uint64_t, SendStateRef> rma_acks;
+    /// Hot token-keyed state: open-addressing slabs (core/token_table.hpp),
+    /// not std::map — O(1) probes, no per-entry allocation, and they shrink
+    /// back when a flow burst drains so per-peer memory stays bounded.
+    TokenTable<InFlight> inflight;
+    TokenTable<RdvTx> rdv_tx;
+    TokenTable<RdvRx> rdv_rx;
+    TokenTable<PendingGet> pending_gets;
+    TokenTable<SendStateRef> rma_acks;
     /// Reliability: recently completed receiver-side rendezvous tokens;
     /// dedup ring for cross-rail replays. Bounded (see note_rdv_done).
-    std::set<std::uint64_t> rdv_rx_done;
+    TokenSet rdv_rx_done;
     std::deque<std::uint64_t> rdv_rx_done_fifo;
 
     /// Monotonic floor for drained submit times: ring enqueue timestamps
@@ -802,6 +822,18 @@ class Engine final {
   void schedule_peer_timer(Nanos when, std::uint32_t owner,
                            std::function<void()> fn);
 
+  /// Wrap `fn` as a TimerHandle callback with the same owner affinity as
+  /// schedule_peer_timer: fired on a foreign thread while progress threads
+  /// run, it defers to the owner's queue and wakes it. Installed ONCE per
+  /// handle; every subsequent re-arm reuses it (allocation-free).
+  TimerHandle::Callback peer_timer_cb(std::uint32_t owner,
+                                      std::function<void(std::uint64_t)> fn);
+
+  /// Arm `h` via timers_ and wake the shard owner's park slot: a thread
+  /// parked against the previous earliest deadline must re-derive its
+  /// bound, or a new earlier timer would sleep out the full park interval.
+  void arm_peer_timer(PeerState& ps, TimerHandle& h, Nanos when);
+
   /// Wake this peer's waiters and any global (flush / wait_until) waiters.
   /// Cheap when nobody waits: two relaxed atomic loads.
   void wake_peer(PeerState& ps) {
@@ -888,6 +920,15 @@ class Engine final {
   /// wait_until/wait_peer pumped the engine themselves (no progress thread
   /// attached) — stays 0 while threads run (the double-pump bugfix).
   std::atomic<std::uint64_t>* prog_self_pumps_ = nullptr;
+
+  /// Cached timer.* cells (engine-level: timers are host-wide, not
+  /// per-peer). arms = every (re-)arm; cancelled = retired before firing;
+  /// stale_fires = callbacks that found their generation superseded (a
+  /// cancel/re-arm raced an in-flight firing — rare by construction now
+  /// that cancellation physically unlinks).
+  std::atomic<std::uint64_t>* timer_arms_ = nullptr;
+  std::atomic<std::uint64_t>* timer_cancelled_ = nullptr;
+  std::atomic<std::uint64_t>* timer_stale_ = nullptr;
 
   /// Guards the odds and ends below (external progress hook, rebalance
   /// interval/chain).

@@ -231,7 +231,7 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
       rx.channel = fh.channel;
       rx.seq = fh.msg_seq;
       rx.idx = fh.frag_idx;
-      ps.rdv_rx[rts.token] = rx;
+      ps.rdv_rx.insert_or_assign(rts.token, std::move(rx));
       ps.stats.inc("rx.rdv_rts");
       if (slot.posted) {
         MADO_CHECK_MSG(slot.dest_len == slot.total,
@@ -252,11 +252,11 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
       rx.base = win.base + rts.offset;
       rx.len = rts.total_len;
       rx.ack_token = rts.aux;
-      if (cfg_.reliability && ps.rdv_rx.count(rts.token)) {
+      if (cfg_.reliability && ps.rdv_rx.contains(rts.token)) {
         ps.stats.inc("rel.dup_drops");  // replayed RTS, transfer in progress
         return;
       }
-      MADO_CHECK_MSG(ps.rdv_rx.emplace(rts.token, rx).second,
+      MADO_CHECK_MSG(ps.rdv_rx.emplace(rts.token, std::move(rx)).second,
                      "duplicate RTS token");
       ps.stats.inc("rx.rma_put_rts");
       send_auto_cts_locked(ps, fh, rts.token);
@@ -265,25 +265,23 @@ void Engine::handle_rts_locked(PeerState& ps, const FragHeader& fh,
     case RdvTarget::GetBuffer: {
       // Bulk reply to our own rma_get: route chunks into the requester's
       // destination buffer.
-      if (cfg_.reliability && ps.rdv_rx.count(rts.token)) {
+      if (cfg_.reliability && ps.rdv_rx.contains(rts.token)) {
         ps.stats.inc("rel.dup_drops");  // replayed RTS, transfer in progress
         return;
       }
-      auto it = ps.pending_gets.find(rts.aux);
-      if (cfg_.reliability && it == ps.pending_gets.end()) {
+      PendingGet* pg = ps.pending_gets.find(rts.aux);
+      if (cfg_.reliability && !pg) {
         ps.stats.inc("rel.dup_drops");  // replayed RTS, get already finished
         return;
       }
-      MADO_CHECK_MSG(it != ps.pending_gets.end(),
-                     "RTS for unknown get token " << rts.aux);
-      MADO_CHECK_MSG(it->second.len == rts.total_len,
-                     "get reply size mismatch");
+      MADO_CHECK_MSG(pg != nullptr, "RTS for unknown get token " << rts.aux);
+      MADO_CHECK_MSG(pg->len == rts.total_len, "get reply size mismatch");
       RdvRx rx;
       rx.target = RdvTarget::GetBuffer;
-      rx.base = it->second.dest;
+      rx.base = pg->dest;
       rx.len = rts.total_len;
       rx.get_token = rts.aux;
-      MADO_CHECK_MSG(ps.rdv_rx.emplace(rts.token, rx).second,
+      MADO_CHECK_MSG(ps.rdv_rx.emplace(rts.token, std::move(rx)).second,
                      "duplicate RTS token");
       send_auto_cts_locked(ps, fh, rts.token);
       return;
@@ -340,13 +338,13 @@ void Engine::send_cts_locked(PeerState& ps, const FragHeader& fh,
 void Engine::handle_cts_locked(PeerState& ps, ByteSpan payload) {
   const CtsBody cts = decode_cts(payload);
   trace_locked(TraceEvent::RdvCts, ps.id, 0, cts.token);
-  auto it = ps.rdv_tx.find(cts.token);
-  if (cfg_.reliability && it == ps.rdv_tx.end()) {
+  RdvTx* rdvp = ps.rdv_tx.find(cts.token);
+  if (cfg_.reliability && !rdvp) {
     ps.stats.inc("rel.dup_drops");  // replayed CTS, rendezvous already done
     return;
   }
-  MADO_CHECK_MSG(it != ps.rdv_tx.end(), "CTS for unknown rendezvous");
-  RdvTx& rdv = it->second;
+  MADO_CHECK_MSG(rdvp != nullptr, "CTS for unknown rendezvous");
+  RdvTx& rdv = *rdvp;
   if (cfg_.reliability && rdv.cts_received) {
     ps.stats.inc("rel.dup_drops");  // replayed CTS, chunks already queued
     return;
@@ -491,17 +489,17 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
   if (cfg_.reliability && (bh.flags & kPhFlagAck))
     process_acks_locked(ps, rail, bh.ack_eager, bh.ack_bulk);
   if (!rel_rx_accept_locked(ps, rail, 1, bh.flags, bh.pkt_seq)) return;
-  auto it = ps.rdv_rx.find(bh.token);
-  if (it == ps.rdv_rx.end() && rdv_was_done_locked(ps, bh.token)) {
+  RdvRx* rxp = ps.rdv_rx.find(bh.token);
+  if (!rxp && rdv_was_done_locked(ps, bh.token)) {
     // A chunk delivered on a rail that then died was replayed on the
     // survivor (its ack was lost in the failover) after the rendezvous
     // finished: drop the second copy.
     ps.stats.inc("rel.dup_drops");
     return;
   }
-  MADO_CHECK_MSG(it != ps.rdv_rx.end(), "bulk chunk for unknown rendezvous");
-  RdvRx& rx = it->second;
-  if (cfg_.reliability && !rx.seen_offsets.insert(bh.offset).second) {
+  MADO_CHECK_MSG(rxp != nullptr, "bulk chunk for unknown rendezvous");
+  RdvRx& rx = *rxp;
+  if (cfg_.reliability && !rx.seen_offsets.insert(bh.offset)) {
     // Same story, rendezvous still in progress: the offset already landed.
     ps.stats.inc("rel.dup_drops");
     return;
@@ -534,7 +532,7 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
     if (slot.received == slot.total) {
       mark_slot_done_locked(msg, slot);
       note_rdv_done_locked(ps, bh.token);
-      ps.rdv_rx.erase(it);
+      ps.rdv_rx.erase(bh.token);
       ps.stats.inc("rx.rdv_completed");
       trace_locked(TraceEvent::RdvDone, ps.id, rail_id, bh.token,
                    slot.total);
@@ -553,16 +551,15 @@ void Engine::handle_bulk_packet_locked(PeerState& ps, RailId rail_id,
     push_rma_ack_locked(ps, rx.ack_token);
     ps.stats.inc("rx.rma_puts_completed");
   } else {
-    auto git = ps.pending_gets.find(rx.get_token);
-    MADO_CHECK(git != ps.pending_gets.end());
-    if (git->second.state->pending.fetch_sub(1, std::memory_order_acq_rel) ==
-        1)
+    PendingGet* pg = ps.pending_gets.find(rx.get_token);
+    MADO_CHECK(pg != nullptr);
+    if (pg->state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
       ps.stats.inc("rma.gets_completed");
-    ps.pending_gets.erase(git);
+    ps.pending_gets.erase(rx.get_token);
   }
   note_rdv_done_locked(ps, bh.token);
   trace_locked(TraceEvent::RdvDone, ps.id, rail_id, bh.token, rx.len);
-  ps.rdv_rx.erase(it);
+  ps.rdv_rx.erase(bh.token);
 }
 
 // ---- RMA eager paths -----------------------------------------------------------
@@ -639,32 +636,31 @@ void Engine::handle_rma_get_locked(PeerState& ps, ByteSpan payload) {
 void Engine::handle_rma_get_data_locked(PeerState& ps, ByteSpan payload) {
   ByteSpan data;
   const RmaGetDataBody b = decode_rma_get_data(payload, data);
-  auto it = ps.pending_gets.find(b.get_token);
-  if (cfg_.reliability && it == ps.pending_gets.end()) {
+  PendingGet* pg = ps.pending_gets.find(b.get_token);
+  if (cfg_.reliability && !pg) {
     ps.stats.inc("rel.dup_drops");  // replayed reply, get already finished
     return;
   }
-  MADO_CHECK_MSG(it != ps.pending_gets.end(),
+  MADO_CHECK_MSG(pg != nullptr,
                  "get reply for unknown token " << b.get_token);
-  MADO_CHECK_MSG(it->second.len == data.size(), "get reply size mismatch");
-  std::memcpy(it->second.dest, data.data(), data.size());
-  if (it->second.state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+  MADO_CHECK_MSG(pg->len == data.size(), "get reply size mismatch");
+  std::memcpy(pg->dest, data.data(), data.size());
+  if (pg->state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
     ps.stats.inc("rma.gets_completed");
-  ps.pending_gets.erase(it);
+  ps.pending_gets.erase(b.get_token);
 }
 
 void Engine::handle_rma_ack_locked(PeerState& ps, ByteSpan payload) {
   const RmaAckBody b = decode_rma_ack(payload);
-  auto it = ps.rma_acks.find(b.ack_token);
-  if (cfg_.reliability && it == ps.rma_acks.end()) {
+  SendStateRef* sp = ps.rma_acks.find(b.ack_token);
+  if (cfg_.reliability && !sp) {
     ps.stats.inc("rel.dup_drops");  // replayed ack, put already completed
     return;
   }
-  MADO_CHECK_MSG(it != ps.rma_acks.end(),
-                 "unexpected RMA ack " << b.ack_token);
-  if (it->second->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+  MADO_CHECK_MSG(sp != nullptr, "unexpected RMA ack " << b.ack_token);
+  if ((*sp)->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
     ps.stats.inc("rma.puts_completed");
-  ps.rma_acks.erase(it);
+  ps.rma_acks.erase(b.ack_token);
 }
 
 // ---- application receive API ------------------------------------------------------

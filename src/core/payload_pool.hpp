@@ -66,11 +66,14 @@ class PayloadSlab {
 
   /// Return a completed buffer for reuse. Empty buffers are ignored;
   /// buffers above the capacity cap and overflow beyond the depth cap are
-  /// freed immediately (retaining them would pin memory).
+  /// freed immediately (retaining them would pin memory) and counted as
+  /// cap.slab_sheds — the budget enforcement working as intended, but a
+  /// high rate means the limits are too tight for the workload.
   void recycle(Bytes&& b) {
     if (b.capacity() == 0) return;
     if (b.capacity() > limits_.max_capacity ||
         free_.size() >= limits_.max_buffers) {
+      if (stats_) stats_->inc("cap.slab_sheds");
       Bytes{}.swap(b);  // release now
       return;
     }

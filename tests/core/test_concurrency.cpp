@@ -625,5 +625,92 @@ TEST(ConcurrencyTeardown, ShutdownUnderLoadDrainsStagedWork) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// ISSUE 7: timer wheel integration — idle engines hold no timers, and a
+// parked owner honors a deadline armed after it went to sleep.
+// ---------------------------------------------------------------------------
+
+// Regression for the stale-timer family: superseded nagle/RTO entries used
+// to linger in the heap until their deadline passed, so a logically idle
+// engine still reported pending timers (and parks woke for nothing). With
+// true cancellation the timer host must drain to empty once traffic stops:
+// acks cancel RTO timers, an empty backlog cancels the rail's nagle timer.
+TEST(TimerIntegration, IdleEngineHasNoPendingTimers) {
+  EngineConfig hub_cfg;
+  hub_cfg.reliability = true;
+  hub_cfg.strategy = "nagle";
+  hub_cfg.nagle_delay = 50 * kNanosPerMicro;
+  EngineConfig peer_cfg;
+  peer_cfg.reliability = true;
+  RealTimerHost hub_timer, peer_timer;
+  Engine hub(0, hub_cfg, hub_timer);
+  Engine peer(1, peer_cfg, peer_timer);
+  auto pair = drv::ShmEndpoint::make_pair();
+  hub.add_rail(1, std::move(pair.a));
+  peer.add_rail(0, std::move(pair.b));
+  hub.start_progress_thread();
+  peer.start_progress_thread();
+  Channel ch = hub.open_channel(1, 1);
+  for (int i = 0; i < 32; ++i) {
+    SendHandle h = send_bytes(ch, pattern(64, static_cast<std::uint32_t>(i)));
+    ASSERT_TRUE(hub.wait_send(h));
+  }
+  ASSERT_TRUE(hub.flush());
+  // Everything is sent and acked; RTO/nagle cancellation races the last ack
+  // by at most one progress lap — poll briefly, then the host must be empty.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (hub_timer.has_pending() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(hub_timer.has_pending())
+      << "idle engine left timers armed (stale nagle/RTO entries)";
+  EXPECT_EQ(hub_timer.next_deadline(), TimerHost::kNoDeadline);
+  auto counters = hub.counters_snapshot();
+  EXPECT_GT(counters["timer.arms"], 0u);
+  EXPECT_GT(counters["timer.cancelled"], 0u)
+      << "acks/empty-backlog must cancel timers, not abandon them";
+  hub.stop_progress_thread();
+  peer.stop_progress_thread();
+}
+
+// Regression alongside PostIdleSubmitLatencyBounded: a progress thread
+// parked against a 200ms bound must re-derive that bound when a nagle hold
+// arms a much earlier deadline after the park began. If the arm path fails
+// to wake the shard owner, the lone fragment sleeps out the full park.
+TEST(TimerIntegration, ParkedOwnerHonorsTimerArmedAfterPark) {
+  EngineConfig hub_cfg;
+  hub_cfg.strategy = "nagle";
+  hub_cfg.nagle_delay = 2 * kNanosPerMilli;
+  hub_cfg.prog_spin_laps = 4;
+  hub_cfg.prog_yield_laps = 4;
+  hub_cfg.prog_idle_wait = 200 * kNanosPerMilli;
+  RealTimerHost hub_timer, peer_timer;
+  Engine hub(0, hub_cfg, hub_timer);
+  Engine peer(1, EngineConfig{}, peer_timer);
+  auto pair = drv::ShmEndpoint::make_pair();
+  hub.add_rail(1, std::move(pair.a));
+  peer.add_rail(0, std::move(pair.b));
+  hub.start_progress_thread();
+  peer.start_progress_thread();
+  Channel ch = hub.open_channel(1, 1);
+  for (int i = 0; i < 8; ++i) {
+    // Let the hub's progress thread run dry and park.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    const auto t0 = std::chrono::steady_clock::now();
+    // A lone small fragment: the nagle strategy holds it and arms a 2ms
+    // timer — the only thing that can flush it on an otherwise idle engine.
+    SendHandle h = send_bytes(ch, pattern(16));
+    ASSERT_TRUE(hub.wait_send(h));
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    EXPECT_LT(ms, 100)
+        << "nagle deadline slept out the park bound, iter " << i;
+  }
+  hub.stop_progress_thread();
+  peer.stop_progress_thread();
+}
+
 }  // namespace
 }  // namespace mado::core
