@@ -203,6 +203,148 @@ void run_multiflow(const Setup& s, std::size_t flows, int msgs,
   }
 }
 
+/// One-way stream throughput over an already-built threaded world
+/// (SocketWorld or UdpWorld): post everything, drain everything, wall clock.
+template <typename World>
+double stream_mbps(World& w, std::size_t size, std::size_t total) {
+  Channel a = w.node(0).open_channel(1, 7);
+  Channel b = w.node(1).open_channel(0, 7);
+  const std::size_t n = std::max<std::size_t>(1, total / size);
+  Bytes data(size, Byte{1}), out(size);
+  SteadyClock clock;
+  const Nanos t0 = clock.now();
+  for (std::size_t i = 0; i < n; ++i) {
+    Message m;
+    m.pack(data.data(), size, SendMode::Safe);
+    a.post(std::move(m));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    IncomingMessage im = b.begin_recv();
+    im.unpack(out.data(), size, RecvMode::Express);
+    im.finish();
+  }
+  w.node(0).flush();
+  return static_cast<double>(n * size) / to_usec(clock.now() - t0);
+}
+
+/// Real-datagram benchmark: per-size throughput over UDP loopback against
+/// the socketpair transport as the clean-link baseline, plus a node×flow
+/// sweep (engine pairs × channels per pair) of small-message transactions.
+/// Emits a JSON artifact via --out; the 4 KiB throughput ratio gates CI
+/// (UDP must stay within 20% of socketpair) unless --no-assert.
+int run_udp(const Setup& s, std::size_t min_size, std::size_t max_size,
+            std::size_t total, int msgs, const std::string& out_path,
+            bool assert_ratio) {
+  EngineConfig cfg = s.cfg;
+  cfg.reliability = true;  // both transports run the same engine stack
+  std::printf("# udp  strategy=%s total=%zu\n", cfg.strategy.c_str(), total);
+  std::printf("%12s %14s %14s %8s\n", "size(B)", "udp(MB/s)", "socket(MB/s)",
+              "ratio");
+  struct Row {
+    std::size_t size;
+    double udp_mbps, socket_mbps;
+  };
+  std::vector<Row> rows;
+  double gate_ratio = -1.0;
+  for (std::size_t size = std::max<std::size_t>(min_size, 1024);
+       size <= max_size; size *= 4) {
+    double udp_mbps, socket_mbps;
+    {
+      UdpWorld w(cfg);
+      udp_mbps = stream_mbps(w, size, total);
+    }
+    {
+      SocketWorld w(cfg, s.caps);
+      socket_mbps = stream_mbps(w, size, total);
+    }
+    const double ratio = udp_mbps / socket_mbps;
+    if (size == 4096) gate_ratio = ratio;
+    std::printf("%12zu %14.1f %14.1f %8.2f\n", size, udp_mbps, socket_mbps,
+                ratio);
+    rows.push_back({size, udp_mbps, socket_mbps});
+  }
+
+  // Node×flow sweep: `pairs` independent engine pairs (each with its own
+  // UDP sockets and epoll loop) × `flows` channels per pair, small
+  // messages, one completion clock over everything.
+  std::printf("%8s %8s %14s %16s\n", "pairs", "flows", "msgs/s",
+              "completion(us)");
+  struct FlowRow {
+    std::size_t pairs, flows;
+    double msgs_per_sec, completion_us;
+  };
+  std::vector<FlowRow> flow_rows;
+  for (std::size_t pairs = 1; pairs <= 2; ++pairs) {
+    for (std::size_t flows = 1; flows <= 8; flows *= 2) {
+      std::vector<std::unique_ptr<UdpWorld>> worlds;
+      for (std::size_t p = 0; p < pairs; ++p)
+        worlds.push_back(std::make_unique<UdpWorld>(cfg));
+      std::vector<Channel> tx, rx;
+      for (auto& w : worlds)
+        for (ChannelId f = 0; f < flows; ++f) {
+          tx.push_back(w->node(0).open_channel(1, f));
+          rx.push_back(w->node(1).open_channel(0, f));
+        }
+      Bytes data(64, Byte{1}), out(64);
+      SteadyClock clock;
+      const Nanos t0 = clock.now();
+      for (int i = 0; i < msgs; ++i)
+        for (auto& ch : tx) {
+          Message m;
+          m.pack(data.data(), data.size(), SendMode::Safe);
+          ch.post(std::move(m));
+        }
+      for (int i = 0; i < msgs; ++i)
+        for (auto& ch : rx) {
+          IncomingMessage im = ch.begin_recv();
+          im.unpack(out.data(), out.size(), RecvMode::Express);
+          im.finish();
+        }
+      for (auto& w : worlds) w->node(0).flush();
+      const double us = to_usec(clock.now() - t0);
+      const double rate =
+          static_cast<double>(pairs * flows) * msgs / (us / 1e6);
+      std::printf("%8zu %8zu %14.0f %16.1f\n", pairs, flows, rate, us);
+      flow_rows.push_back({pairs, flows, rate, us});
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << "{\n  \"pattern\": \"udp\",\n  \"throughput\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"size\": " << r.size << ", \"udp_mbps\": " << r.udp_mbps
+          << ", \"socket_mbps\": " << r.socket_mbps
+          << ", \"ratio\": " << r.udp_mbps / r.socket_mbps << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"node_flow_sweep\": [\n";
+    for (std::size_t i = 0; i < flow_rows.size(); ++i) {
+      const FlowRow& r = flow_rows[i];
+      out << "    {\"pairs\": " << r.pairs << ", \"flows\": " << r.flows
+          << ", \"msgs_per_sec\": " << r.msgs_per_sec
+          << ", \"completion_us\": " << r.completion_us << "}"
+          << (i + 1 < flow_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (assert_ratio && gate_ratio >= 0 && gate_ratio < 0.8) {
+    std::fprintf(stderr,
+                 "FAIL: UDP 4KiB throughput is %.2fx socketpair "
+                 "(floor 0.80)\n",
+                 gate_ratio);
+    return 1;
+  }
+  return 0;
+}
+
 void run_putget(const Setup& s, std::size_t min_size, std::size_t max_size) {
   std::printf("# putget  profile=%s strategy=%s\n", s.caps.name.c_str(),
               s.cfg.strategy.c_str());
@@ -256,7 +398,7 @@ void run_allreduce(const Setup& s, std::size_t max_nodes, std::size_t elems) {
 
 void usage() {
   std::printf(
-      "usage: mado_perf <pingpong|stream|multiflow|putget|allreduce> "
+      "usage: mado_perf <pingpong|stream|multiflow|putget|allreduce|udp> "
       "[options]\n"
       "  --profile mx|elan|tcp|test   driver capability profile\n"
       "  --strategy NAME              fifo|aggreg|aggreg_exhaustive|nagle|"
@@ -267,7 +409,10 @@ void usage() {
       "  --sample-us D --stats-out F  multiflow: periodic counter sampling\n"
       "                               (F ending in .json → JSON, else CSV)\n"
       "  --transport sim|socket       (pingpong/multiflow: sim only for "
-      "multiflow)\n");
+      "multiflow)\n"
+      "  udp: real-datagram sweep vs socketpair baseline + node×flow grid\n"
+      "  --total B --msgs N --out F   udp: bytes per size, flow msgs, JSON\n"
+      "  --no-assert                  udp: skip the 4KiB ≥0.8 ratio gate\n");
 }
 
 }  // namespace
@@ -296,6 +441,12 @@ int main(int argc, char** argv) {
                   static_cast<std::size_t>(flags.get_int("size", 64)),
                   usec(flags.get_double("sample-us", 0.0)),
                   flags.get("stats-out"));
+  } else if (pattern == "udp") {
+    return run_udp(s, std::max<std::size_t>(min_size, 1024),
+                   std::min<std::size_t>(max_size, 1 << 20),
+                   static_cast<std::size_t>(flags.get_int("total", 8 << 20)),
+                   static_cast<int>(flags.get_int("msgs", 200)),
+                   flags.get("out"), !flags.get_bool("no-assert", false));
   } else if (pattern == "putget") {
     run_putget(s, std::max<std::size_t>(min_size, 64), max_size);
   } else if (pattern == "allreduce") {

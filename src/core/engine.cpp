@@ -85,6 +85,11 @@ Engine::~Engine() {
 
 RailId Engine::add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep) {
   MADO_CHECK(ep != nullptr);
+  // A lossy datagram rail without the go-back-N layer would silently lose
+  // traffic — refuse it loudly at wiring time instead.
+  MADO_CHECK_MSG(ep->caps().lossless || cfg_.reliability,
+                 "rail '" << ep->caps().name
+                          << "' is lossy; enable cfg.reliability");
   PeerState* psp = nullptr;
   {
     std::unique_lock<std::shared_mutex> lk(peers_mu_);

@@ -137,8 +137,12 @@ class TimerHost {
 
   /// Cancel a pending arm. Returns true if the timer was armed (and is now
   /// guaranteed not to fire for that generation); false if it was idle or
-  /// its firing already left the host. RealTimerHost physically unlinks the
-  /// entry, so has_pending()/next_deadline() forget it immediately.
+  /// its firing already left the host. EITHER WAY the generation is bumped,
+  /// so a firing that was already extracted when the cancel landed is
+  /// suppressed at the host layer (run_due re-checks the generation before
+  /// invoking) — the owner never sees a callback for a cancelled arm.
+  /// RealTimerHost additionally physically unlinks the entry, so
+  /// has_pending()/next_deadline() forget it immediately.
   virtual bool cancel(TimerHandle& h);
 };
 
@@ -158,8 +162,12 @@ inline void TimerHost::arm(TimerHandle& h, Nanos t) {
 
 inline bool TimerHost::cancel(TimerHandle& h) {
   TimerHandle::Core& core = *h.core_;
+  // Retire any in-flight closure UNCONDITIONALLY: if the firing already
+  // cleared `armed` but has not run its callback yet, only the generation
+  // bump stops it. Cancelling an idle handle is harmless (the next arm
+  // bumps again).
+  core.gen.fetch_add(1, std::memory_order_acq_rel);
   if (!core.armed.load(std::memory_order_acquire)) return false;
-  core.gen.fetch_add(1, std::memory_order_acq_rel);  // retire the closure
   core.armed.store(false, std::memory_order_release);
   return true;
 }
@@ -264,10 +272,17 @@ class RealTimerHost final : public TimerHost {
     {
       std::lock_guard<std::mutex> lk(mu_);
       Core& core = *h.core_;
+      // The cancel window: advance_locked may have ALREADY extracted this
+      // entry into a caller's `due` batch (armed is false, the callback
+      // has not run). Bumping the generation unconditionally is what
+      // suppresses that in-flight fire — run_due re-checks the generation
+      // under no lock right before invoking. Without this bump a cancel
+      // that lost the race returned false and the callback ran anyway,
+      // leaving every owner to re-derive staleness semantically.
+      core.gen.fetch_add(1, std::memory_order_release);
       if (!core.armed.load(std::memory_order_relaxed)) return false;
       unlink_locked(&core);
       core.armed.store(false, std::memory_order_release);
-      core.gen.fetch_add(1, std::memory_order_release);
       armed_count_.fetch_sub(1, std::memory_order_release);
       ++cancelled_;
       released = std::move(core.self);
@@ -294,7 +309,14 @@ class RealTimerHost final : public TimerHost {
       }
       if (due.empty()) break;  // the event was a cascade, nothing due yet
       for (Fired& f : due) {
-        if (f.core->fn) f.core->fn(f.gen);
+        // Suppress fires whose arm was cancelled (or superseded by a
+        // re-arm) after extraction — the generation moved on. Pooled
+        // one-shots are uncancellable, so their generation never moves.
+        if (f.core->gen.load(std::memory_order_acquire) != f.gen) {
+          stale_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        } else if (f.core->fn) {
+          f.core->fn(f.gen);
+        }
         if (f.core->pooled) recycle_pooled(std::move(f.core));
       }
       total += due.size();
@@ -318,6 +340,14 @@ class RealTimerHost final : public TimerHost {
   std::uint64_t cancelled_count() const {
     std::lock_guard<std::mutex> lk(mu_);
     return cancelled_;
+  }
+
+  /// Fires suppressed because cancel() (or a re-arm) bumped the handle's
+  /// generation after the entry was extracted for firing but before the
+  /// callback ran. This is the cancel window the timer layer now closes
+  /// itself; owners no longer need semantic guards against it.
+  std::uint64_t stale_suppressed_count() const {
+    return stale_suppressed_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -544,6 +574,7 @@ class RealTimerHost final : public TimerHost {
   Core* overflow_ = nullptr;  ///< beyond-horizon entries, rescanned at top
   std::vector<std::shared_ptr<Core>> pool_;  ///< recycled one-shot nodes
   std::uint64_t cancelled_ = 0;
+  std::atomic<std::uint64_t> stale_suppressed_{0};
 
   /// Lock-free fast-path state: armed entries, and a lower bound on the
   /// next event tick (exact for level-0 deadlines, a window start for

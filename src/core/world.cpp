@@ -113,4 +113,32 @@ ShmWorld::~ShmWorld() {
   engines_[1]->stop_progress_thread();
 }
 
+UdpWorld::UdpWorld(const EngineConfig& cfg, std::size_t rails,
+                   const drv::UdpConfig& ucfg) {
+  EngineConfig tcfg = threaded_config(cfg);
+  // UDP rails are lossy: the engine's reliability layer IS the loss
+  // recovery, so it is not optional here (add_rail would refuse).
+  tcfg.reliability = true;
+  for (NodeId i = 0; i < 2; ++i) {
+    timers_.push_back(std::make_unique<RealTimerHost>());
+    engines_.push_back(std::make_unique<Engine>(i, tcfg, *timers_.back()));
+  }
+  endpoints_.resize(2);
+  const drv::Capabilities caps = drv::udp_loopback_profile();
+  for (std::size_t r = 0; r < rails; ++r) {
+    auto pair = drv::UdpEndpoint::make_pair(caps, ucfg);
+    endpoints_[0].push_back(pair.a.get());
+    endpoints_[1].push_back(pair.b.get());
+    engines_[0]->add_rail(1, std::move(pair.a));
+    engines_[1]->add_rail(0, std::move(pair.b));
+  }
+  engines_[0]->start_progress_thread();
+  engines_[1]->start_progress_thread();
+}
+
+UdpWorld::~UdpWorld() {
+  engines_[0]->stop_progress_thread();
+  engines_[1]->stop_progress_thread();
+}
+
 }  // namespace mado::core

@@ -18,6 +18,7 @@
 #include "core/timer_host.hpp"
 #include "drivers/capabilities.hpp"
 #include "drivers/sim_driver.hpp"
+#include "drivers/udp_driver.hpp"
 #include "sim/fabric.hpp"
 
 namespace mado::core {
@@ -98,6 +99,30 @@ class ShmWorld {
  private:
   std::vector<std::unique_ptr<RealTimerHost>> timers_;
   std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+/// Two engines joined by real UDP loopback rails (lossy datagrams, ordered
+/// release in the driver, loss recovered by the engine's go-back-N layer —
+/// reliability is forced on because Engine::add_rail rejects a lossy rail
+/// without it). Progress threads start immediately. Exposes the raw
+/// endpoints so tests can inject receive-side loss or link failures.
+class UdpWorld {
+ public:
+  explicit UdpWorld(const EngineConfig& cfg, std::size_t rails = 1,
+                    const drv::UdpConfig& ucfg = {});
+  ~UdpWorld();
+
+  Engine& node(NodeId i) { return *engines_.at(i); }
+  /// The `node`-side endpoint of rail `rail` (0-based, in creation order).
+  drv::UdpEndpoint& endpoint(NodeId node, std::size_t rail = 0) {
+    return *endpoints_.at(node).at(rail);
+  }
+
+ private:
+  std::vector<std::unique_ptr<RealTimerHost>> timers_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  /// endpoints_[node][rail], non-owning (engines own them).
+  std::vector<std::vector<drv::UdpEndpoint*>> endpoints_;
 };
 
 }  // namespace mado::core

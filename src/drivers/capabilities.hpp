@@ -49,6 +49,18 @@ struct Capabilities {
   /// one packet, the optimizer accumulates a backlog.
   std::size_t track_depth = 1;
 
+  /// Whether the wire itself guarantees delivery. Stream and shared-memory
+  /// transports are lossless; datagram transports (UDP) are not and MUST be
+  /// paired with the engine's go-back-N layer — Engine::add_rail rejects a
+  /// lossy rail unless cfg.reliability is on.
+  bool lossless = true;
+
+  /// For datagram transports: the largest single datagram the driver emits
+  /// (header + payload). 0 for stream/copy transports. Frames larger than
+  /// the MTU payload are fragmented by the driver and reassembled on the
+  /// receive side; this is advertisement, not a send-size limit.
+  std::size_t datagram_mtu = 0;
+
   /// Cost-model parameters. The simulated driver charges time with these;
   /// strategies use the same numbers to score candidate packings, so the
   /// optimizer and the network agree on what "cheaper" means.

@@ -1,6 +1,7 @@
 #include "drivers/profiles.hpp"
 
 #include "drivers/shm_driver.hpp"
+#include "drivers/udp_driver.hpp"
 #include "util/assert.hpp"
 
 namespace mado::drv {
@@ -90,13 +91,14 @@ Capabilities profile_by_name(const std::string& name) {
   if (name == "elan") return elan_quadrics_profile();
   if (name == "tcp") return tcp_gige_profile();
   if (name == "shm") return shm_profile();
+  if (name == "udp") return udp_loopback_profile();
   if (name == "test") return test_profile();
   MADO_CHECK_MSG(false, "unknown driver profile: " << name);
   __builtin_unreachable();
 }
 
 std::vector<std::string> profile_names() {
-  return {"mx", "elan", "tcp", "shm", "test"};
+  return {"mx", "elan", "tcp", "shm", "udp", "test"};
 }
 
 }  // namespace mado::drv

@@ -23,7 +23,7 @@ Capabilities tcp_gige_profile();
 /// Idealized zero-latency profile for logic-only unit tests.
 Capabilities test_profile();
 
-/// Look up a profile by name ("mx", "elan", "tcp", "test").
+/// Look up a profile by name ("mx", "elan", "tcp", "shm", "udp", "test").
 /// Throws CheckError for unknown names.
 Capabilities profile_by_name(const std::string& name);
 

@@ -39,8 +39,11 @@ SocketEndpoint::SocketEndpoint(Capabilities caps, int fd)
 SocketEndpoint::~SocketEndpoint() { close(); }
 
 void SocketEndpoint::close() {
-  if (closed_.exchange(true)) return;
+  if (!gate_.mark_closed_once()) return;
   stop_.store(true, std::memory_order_release);
+  // The TX thread sleeps indefinitely in pop_blocking(); this sentinel is
+  // its only wake-up, so shutdown is prompt and idle endpoints cost zero
+  // wakeups in between.
   TxItem sentinel;
   sentinel.stop = true;
   tx_.push(std::move(sentinel));
@@ -55,12 +58,12 @@ void SocketEndpoint::close() {
 void SocketEndpoint::send(TrackId track, const GatherList& gl,
                           std::uint64_t token) {
   MADO_CHECK(track < caps_.track_count);
-  MADO_CHECK_MSG(!closed_.load(), "send on closed endpoint");
+  MADO_CHECK_MSG(!gate_.closed(), "send on closed endpoint");
   TxItem item;
   item.track = track;
   item.token = token;
   item.payload = gl.flatten();  // segments only live until completion
-  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  gate_.accept();
   tx_.push(std::move(item));
 }
 
@@ -70,10 +73,10 @@ void SocketEndpoint::progress() {
   events_.drain(drained);
   for (auto& ev : drained) {
     if (auto* done = std::get_if<EvSendComplete>(&ev)) {
-      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      gate_.resolve();
       handler_->on_send_complete(done->track, done->token);
     } else if (auto* failed = std::get_if<EvSendFailed>(&ev)) {
-      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      gate_.resolve();
       handler_->on_send_failed(failed->track, failed->token);
     } else {
       auto& pkt = std::get<EvPacket>(ev);
@@ -83,18 +86,14 @@ void SocketEndpoint::progress() {
   // Teardown ordering: a peer death is reported only AFTER every packet
   // that made it over the wire has been handed to the handler and every
   // accepted send has been resolved (completion or failure), and exactly
-  // once. The outstanding_ gate matters: when the wire breaks the TX
+  // once. The outstanding gate matters: when the wire breaks the TX
   // thread turns into a drain pump that fails queued items one by one —
   // without the gate a progress() call could slip in between two of those
   // pushes and report link-down while doomed sends still await their
   // on_send_failed. A deliberate local close() is not a failure and is
-  // never reported.
-  if (broken_.load(std::memory_order_acquire) &&
-      outstanding_.load(std::memory_order_acquire) == 0 &&
-      !closed_.load(std::memory_order_acquire) &&
-      !link_down_reported_.exchange(true, std::memory_order_acq_rel)) {
-    handler_->on_link_down();
-  }
+  // never reported. The full protocol lives in LinkDownGate (shared with
+  // the UDP driver).
+  if (gate_.should_report_link_down()) handler_->on_link_down();
 }
 
 bool SocketEndpoint::write_all(const void* data, std::size_t len) {
@@ -130,24 +129,27 @@ bool SocketEndpoint::read_all(void* data, std::size_t len) {
 }
 
 void SocketEndpoint::tx_loop() {
+  // Blocking pop: the thread sleeps until a send arrives or close() pushes
+  // the stop sentinel. The previous 100 ms pop_wait poll tick woke every
+  // idle endpoint 10×/s forever and made shutdown wait out a partial tick;
+  // now an idle endpoint parks at zero cost and the sentinel is the sole,
+  // prompt wake-up. tx_wakeups_ counts every wake so a regression back to
+  // polling is visible to the tests.
   for (;;) {
-    auto item = tx_.pop_wait(std::chrono::milliseconds(100));
-    if (!item) {
-      if (stop_.load(std::memory_order_acquire)) return;
-      continue;
-    }
-    if (item->stop) return;
+    TxItem item = tx_.pop_blocking();
+    tx_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (item.stop) return;
 
     std::uint8_t hdr[kFrameHeaderLen];
-    hdr[0] = item->track;
-    const auto len = static_cast<std::uint32_t>(item->payload.size());
+    hdr[0] = item.track;
+    const auto len = static_cast<std::uint32_t>(item.payload.size());
     hdr[1] = static_cast<std::uint8_t>(len & 0xff);
     hdr[2] = static_cast<std::uint8_t>((len >> 8) & 0xff);
     hdr[3] = static_cast<std::uint8_t>((len >> 16) & 0xff);
     hdr[4] = static_cast<std::uint8_t>((len >> 24) & 0xff);
 
     if (!write_all(hdr, sizeof hdr) ||
-        !write_all(item->payload.data(), item->payload.size())) {
+        !write_all(item.payload.data(), item.payload.size())) {
       // The wire broke under this item. Silently returning here used to
       // drop it AND everything still queued behind it — no completion, no
       // failure — so the engine's in-flight records for those tokens leaked
@@ -155,21 +157,18 @@ void SocketEndpoint::tx_loop() {
       // the current item, then stay alive as a drain pump so every queued
       // and every future send() gets exactly one failure event, delivered
       // by progress() before on_link_down.
-      broken_.store(true, std::memory_order_release);
-      events_.push(EvSendFailed{item->track, item->token});
+      gate_.mark_broken();
+      events_.push(EvSendFailed{item.track, item.token});
       for (;;) {
-        auto doomed = tx_.pop_wait(std::chrono::milliseconds(100));
-        if (!doomed) {
-          if (stop_.load(std::memory_order_acquire)) return;
-          continue;
-        }
-        if (doomed->stop) return;
-        events_.push(EvSendFailed{doomed->track, doomed->token});
+        TxItem doomed = tx_.pop_blocking();
+        tx_wakeups_.fetch_add(1, std::memory_order_relaxed);
+        if (doomed.stop) return;
+        events_.push(EvSendFailed{doomed.track, doomed.token});
       }
     }
     packets_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(item->payload.size(), std::memory_order_relaxed);
-    events_.push(EvSendComplete{item->track, item->token});
+    bytes_sent_.fetch_add(item.payload.size(), std::memory_order_relaxed);
+    events_.push(EvSendComplete{item.track, item.token});
   }
 }
 
@@ -177,8 +176,7 @@ void SocketEndpoint::rx_loop() {
   for (;;) {
     std::uint8_t hdr[kFrameHeaderLen];
     if (!read_all(hdr, sizeof hdr)) {
-      if (!stop_.load(std::memory_order_acquire))
-        broken_.store(true, std::memory_order_release);
+      if (!stop_.load(std::memory_order_acquire)) gate_.mark_broken();
       return;
     }
     const TrackId track = hdr[0];
@@ -188,13 +186,12 @@ void SocketEndpoint::rx_loop() {
                               (static_cast<std::uint32_t>(hdr[4]) << 24);
     if (len > kMaxFrame) {
       MADO_ERROR("socket rx: oversized frame " << len << " bytes, closing");
-      broken_.store(true, std::memory_order_release);
+      gate_.mark_broken();
       return;
     }
     Bytes payload(len);
     if (len > 0 && !read_all(payload.data(), len)) {
-      if (!stop_.load(std::memory_order_acquire))
-        broken_.store(true, std::memory_order_release);
+      if (!stop_.load(std::memory_order_acquire)) gate_.mark_broken();
       return;
     }
     events_.push(EvPacket{track, std::move(payload)});

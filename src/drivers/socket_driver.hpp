@@ -19,6 +19,7 @@
 #include <variant>
 
 #include "drivers/driver.hpp"
+#include "drivers/link_gate.hpp"
 #include "util/queues.hpp"
 
 namespace mado::drv {
@@ -49,13 +50,19 @@ class SocketEndpoint final : public DriverEndpoint {
   /// True once the peer closed or an IO error occurred. progress() reports
   /// this to the handler as on_link_down — exactly once, after all queued
   /// arrivals have been drained.
-  bool broken() const { return broken_.load(std::memory_order_acquire); }
+  bool broken() const { return gate_.broken(); }
 
   std::uint64_t packets_sent() const {
     return packets_sent_.load(std::memory_order_relaxed);
   }
   std::uint64_t bytes_sent() const {
     return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  /// Times the TX thread woke from its blocking wait (one per queued item
+  /// or stop sentinel — an idle endpoint holds this flat; the old 100 ms
+  /// poll tick woke 10×/s doing nothing).
+  std::uint64_t tx_wakeups() const {
+    return tx_wakeups_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -94,15 +101,12 @@ class SocketEndpoint final : public DriverEndpoint {
   std::thread tx_thread_;
   std::thread rx_thread_;
   std::atomic<bool> stop_{false};
-  std::atomic<bool> broken_{false};
-  /// sends accepted but not yet resolved to a completion/failure event that
-  /// progress() has DELIVERED. Gates the link-down report: it must not fire
-  /// while a doomed send still awaits its on_send_failed.
-  std::atomic<std::uint64_t> outstanding_{0};
-  std::atomic<bool> closed_{false};
-  std::atomic<bool> link_down_reported_{false};
+  /// broken/outstanding/closed/reported protocol shared with the UDP
+  /// driver; see link_gate.hpp for the exactly-once argument.
+  LinkDownGate gate_;
   std::atomic<std::uint64_t> packets_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> tx_wakeups_{0};
 };
 
 }  // namespace mado::drv

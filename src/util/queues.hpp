@@ -204,6 +204,18 @@ class MpscQueue {
     return v;
   }
 
+  /// Pop, sleeping indefinitely until an item arrives. Consumers that use
+  /// this MUST have a wake protocol (a sentinel item pushed at shutdown) —
+  /// there is no timeout to fall out of. This is what lets an idle IO
+  /// thread cost zero wakeups instead of polling a timed wait.
+  T pop_blocking() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !q_.empty(); });
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
   /// Drain everything currently queued into `out`; returns count.
   std::size_t drain(std::vector<T>& out) {
     std::lock_guard<std::mutex> lk(mu_);

@@ -226,6 +226,58 @@ TEST(TimerWheel, NextDeadlineIsLowerBound) {
   clk.host.cancel(h2);
 }
 
+TEST(TimerWheel, CancelFromCallbackSuppressesAlreadyExtractedFire) {
+  // The cancel window, asserted as a hard invariant instead of the old
+  // "benign because owners guard semantically" comment: two timers due at
+  // the same tick are BOTH extracted from the wheel (armed=false) before
+  // any callback runs. The first callback cancels the second — too late to
+  // unlink it, so cancel() returns false — but the generation bump must
+  // still suppress the in-flight fire. The second callback NEVER runs.
+  FakeClock clk;
+  TimerHandle first, second;
+  bool second_fired = false;
+  std::uint64_t gen_before_cancel = 0;
+  bool cancel_returned = true;
+  second.set_callback([&](std::uint64_t) { second_fired = true; });
+  first.set_callback([&](std::uint64_t) {
+    gen_before_cancel = second.gen();
+    cancel_returned = clk.host.cancel(second);
+  });
+  const Nanos deadline = clk.t + kTick;
+  clk.host.arm(first, deadline);
+  clk.host.arm(second, deadline);
+  clk.advance_to(deadline);
+  // The entry had already left the wheel when cancel() ran...
+  EXPECT_FALSE(cancel_returned);
+  // ...but the generation was bumped anyway (the asserted invariant)...
+  EXPECT_GT(second.gen(), gen_before_cancel);
+  // ...so the stale fire was suppressed at the host layer.
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(clk.host.stale_suppressed_count(), 1u);
+  EXPECT_FALSE(clk.host.has_pending());
+}
+
+TEST(TimerWheel, ReArmFromCallbackSuppressesPriorExtractedFire) {
+  // Same window, re-arm flavor: the first callback re-arms the second
+  // handle to a later deadline while the second's ORIGINAL fire is already
+  // extracted. The original fire must be suppressed (its generation is
+  // stale) and only the re-armed deadline may run the callback.
+  FakeClock clk;
+  TimerHandle first, second;
+  int second_fires = 0;
+  first.set_callback(
+      [&](std::uint64_t) { clk.host.arm(second, clk.t + 100 * kTick); });
+  second.set_callback([&](std::uint64_t) { ++second_fires; });
+  const Nanos deadline = clk.t + kTick;
+  clk.host.arm(first, deadline);
+  clk.host.arm(second, deadline);
+  clk.advance_to(deadline);
+  EXPECT_EQ(second_fires, 0);  // original fire suppressed
+  EXPECT_EQ(clk.host.stale_suppressed_count(), 1u);
+  clk.advance_to(clk.t + 100 * kTick);
+  EXPECT_EQ(second_fires, 1);  // the re-arm fires normally
+}
+
 TEST(TimerWheel, HandleDestructionCancelsArmedTimer) {
   FakeClock clk;
   bool fired = false;

@@ -14,6 +14,7 @@
 #include "drivers/shm_driver.hpp"
 #include "drivers/sim_driver.hpp"
 #include "drivers/socket_driver.hpp"
+#include "drivers/udp_driver.hpp"
 #include "sim/fabric.hpp"
 #include "tests/drivers/test_helpers.hpp"
 
@@ -54,7 +55,7 @@ struct Harness {
   }
 };
 
-enum class Kind { Loopback, Shm, Sim, Socket };
+enum class Kind { Loopback, Shm, Sim, Socket, Udp };
 
 std::unique_ptr<Harness> make_harness(Kind kind) {
   auto h = std::make_unique<Harness>();
@@ -84,6 +85,15 @@ std::unique_ptr<Harness> make_harness(Kind kind) {
       h->b = std::move(pair.b);
       break;
     }
+    case Kind::Udp: {
+      // Real datagrams over 127.0.0.1. A clean loopback with the driver's
+      // flow-control window engaged delivers everything the contract asks
+      // for, including per-track FIFO (seq-ordered release).
+      auto pair = UdpEndpoint::make_pair(test_profile());
+      h->a = std::move(pair.a);
+      h->b = std::move(pair.b);
+      break;
+    }
   }
   Harness* raw = h.get();
   if (h->fabric) {
@@ -105,6 +115,7 @@ const char* kind_name(Kind k) {
     case Kind::Shm: return "shm";
     case Kind::Sim: return "sim";
     case Kind::Socket: return "socket";
+    case Kind::Udp: return "udp";
   }
   return "?";
 }
@@ -274,7 +285,8 @@ TEST_P(DriverConformanceTest, InvalidTrackRejected) {
 
 INSTANTIATE_TEST_SUITE_P(AllDrivers, DriverConformanceTest,
                          ::testing::Values(Kind::Loopback, Kind::Shm,
-                                           Kind::Sim, Kind::Socket),
+                                           Kind::Sim, Kind::Socket,
+                                           Kind::Udp),
                          [](const ::testing::TestParamInfo<Kind>& pi) {
                            return kind_name(pi.param);
                          });

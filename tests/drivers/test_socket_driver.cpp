@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -185,6 +186,89 @@ TEST_F(SocketDriverTest, EveryTokenGetsExactlyOneOutcomeAcrossPeerDeath) {
   if (!ha_.failures.empty()) {
     ASSERT_TRUE(pump_until([&] { return ha_.link_downs == 1; }));
     EXPECT_EQ(ha_.failures_at_link_down, ha_.failures.size());
+  }
+}
+
+TEST_F(SocketDriverTest, IdleTxThreadNeverWakes) {
+  // Regression for the 100 ms pop_wait poll tick: an idle TX thread used to
+  // wake 10×/s forever doing nothing. With the blocking wait it must not
+  // wake AT ALL while idle — one wakeup per queued item, one for the stop
+  // sentinel, zero in between.
+  std::this_thread::sleep_for(300ms);
+  EXPECT_EQ(a_->tx_wakeups(), 0u);
+  EXPECT_EQ(b_->tx_wakeups(), 0u);
+
+  constexpr std::uint64_t kN = 4;
+  for (std::uint64_t i = 0; i < kN; ++i)
+    send(*a_, kTrackEager, make_payload(32), i);
+  ASSERT_TRUE(pump_until([&] { return ha_.completions.size() == kN; }));
+  EXPECT_EQ(a_->tx_wakeups(), kN);
+
+  // Back to idle: the count must hold flat (a poll tick would keep it
+  // climbing here).
+  std::this_thread::sleep_for(300ms);
+  EXPECT_EQ(a_->tx_wakeups(), kN);
+}
+
+TEST_F(SocketDriverTest, TeardownOfIdleEndpointsIsPrompt) {
+  // close() wakes the TX thread with a sentinel rather than waiting out a
+  // poll tick; tearing down a fleet of idle endpoints must be quick. With
+  // the old 100 ms tick, 16 endpoints serialized through TearDown-style
+  // close() could stack up to 1.6 s; bound well below that.
+  constexpr std::size_t kPairs = 8;
+  std::vector<std::unique_ptr<SocketEndpoint>> eps;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    auto pair = SocketEndpoint::make_pair(test_profile());
+    eps.push_back(std::move(pair.a));
+    eps.push_back(std::move(pair.b));
+  }
+  std::this_thread::sleep_for(50ms);  // let everything park idle
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& ep : eps) ep->close();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 500ms);
+}
+
+TEST_F(SocketDriverTest, ConcurrentSendsRacingPeerDeathOneLinkDown) {
+  // Satellite for the LinkDownGate audit, shaped for TSan: a submitter
+  // thread bursts bulk sends while the peer dies underneath it and this
+  // thread pumps progress() concurrently. Contract: every accepted token
+  // gets exactly one outcome, all failures precede on_link_down, and
+  // on_link_down fires exactly once — no matter how the three threads
+  // (submitter, TX drain pump, progress) interleave.
+  constexpr std::uint64_t kN = 96;
+  std::atomic<std::uint64_t> accepted{0};
+  std::thread submitter([&] {
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      GatherList gl;
+      const Bytes p = make_payload(128 * 1024);
+      gl.add(p.data(), p.size());
+      a_->send(kTrackBulk, gl, i);
+      accepted.fetch_add(1, std::memory_order_release);
+      if (i == kN / 4) b_->close();  // peer dies mid-burst
+    }
+  });
+  submitter.join();
+  ASSERT_TRUE(pump_until([&] {
+    return ha_.completions.size() + ha_.failures.size() ==
+           accepted.load(std::memory_order_acquire);
+  }));
+  std::vector<bool> seen(kN, false);
+  for (const auto& c : ha_.completions) {
+    EXPECT_FALSE(seen[c.token]) << "duplicate outcome for " << c.token;
+    seen[c.token] = true;
+  }
+  for (const auto& f : ha_.failures) {
+    EXPECT_FALSE(seen[f.token]) << "duplicate outcome for " << f.token;
+    seen[f.token] = true;
+  }
+  if (!ha_.failures.empty()) {
+    ASSERT_TRUE(pump_until([&] { return ha_.link_downs == 1; }));
+    EXPECT_EQ(ha_.link_downs, 1);
+    EXPECT_EQ(ha_.failures_at_link_down, ha_.failures.size());
+    // Extra pumps must never produce a second report.
+    for (int i = 0; i < 100; ++i) a_->progress();
+    EXPECT_EQ(ha_.link_downs, 1);
   }
 }
 
