@@ -1,0 +1,281 @@
+// E14 — collective scaling curves (ISSUE 9): sweeps the planner-backed
+// allreduce and alltoall over 8..1024 simulated nodes and emits, per point,
+// the engine-measured sim virtual time, the planner's prediction, the
+// alpha-beta oracle lower bound and the optimality gap (measured / bound),
+// plus the old linear fan-out as the baseline curve.
+//
+// The world is connected edge-lazily: the schedule is planned first (pure,
+// no engine) and only the rank pairs it actually uses get a SimWorld link,
+// which is what makes 1024-node points feasible (a full mesh would be half
+// a million links). Every rank executes the SAME shared schedule instance
+// via Collectives::run_schedule.
+//
+// GATES (--no-assert to disable):
+//   - optimality: measured / alpha-beta-bound <= 3.0 at every swept point;
+//   - scaling: the planner-chosen algorithm beats the linear fan-out by
+//     >= 2x in sim virtual time for allreduce at >= 64 nodes.
+//
+// Flags: --smoke (nodes <= 64, smaller vectors), --no-assert, --out PATH,
+// --benchmark_* ignored.
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/world.hpp"
+#include "drivers/profiles.hpp"
+#include "mw/collectives.hpp"
+#include "tests/mw/collective_oracle.hpp"
+
+namespace {
+
+using namespace mado;
+using mw::CollAlgo;
+using mw::CollKind;
+using mw::CollRank;
+using mw::CollSchedule;
+using mw::CollStep;
+using mw::Collectives;
+
+/// The undirected rank pairs a schedule moves bytes between.
+std::set<std::pair<CollRank, CollRank>> used_pairs(const CollSchedule& s) {
+  std::set<std::pair<CollRank, CollRank>> pairs;
+  for (CollRank r = 0; r < s.size; ++r) {
+    for (const CollStep& st : s.ranks[r].steps) {
+      if (st.kind == CollStep::Kind::Copy) continue;
+      pairs.emplace(std::min(r, st.peer), std::max(r, st.peer));
+    }
+  }
+  return pairs;
+}
+
+struct Measure {
+  Nanos measured = 0;
+  CollAlgo algo = CollAlgo::Auto;   // what the planner actually emitted
+  std::size_t chunk = 0;
+  Nanos predicted = 0;
+  std::size_t links = 0;
+  bool verified = true;
+};
+
+/// Plan `kind` once, build an edge-only SimWorld, execute the shared
+/// schedule on every rank and measure the virtual-time span. `bytes` is the
+/// vector size (allreduce) or per-(src,dst) block size (alltoall).
+Measure run_point(CollKind kind, CollRank n, std::uint64_t bytes,
+                  CollAlgo algo, const drv::Capabilities& caps) {
+  mw::CollectivePlanner planner(mw::CollTopology::uniform(n, caps));
+  const std::size_t elem = kind == CollKind::Allreduce ? sizeof(double) : 1;
+  auto sched = planner.plan(kind, bytes, /*root=*/0, algo, elem);
+
+  const auto pairs = used_pairs(*sched);
+  core::SimWorld world(n);
+  for (const auto& [a, b] : pairs) world.connect(a, b, caps);
+
+  std::vector<std::unique_ptr<Collectives>> colls;
+  colls.reserve(n);
+  for (CollRank r = 0; r < n; ++r)
+    colls.push_back(std::make_unique<Collectives>(world.node(r), r, n));
+
+  // Buffers + ops. Allreduce: rank r contributes the constant (r+1), so
+  // every element of every result must equal n(n+1)/2. Alltoall: block d of
+  // rank r is filled with a (r,d)-dependent byte.
+  std::vector<std::vector<double>> din(n), dout(n);
+  std::vector<Bytes> bin(n), bout(n);
+  std::vector<std::unique_ptr<Collectives::Op>> ops;
+  if (kind == CollKind::Allreduce) {
+    const std::size_t cnt = static_cast<std::size_t>(bytes) / sizeof(double);
+    for (CollRank r = 0; r < n; ++r) {
+      din[r].assign(cnt, static_cast<double>(r + 1));
+      dout[r].assign(cnt, 0.0);
+      ops.push_back(colls[r]->run_schedule(sched, din[r].data(),
+                                           dout[r].data()));
+    }
+  } else {
+    const auto block = static_cast<std::size_t>(bytes);
+    for (CollRank r = 0; r < n; ++r) {
+      bin[r].resize(block * n);
+      for (CollRank d = 0; d < n; ++d)
+        std::memset(bin[r].data() + block * d,
+                    static_cast<int>((r * 13 + d * 7) & 0xff), block);
+      bout[r].assign(block * n, Byte{0});
+      ops.push_back(colls[r]->run_schedule(sched, bin[r].data(),
+                                           bout[r].data()));
+    }
+  }
+
+  std::vector<Collectives::Op*> raw;
+  raw.reserve(n);
+  for (auto& op : ops) raw.push_back(op.get());
+  const Nanos t0 = world.now();
+  const bool completed =
+      mw::drive_all([&world] { return world.fabric().step(); }, raw);
+
+  Measure m;
+  m.measured = world.now() - t0;
+  m.algo = sched->algo;
+  m.chunk = sched->chunk;
+  m.predicted = sched->predicted;
+  m.links = pairs.size();
+  m.verified = completed;
+  if (completed) {
+    if (kind == CollKind::Allreduce) {
+      const double expect = static_cast<double>(n) *
+                            static_cast<double>(n + 1) / 2.0;
+      for (CollRank r = 0; r < n && m.verified; ++r)
+        for (std::size_t i = 0; i < dout[r].size();
+             i += std::max<std::size_t>(1, dout[r].size() / 4))
+          if (dout[r][i] != expect) m.verified = false;
+    } else {
+      const auto block = static_cast<std::size_t>(bytes);
+      for (CollRank r = 0; r < n && m.verified; ++r)
+        for (CollRank s = 0; s < n; ++s) {
+          const auto want =
+              static_cast<Byte>((s * 13 + r * 7) & 0xff);  // s's block r
+          if (bout[r][block * s] != want ||
+              bout[r][block * s + block - 1] != want) {
+            m.verified = false;
+            break;
+          }
+        }
+    }
+  }
+  return m;
+}
+
+void emit(std::FILE* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  if (out) {
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, do_assert = true;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--no-assert") == 0) do_assert = false;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    // --benchmark_* and anything else: ignored (generic smoke loop).
+  }
+  std::FILE* out = out_path ? std::fopen(out_path, "w") : nullptr;
+
+  const drv::Capabilities caps = drv::mx_myrinet_profile();
+  constexpr double kMaxGap = 3.0;
+  constexpr double kMinSpeedup = 2.0;
+  int rc = 0;
+
+  // Allreduce curve: vector sizes stay beta-dominated but are scaled down
+  // at large node counts to bound the bench's own buffer footprint
+  // (n ranks x 2 vectors each).
+  const std::vector<CollRank> ar_nodes =
+      smoke ? std::vector<CollRank>{8, 16, 32, 64}
+            : std::vector<CollRank>{8, 16, 32, 64, 128, 256, 512, 1024};
+  for (const CollRank n : ar_nodes) {
+    const std::uint64_t bytes =
+        smoke ? std::uint64_t{256} * 1024
+              : std::min(std::uint64_t{1} << 20,
+                         (std::uint64_t{128} << 20) / n);
+    const Measure auto_m =
+        run_point(CollKind::Allreduce, n, bytes, CollAlgo::Auto, caps);
+    const Measure lin_m =
+        run_point(CollKind::Allreduce, n, bytes, CollAlgo::Linear, caps);
+    const Nanos bound =
+        mw::oracle::lower_bound(CollKind::Allreduce, n, bytes, caps);
+    const double gap = mw::oracle::gap(auto_m.measured, bound);
+    const double speedup =
+        auto_m.measured > 0
+            ? static_cast<double>(lin_m.measured) /
+                  static_cast<double>(auto_m.measured)
+            : 0.0;
+    emit(out,
+         "{\"bench\":\"e14_collectives\",\"op\":\"allreduce\","
+         "\"nodes\":%u,\"bytes\":%llu,\"algo\":\"%s\",\"chunk\":%zu,"
+         "\"links\":%zu,\"predicted_ns\":%llu,\"measured_ns\":%llu,"
+         "\"bound_ns\":%llu,\"gap\":%.3f,\"linear_ns\":%llu,"
+         "\"speedup_vs_linear\":%.2f}\n",
+         n, static_cast<unsigned long long>(bytes),
+         mw::to_string(auto_m.algo), auto_m.chunk, auto_m.links,
+         static_cast<unsigned long long>(auto_m.predicted),
+         static_cast<unsigned long long>(auto_m.measured),
+         static_cast<unsigned long long>(bound), gap,
+         static_cast<unsigned long long>(lin_m.measured), speedup);
+    if (!auto_m.verified || !lin_m.verified) {
+      std::fprintf(stderr, "FAIL: allreduce n=%u produced wrong sums\n", n);
+      rc = 1;
+    }
+    if (do_assert && gap > kMaxGap) {
+      std::fprintf(stderr,
+                   "FAIL: allreduce n=%u gap %.2fx exceeds %.1fx "
+                   "(measured %llu vs bound %llu ns)\n",
+                   n, gap, kMaxGap,
+                   static_cast<unsigned long long>(auto_m.measured),
+                   static_cast<unsigned long long>(bound));
+      rc = 1;
+    }
+    if (do_assert && n >= 64 && speedup < kMinSpeedup) {
+      std::fprintf(stderr,
+                   "FAIL: allreduce n=%u only %.2fx over linear "
+                   "(gate %.1fx)\n",
+                   n, speedup, kMinSpeedup);
+      rc = 1;
+    }
+  }
+
+  // Alltoall curve: fixed per-(src,dst) block. No linear baseline sweep —
+  // the direct exchange IS the linear family here, and at large n its
+  // all-pairs mesh is exactly what the lazy-edge world avoids; the gate for
+  // alltoall is the optimality gap alone.
+  const std::vector<CollRank> a2a_nodes =
+      smoke ? std::vector<CollRank>{8, 16}
+            : std::vector<CollRank>{8, 16, 32, 64, 128};
+  const std::uint64_t block = 4096;
+  for (const CollRank n : a2a_nodes) {
+    const Measure m =
+        run_point(CollKind::Alltoall, n, block, CollAlgo::Auto, caps);
+    const Nanos bound =
+        mw::oracle::lower_bound(CollKind::Alltoall, n, block, caps);
+    const double gap = mw::oracle::gap(m.measured, bound);
+    emit(out,
+         "{\"bench\":\"e14_collectives\",\"op\":\"alltoall\","
+         "\"nodes\":%u,\"bytes\":%llu,\"algo\":\"%s\",\"chunk\":%zu,"
+         "\"links\":%zu,\"predicted_ns\":%llu,\"measured_ns\":%llu,"
+         "\"bound_ns\":%llu,\"gap\":%.3f}\n",
+         n, static_cast<unsigned long long>(block), mw::to_string(m.algo),
+         m.chunk, m.links, static_cast<unsigned long long>(m.predicted),
+         static_cast<unsigned long long>(m.measured),
+         static_cast<unsigned long long>(bound), gap);
+    if (!m.verified) {
+      std::fprintf(stderr, "FAIL: alltoall n=%u delivered wrong blocks\n", n);
+      rc = 1;
+    }
+    if (do_assert && gap > kMaxGap) {
+      std::fprintf(stderr,
+                   "FAIL: alltoall n=%u gap %.2fx exceeds %.1fx "
+                   "(measured %llu vs bound %llu ns)\n",
+                   n, gap, kMaxGap,
+                   static_cast<unsigned long long>(m.measured),
+                   static_cast<unsigned long long>(bound));
+      rc = 1;
+    }
+  }
+
+  if (out) std::fclose(out);
+  if (rc == 0)
+    std::printf("OK: %zu allreduce + %zu alltoall points, every gap <= "
+                "%.1fx, planner >= %.1fx over linear at >= 64 nodes\n",
+                ar_nodes.size(), a2a_nodes.size(), kMaxGap, kMinSpeedup);
+  return rc;
+}

@@ -62,6 +62,12 @@ class IncomingMessage {
   /// application unpacked fewer fragments than the sender packed.
   void finish();
 
+  /// Non-blocking: true once every fragment (including Cheaper-registered
+  /// ones) has been fully delivered, i.e. finish() would not wait. Lets
+  /// cooperative state machines overlap in-flight receives instead of
+  /// blocking inside finish() one at a time.
+  bool ready() const;
+
   FragIdx fragments_unpacked() const { return next_; }
   MsgSeq sequence() const { return seq_; }
 

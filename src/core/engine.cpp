@@ -129,6 +129,24 @@ std::size_t Engine::rail_count(NodeId peer) const {
   return ps->rails.size();
 }
 
+drv::Capabilities Engine::rail_caps(NodeId peer, RailId rail) const {
+  PeerState* ps = find_peer(peer);
+  MADO_CHECK_MSG(ps != nullptr, "unknown peer " << peer);
+  std::lock_guard<std::mutex> lk(ps->mu);
+  MADO_CHECK_MSG(rail < ps->rails.size(), "no rail " << unsigned(rail)
+                                                     << " toward " << peer);
+  return ps->rails[rail]->ep->caps();
+}
+
+RailState Engine::rail_state(NodeId peer, RailId rail) const {
+  PeerState* ps = find_peer(peer);
+  MADO_CHECK_MSG(ps != nullptr, "unknown peer " << peer);
+  std::lock_guard<std::mutex> lk(ps->mu);
+  MADO_CHECK_MSG(rail < ps->rails.size(), "no rail " << unsigned(rail)
+                                                     << " toward " << peer);
+  return ps->rails[rail]->state;
+}
+
 Channel Engine::open_channel(NodeId peer, ChannelId id, TrafficClass cls) {
   MADO_CHECK_MSG(id != kRmaChannel,
                  "channel id is reserved for engine-internal RMA traffic");
@@ -2130,6 +2148,11 @@ void IncomingMessage::finish() {
   MADO_CHECK_MSG(!finished_, "finish called twice");
   eng_->finish_recv(peer_, ch_, seq_, next_);
   finished_ = true;
+}
+
+bool IncomingMessage::ready() const {
+  MADO_CHECK_MSG(!finished_, "ready after finish");
+  return eng_->recv_complete(peer_, ch_, seq_);
 }
 
 }  // namespace mado::core

@@ -91,6 +91,12 @@ class Engine final {
   RailId add_rail(NodeId peer, std::unique_ptr<drv::DriverEndpoint> ep);
   std::size_t rail_count(NodeId peer) const;
 
+  /// Capabilities advertised by rail `rail` toward `peer` (cost-model input
+  /// for planners; CHECK-fails on unknown peer/rail).
+  drv::Capabilities rail_caps(NodeId peer, RailId rail) const;
+  /// Current health of rail `rail` toward `peer`.
+  RailState rail_state(NodeId peer, RailId rail) const;
+
   /// Open a logical flow to `peer`. Both sides must use the same id.
   /// The peer map is resolved ONCE here; the returned Channel caches the
   /// peer shard so post() never touches the map again.
@@ -604,6 +610,7 @@ class Engine final {
                     void* peer_hint);
   MsgSeq attach_recv(NodeId peer, ChannelId ch);
   bool probe_recv(NodeId peer, ChannelId ch) const;
+  bool recv_complete(NodeId peer, ChannelId ch, MsgSeq seq) const;
   void post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
                    void* buf, std::size_t len);
   void wait_frag(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx);

@@ -683,6 +683,14 @@ bool Engine::probe_recv(NodeId peer, ChannelId ch) const {
   return it != ps->rx_msgs.end() && it->second.nfrags_total != 0;
 }
 
+bool Engine::recv_complete(NodeId peer, ChannelId ch, MsgSeq seq) const {
+  const PeerState* ps = find_peer(peer);
+  if (!ps) return false;
+  std::lock_guard<std::mutex> lk(ps->mu);
+  auto it = ps->rx_msgs.find({ch, seq});
+  return it != ps->rx_msgs.end() && it->second.complete();
+}
+
 void Engine::post_unpack(NodeId peer, ChannelId ch, MsgSeq seq, FragIdx idx,
                          void* buf, std::size_t len) {
   MADO_CHECK(buf != nullptr || len == 0);

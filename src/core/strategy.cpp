@@ -190,5 +190,73 @@ double stripe_shares(const std::vector<StripeRail>& rails,
   return (hi - lo) / hi * 100.0;
 }
 
+// ---- rate pricing ----------------------------------------------------------
+
+Nanos chunked_span(const drv::Capabilities& caps, std::uint64_t bytes,
+                   std::size_t chunk) {
+  if (bytes == 0) return 0;
+  if (chunk == 0 || chunk > bytes)
+    chunk = static_cast<std::size_t>(bytes);
+  const std::uint64_t full = bytes / chunk;
+  const std::uint64_t tail = bytes % chunk;
+  double span = 0.0;
+  if (full > 0) {
+    const double rate = stripe_rail_rate(caps, chunk);  // bytes/ns
+    span += static_cast<double>(full) * static_cast<double>(chunk) /
+            std::max(rate, 1e-12);
+  }
+  if (tail > 0) {
+    const double rate =
+        stripe_rail_rate(caps, static_cast<std::size_t>(tail));
+    span += static_cast<double>(tail) / std::max(rate, 1e-12);
+  }
+  return static_cast<Nanos>(span);
+}
+
+Nanos striped_span(const std::vector<StripeRail>& rails, std::uint64_t bytes,
+                   std::size_t chunk, std::size_t min_chunk) {
+  if (bytes == 0) return 0;
+  std::vector<std::uint64_t> shares;
+  stripe_shares(rails, bytes, chunk, min_chunk, shares);
+  double worst = 0.0;
+  std::uint64_t carried = 0;
+  for (std::size_t i = 0; i < rails.size(); ++i) {
+    if (shares[i] == 0) continue;
+    carried += shares[i];
+    const double rate = stripe_rail_rate(*rails[i].caps, chunk);
+    const double t = (static_cast<double>(rails[i].backlog_bytes) +
+                      static_cast<double>(shares[i])) /
+                     std::max(rate, 1e-12);
+    worst = std::max(worst, t);
+  }
+  if (carried == 0) return 0;
+  return static_cast<Nanos>(worst);
+}
+
+std::size_t pipeline_chunk(const drv::Capabilities& caps, std::uint64_t bytes,
+                           std::size_t depth, std::size_t min_chunk) {
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  if (depth <= 1 || bytes <= min_chunk)
+    return static_cast<std::size_t>(std::max<std::uint64_t>(bytes, 1));
+  auto cost = [&](std::size_t c) {
+    const auto units = (bytes + c - 1) / c;
+    const double rate = stripe_rail_rate(caps, c);
+    const double per = static_cast<double>(c) / std::max(rate, 1e-12);
+    return (static_cast<double>(depth - 1) + static_cast<double>(units)) *
+           per;
+  };
+  auto best = static_cast<std::size_t>(bytes);
+  double best_cost = cost(best);
+  for (std::size_t c = min_chunk; c < bytes; c *= 2) {
+    const double t = cost(c);
+    if (t < best_cost) {
+      best_cost = t;
+      best = c;
+    }
+    if (c > (std::numeric_limits<std::size_t>::max() / 2)) break;
+  }
+  return best;
+}
+
 }  // namespace strategy_detail
 }  // namespace mado::core

@@ -146,6 +146,35 @@ double stripe_shares(const std::vector<StripeRail>& rails,
                      std::size_t min_chunk,
                      std::vector<std::uint64_t>& shares);
 
+// ---- rate pricing (collective planner hook) --------------------------------
+//
+// The same per-chunk cost model stripe_rail_rate prices rails with, exposed
+// as span predictions so schedule planners (mw::CollectivePlanner) can price
+// candidate schedules and pick pipeline chunk sizes without re-deriving the
+// NIC arithmetic.
+
+/// Predicted span (ns) to push `bytes` through `caps` as back-to-back
+/// `chunk`-byte units, each priced like a stripe chunk (injection setup,
+/// wire occupancy at the effective bandwidth, inter-injection gap). The
+/// tail unit is priced at its actual size.
+Nanos chunked_span(const drv::Capabilities& caps, std::uint64_t bytes,
+                   std::size_t chunk);
+
+/// Aggregate span (ns) when `bytes` are water-filled across `rails` via
+/// stripe_shares: the slowest participating rail's drain+share time. Down
+/// rails receive no share; returns 0 when nothing can carry the bytes.
+Nanos striped_span(const std::vector<StripeRail>& rails, std::uint64_t bytes,
+                   std::size_t chunk, std::size_t min_chunk);
+
+/// Chunk size minimizing the classic pipeline bound
+///   (depth - 1 + ceil(bytes/c)) * per_chunk_time(c)
+/// over power-of-two candidates in [min_chunk, bytes], where per-chunk time
+/// comes from stripe_rail_rate pricing. `depth` is the number of pipeline
+/// hops (tree depth or chain length); returns `bytes` (no chunking) when
+/// bytes <= min_chunk or depth <= 1 leaves nothing to overlap.
+std::size_t pipeline_chunk(const drv::Capabilities& caps, std::uint64_t bytes,
+                           std::size_t depth, std::size_t min_chunk);
+
 }  // namespace strategy_detail
 
 }  // namespace mado::core

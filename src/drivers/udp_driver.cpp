@@ -283,7 +283,7 @@ void UdpLoop::run() {
       MADO_ERROR("udp: epoll_wait failed: " << std::strerror(errno));
       break;
     }
-    for (int i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
       if (evs[i].data.ptr == nullptr) {
         std::uint64_t drain = 0;
         while (::read(wakefd_, &drain, sizeof drain) > 0) {

@@ -1,0 +1,684 @@
+#include "mw/collective_planner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "core/strategy.hpp"
+#include "sim/nic_model.hpp"
+#include "util/assert.hpp"
+
+namespace mado::mw {
+
+using core::strategy_detail::chunked_span;
+using core::strategy_detail::pipeline_chunk;
+using core::strategy_detail::stripe_rail_rate;
+
+const char* to_string(CollKind k) {
+  switch (k) {
+    case CollKind::Barrier: return "barrier";
+    case CollKind::Bcast: return "bcast";
+    case CollKind::Reduce: return "reduce";
+    case CollKind::Allreduce: return "allreduce";
+    case CollKind::Alltoall: return "alltoall";
+  }
+  return "?";
+}
+
+const char* to_string(CollAlgo a) {
+  switch (a) {
+    case CollAlgo::Auto: return "auto";
+    case CollAlgo::Linear: return "linear";
+    case CollAlgo::Tree: return "tree";
+    case CollAlgo::Ring: return "ring";
+    case CollAlgo::Bucket: return "bucket";
+  }
+  return "?";
+}
+
+// ---- CollTopology ----------------------------------------------------------
+
+CollTopology CollTopology::uniform(CollRank n, const drv::Capabilities& caps,
+                                   std::size_t rails) {
+  MADO_CHECK(n > 0 && rails > 0);
+  CollTopology t;
+  t.nodes.resize(n);
+  for (auto& node : t.nodes)
+    node.rails.assign(rails, CollRail{caps, /*up=*/true});
+  return t;
+}
+
+bool CollTopology::rail_up(CollRank a, CollRank b, RailId r) const {
+  MADO_CHECK(a < size() && b < size());
+  const auto& ra = nodes[a].rails;
+  const auto& rb = nodes[b].rails;
+  const auto i = static_cast<std::size_t>(r);
+  return i < ra.size() && i < rb.size() && ra[i].up && rb[i].up;
+}
+
+RailId CollTopology::best_rail(CollRank a, CollRank b,
+                               std::size_t chunk) const {
+  MADO_CHECK(a < size() && b < size() && a != b);
+  const auto& ra = nodes[a].rails;
+  const auto& rb = nodes[b].rails;
+  const std::size_t m = std::min(ra.size(), rb.size());
+  double best = -1.0;
+  RailId pick = 0;
+  bool found = false;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (!ra[r].up || !rb[r].up) continue;
+    // The pair moves at the slower endpoint's predicted rate.
+    const double rr = std::min(stripe_rail_rate(ra[r].caps, chunk),
+                               stripe_rail_rate(rb[r].caps, chunk));
+    if (rr > best) {
+      best = rr;
+      pick = static_cast<RailId>(r);
+      found = true;
+    }
+  }
+  MADO_CHECK_MSG(found, "no up rail between ranks " << a << " and " << b);
+  return pick;
+}
+
+Nanos CollTopology::alpha(CollRank a, CollRank b, RailId rail) const {
+  const auto r = static_cast<std::size_t>(rail);
+  MADO_CHECK(a < size() && b < size() && r < nodes[a].rails.size());
+  (void)b;
+  const sim::NicModel model(nodes[a].rails[r].caps.cost);
+  return model.busy_time(1, 1) + model.propagation_latency();
+}
+
+double CollTopology::rate(CollRank a, CollRank b, RailId rail,
+                          std::size_t chunk) const {
+  const auto r = static_cast<std::size_t>(rail);
+  MADO_CHECK(a < size() && b < size());
+  MADO_CHECK(r < nodes[a].rails.size() && r < nodes[b].rails.size());
+  return std::min(stripe_rail_rate(nodes[a].rails[r].caps, chunk),
+                  stripe_rail_rate(nodes[b].rails[r].caps, chunk));
+}
+
+// ---- emission helpers ------------------------------------------------------
+
+namespace {
+
+using Kind = CollStep::Kind;
+using Buf = CollStep::Buf;
+using u64 = std::uint64_t;
+
+CollRank ceil_log2(CollRank n) {
+  CollRank l = 0;
+  while ((CollRank{1} << l) < n) ++l;
+  return l;
+}
+
+bool is_pow2(CollRank n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Element-aligned boundary of segment `i` when a `bytes`-long vector of
+/// `elem`-sized elements is cut into `nseg` segments.
+u64 seg_boundary(u64 bytes, std::size_t elem, CollRank nseg, CollRank i) {
+  const u64 ne = bytes / elem;
+  return (ne * i / nseg) * elem;
+}
+
+/// Emits steps into a schedule in root-relative vrank space. Every matched
+/// Send/Recv pair computes (rail, len) from identical inputs on both sides,
+/// so zero-length segments are skipped consistently and the per-pair FIFO
+/// stays aligned.
+struct Emitter {
+  const CollTopology& topo;
+  CollSchedule& s;
+  CollRank n;
+  CollRank root;
+
+  CollRank real(CollRank v) const { return (v + root) % n; }
+
+  RailId pair_rail(CollRank vfrom, CollRank vto, u64 len) const {
+    return topo.best_rail(real(vfrom), real(vto),
+                          static_cast<std::size_t>(len));
+  }
+
+  void send(CollRank vfrom, CollRank vto, Buf b, u64 off, u64 len) {
+    if (len == 0) return;
+    CollStep st;
+    st.kind = Kind::Send;
+    st.peer = real(vto);
+    st.rail = pair_rail(vfrom, vto, len);
+    st.buf = b;
+    st.offset = off;
+    st.len = len;
+    s.ranks[real(vfrom)].steps.push_back(st);
+  }
+
+  void recv(CollRank vto, CollRank vfrom, Buf b, u64 off, u64 len,
+            Kind kind = Kind::Recv) {
+    if (len == 0) return;
+    CollStep st;
+    st.kind = kind;
+    st.peer = real(vfrom);
+    st.rail = pair_rail(vfrom, vto, len);
+    st.buf = b;
+    st.offset = off;
+    st.len = len;
+    s.ranks[real(vto)].steps.push_back(st);
+  }
+
+  void recv_reduce(CollRank vto, CollRank vfrom, Buf b, u64 off, u64 len) {
+    recv(vto, vfrom, b, off, len, Kind::RecvReduce);
+  }
+
+  void copy(CollRank v, Buf dst, u64 dst_off, Buf src, u64 src_off,
+            u64 len) {
+    if (len == 0) return;
+    CollStep st;
+    st.kind = Kind::Copy;
+    st.buf = dst;
+    st.offset = dst_off;
+    st.len = len;
+    st.src_buf = src;
+    st.src_offset = src_off;
+    s.ranks[real(v)].steps.push_back(st);
+  }
+
+  /// Invoke f(off, len) for each pipeline chunk of [off0, off0+len0).
+  template <typename F>
+  void for_chunks(u64 off0, u64 len0, F&& f) const {
+    const u64 c = s.chunk;
+    if (c == 0 || c >= len0) {
+      if (len0 > 0) f(off0, len0);
+      return;
+    }
+    for (u64 p = 0; p < len0; p += c)
+      f(off0 + p, std::min<u64>(c, len0 - p));
+  }
+
+  u64 seg_off(CollRank i) const {
+    return seg_boundary(s.bytes, s.elem, n, i);
+  }
+  u64 seg_len(CollRank i) const { return seg_off(i + 1) - seg_off(i); }
+  /// Byte range covering segments [i, i + cnt).
+  u64 run_off(CollRank i) const { return seg_off(i); }
+  u64 run_len(CollRank i, CollRank cnt) const {
+    return seg_boundary(s.bytes, s.elem, n, i + cnt) - seg_off(i);
+  }
+};
+
+CollRank lowbit(CollRank v) { return v & (~v + 1); }
+
+/// Binomial-tree children of vrank v (ascending distance).
+std::vector<CollRank> tree_children(CollRank v, CollRank n) {
+  std::vector<CollRank> out;
+  const CollRank limit = v == 0 ? n : lowbit(v);
+  for (CollRank d = 1; d < limit && v + d < n; d *= 2) out.push_back(v + d);
+  return out;
+}
+
+// ---- barrier ---------------------------------------------------------------
+// Tokens are single bytes: scratch[0] is the constant send source,
+// scratch[1] the receive bin (overwritten per round; content is ignored).
+
+void emit_barrier_linear(Emitter& e) {
+  for (CollRank v = 1; v < e.n; ++v) {
+    e.send(v, 0, Buf::Scratch, 0, 1);
+    e.recv(0, v, Buf::Scratch, 1, 1);
+  }
+  for (CollRank v = 1; v < e.n; ++v) {
+    e.send(0, v, Buf::Scratch, 0, 1);
+    e.recv(v, 0, Buf::Scratch, 1, 1);
+  }
+  e.s.scratch_bytes = 2;
+}
+
+void emit_barrier_tree(Emitter& e) {
+  // Dissemination: round k notifies (v + 2^k) and awaits (v - 2^k).
+  for (CollRank v = 0; v < e.n; ++v) {
+    for (CollRank dist = 1; dist < e.n; dist *= 2) {
+      e.send(v, (v + dist) % e.n, Buf::Scratch, 0, 1);
+      e.recv(v, (v + e.n - dist) % e.n, Buf::Scratch, 1, 1);
+    }
+  }
+  e.s.scratch_bytes = 2;
+}
+
+void emit_barrier_ring(Emitter& e) {
+  // A token travels the ring twice: lap one proves everyone arrived, lap
+  // two releases everyone.
+  for (int lap = 0; lap < 2; ++lap) {
+    e.send(0, 1 % e.n, Buf::Scratch, 0, 1);
+    for (CollRank v = 1; v < e.n; ++v) {
+      e.recv(v, v - 1, Buf::Scratch, 1, 1);
+      e.send(v, (v + 1) % e.n, Buf::Scratch, 0, 1);
+    }
+    e.recv(0, e.n - 1, Buf::Scratch, 1, 1);
+  }
+  e.s.scratch_bytes = 2;
+}
+
+// ---- bcast -----------------------------------------------------------------
+// Payload lives in Out on every rank (the root's Out holds it up front).
+
+void emit_bcast_linear(Emitter& e) {
+  for (CollRank v = 1; v < e.n; ++v) {
+    e.send(0, v, Buf::Out, 0, e.s.bytes);
+    e.recv(v, 0, Buf::Out, 0, e.s.bytes);
+  }
+}
+
+void emit_bcast_tree(Emitter& e) {
+  for (CollRank v = 0; v < e.n; ++v) {
+    const auto children = tree_children(v, e.n);
+    e.for_chunks(0, e.s.bytes, [&](u64 off, u64 len) {
+      if (v != 0) e.recv(v, v - lowbit(v), Buf::Out, off, len);
+      // Largest subtree first so the deep branch starts soonest.
+      for (auto it = children.rbegin(); it != children.rend(); ++it)
+        e.send(v, *it, Buf::Out, off, len);
+    });
+  }
+}
+
+void emit_bcast_ring(Emitter& e) {
+  for (CollRank v = 0; v < e.n; ++v) {
+    e.for_chunks(0, e.s.bytes, [&](u64 off, u64 len) {
+      if (v > 0) e.recv(v, v - 1, Buf::Out, off, len);
+      if (v + 1 < e.n) e.send(v, v + 1, Buf::Out, off, len);
+    });
+  }
+}
+
+void emit_bcast_bucket(Emitter& e) {
+  // Binomial scatter of n segments, then a ring allgather: moves
+  // ~2x the vector instead of log2(n)x.
+  auto subtree = [&](CollRank v) {
+    const CollRank limit = v == 0 ? e.n : lowbit(v);
+    return std::min<CollRank>(limit, e.n - v);
+  };
+  for (CollRank v = 0; v < e.n; ++v) {
+    if (v != 0)
+      e.recv(v, v - lowbit(v), Buf::Out, e.run_off(v),
+             e.run_len(v, subtree(v)));
+    const auto children = tree_children(v, e.n);
+    for (auto it = children.rbegin(); it != children.rend(); ++it)
+      e.send(v, *it, Buf::Out, e.run_off(*it), e.run_len(*it, subtree(*it)));
+    // Ring allgather: in round k, pass segment (v - k) right while segment
+    // (v - k - 1) arrives from the left.
+    for (CollRank k = 0; k + 1 < e.n; ++k) {
+      const CollRank give = (v + e.n - k % e.n) % e.n;
+      const CollRank get = (v + 2 * e.n - k % e.n - 1) % e.n;
+      e.send(v, (v + 1) % e.n, Buf::Out, e.seg_off(give), e.seg_len(give));
+      e.recv(v, (v + e.n - 1) % e.n, Buf::Out, e.seg_off(get),
+             e.seg_len(get));
+    }
+  }
+}
+
+// ---- reduce ----------------------------------------------------------------
+// Ranks that fold partial sums copy In -> Out first and operate on Out;
+// pure leaves ship In directly.
+
+void emit_reduce_linear(Emitter& e) {
+  e.copy(0, Buf::Out, 0, Buf::In, 0, e.s.bytes);
+  for (CollRank v = 1; v < e.n; ++v) {
+    e.send(v, 0, Buf::In, 0, e.s.bytes);
+    e.recv_reduce(0, v, Buf::Out, 0, e.s.bytes);
+  }
+}
+
+void emit_reduce_tree(Emitter& e) {
+  for (CollRank v = 0; v < e.n; ++v) {
+    const auto children = tree_children(v, e.n);
+    const Buf src = children.empty() ? Buf::In : Buf::Out;
+    if (!children.empty()) e.copy(v, Buf::Out, 0, Buf::In, 0, e.s.bytes);
+    e.for_chunks(0, e.s.bytes, [&](u64 off, u64 len) {
+      for (CollRank c : children) e.recv_reduce(v, c, Buf::Out, off, len);
+      if (v != 0) e.send(v, v - lowbit(v), src, off, len);
+    });
+  }
+}
+
+void emit_reduce_ring(Emitter& e) {
+  // Pipelined chain: partial sums flow n-1 -> 0.
+  for (CollRank v = 0; v < e.n; ++v) {
+    const bool folds = v + 1 < e.n;
+    if (folds) e.copy(v, Buf::Out, 0, Buf::In, 0, e.s.bytes);
+    e.for_chunks(0, e.s.bytes, [&](u64 off, u64 len) {
+      if (folds) e.recv_reduce(v, v + 1, Buf::Out, off, len);
+      if (v > 0) e.send(v, v - 1, folds ? Buf::Out : Buf::In, off, len);
+    });
+  }
+}
+
+// ---- allreduce -------------------------------------------------------------
+
+void emit_allreduce_bucket(Emitter& e) {
+  for (CollRank v = 0; v < e.n; ++v)
+    e.copy(v, Buf::Out, 0, Buf::In, 0, e.s.bytes);
+  if (is_pow2(e.n)) {
+    // Recursive halving reduce-scatter + recursive doubling allgather
+    // (Rabenseifner). Track each vrank's surviving segment run.
+    for (CollRank v = 0; v < e.n; ++v) {
+      CollRank s0 = 0, cnt = e.n;
+      for (CollRank d = e.n / 2; d >= 1; d /= 2) {
+        const CollRank partner = v ^ d;
+        const CollRank half = cnt / 2;
+        const CollRank keep = (v & d) ? s0 + half : s0;
+        const CollRank give = (v & d) ? s0 : s0 + half;
+        e.send(v, partner, Buf::Out, e.run_off(give), e.run_len(give, half));
+        e.recv_reduce(v, partner, Buf::Out, e.run_off(keep),
+                      e.run_len(keep, half));
+        s0 = keep;
+        cnt = half;
+        if (d == 1) break;
+      }
+      for (CollRank d = 1; d < e.n; d *= 2) {
+        const CollRank partner = v ^ d;
+        const CollRank mine = (v / d) * d;
+        const CollRank theirs = (partner / d) * d;
+        e.send(v, partner, Buf::Out, e.run_off(mine), e.run_len(mine, d));
+        e.recv(v, partner, Buf::Out, e.run_off(theirs),
+               e.run_len(theirs, d));
+      }
+    }
+  } else {
+    // Classic ring allreduce: n-1 reduce-scatter rounds leave vrank v
+    // owning segment (v+1) mod n, then n-1 allgather rounds circulate it.
+    for (CollRank v = 0; v < e.n; ++v) {
+      const CollRank right = (v + 1) % e.n;
+      const CollRank left = (v + e.n - 1) % e.n;
+      for (CollRank k = 0; k + 1 < e.n; ++k) {
+        const CollRank give = (v + e.n - k % e.n) % e.n;
+        const CollRank get = (v + 2 * e.n - k % e.n - 1) % e.n;
+        e.send(v, right, Buf::Out, e.seg_off(give), e.seg_len(give));
+        e.recv_reduce(v, left, Buf::Out, e.seg_off(get), e.seg_len(get));
+      }
+      for (CollRank k = 0; k + 1 < e.n; ++k) {
+        const CollRank give = (v + 1 + e.n - k % e.n) % e.n;
+        const CollRank get = (v + e.n - k % e.n) % e.n;
+        e.send(v, right, Buf::Out, e.seg_off(give), e.seg_len(give));
+        e.recv(v, left, Buf::Out, e.seg_off(get), e.seg_len(get));
+      }
+    }
+  }
+}
+
+// ---- alltoall --------------------------------------------------------------
+// bytes == per-(src,dst) block; In/Out are n*bytes long.
+
+void emit_alltoall_linear(Emitter& e) {
+  const u64 b = e.s.bytes;
+  for (CollRank v = 0; v < e.n; ++v) {
+    e.copy(v, Buf::Out, u64{e.real(v)} * b, Buf::In, u64{e.real(v)} * b, b);
+    for (CollRank u = 0; u < e.n; ++u)
+      if (u != v) e.send(v, u, Buf::In, u64{e.real(u)} * b, b);
+    for (CollRank u = 0; u < e.n; ++u)
+      if (u != v) e.recv(v, u, Buf::Out, u64{e.real(u)} * b, b);
+  }
+}
+
+void emit_alltoall_ring(Emitter& e) {
+  // Staggered rotation: in round k, send to (v+k) while (v-k)'s block
+  // arrives — every rank keeps exactly one send and one recv in flight.
+  const u64 b = e.s.bytes;
+  for (CollRank v = 0; v < e.n; ++v) {
+    e.copy(v, Buf::Out, u64{e.real(v)} * b, Buf::In, u64{e.real(v)} * b, b);
+    for (CollRank k = 1; k < e.n; ++k) {
+      const CollRank dst = (v + k) % e.n;
+      const CollRank src = (v + e.n - k) % e.n;
+      e.send(v, dst, Buf::In, u64{e.real(dst)} * b, b);
+      e.recv(v, src, Buf::Out, u64{e.real(src)} * b, b);
+    }
+  }
+}
+
+void emit_alltoall_bruck(Emitter& e) {
+  // Bruck: ceil(log2 n) rounds of one aggregated message each, trading
+  // bandwidth (each block moves up to log n times) for latency. Scratch
+  // holds the rotated working set (n blocks) plus a pack/unpack staging
+  // area; Safe sends snapshot payloads at post time, so the reply can land
+  // in the same staging bytes.
+  const u64 b = e.s.bytes;
+  const u64 pack0 = u64{e.n} * b;  // staging area after the working set
+  u64 max_blocks = 0;
+  for (CollRank v = 0; v < e.n; ++v) {
+    for (CollRank i = 0; i < e.n; ++i)
+      e.copy(v, Buf::Scratch, u64{i} * b, Buf::In,
+             u64{(v + i) % e.n} * b, b);
+    for (CollRank d = 1; d < e.n; d *= 2) {
+      std::vector<CollRank> sel;
+      for (CollRank i = 1; i < e.n; ++i)
+        if (i & d) sel.push_back(i);
+      max_blocks = std::max<u64>(max_blocks, sel.size());
+      for (std::size_t j = 0; j < sel.size(); ++j)
+        e.copy(v, Buf::Scratch, pack0 + u64{j} * b, Buf::Scratch,
+               u64{sel[j]} * b, b);
+      const u64 plen = u64{sel.size()} * b;
+      e.send(v, (v + d) % e.n, Buf::Scratch, pack0, plen);
+      e.recv(v, (v + e.n - d % e.n) % e.n, Buf::Scratch, pack0, plen);
+      for (std::size_t j = 0; j < sel.size(); ++j)
+        e.copy(v, Buf::Scratch, u64{sel[j]} * b, Buf::Scratch,
+               pack0 + u64{j} * b, b);
+    }
+    for (CollRank i = 0; i < e.n; ++i)
+      e.copy(v, Buf::Out, u64{(e.real(v) + e.n - i % e.n) % e.n} * b,
+             Buf::Scratch, u64{i} * b, b);
+  }
+  e.s.scratch_bytes = (u64{e.n} + max_blocks) * b;
+}
+
+}  // namespace
+
+// ---- CollectivePlanner -----------------------------------------------------
+
+CollectivePlanner::CollectivePlanner(CollTopology topo)
+    : topo_(std::move(topo)) {
+  MADO_CHECK(topo_.size() > 0);
+}
+
+namespace {
+
+/// Resolve algorithm aliases: families an op has no distinct shape for
+/// degrade to the nearest one that exists.
+CollAlgo resolve_algo(CollKind kind, CollAlgo algo) {
+  MADO_CHECK(algo != CollAlgo::Auto);
+  if (algo == CollAlgo::Bucket &&
+      (kind == CollKind::Barrier || kind == CollKind::Reduce))
+    return CollAlgo::Tree;
+  if (algo == CollAlgo::Bucket && kind == CollKind::Alltoall)
+    return CollAlgo::Ring;
+  return algo;
+}
+
+/// Pipeline depth of the chunked families (hops on the longest path).
+std::size_t pipeline_depth(CollKind kind, CollAlgo algo, CollRank n) {
+  const std::size_t tree = std::max<std::size_t>(ceil_log2(n), 1);
+  const std::size_t chain = std::max<std::size_t>(n - 1, 1);
+  const std::size_t d = algo == CollAlgo::Ring ? chain : tree;
+  // Allreduce chains a reduce and a bcast of the same vector.
+  return kind == CollKind::Allreduce ? 2 * d : d;
+}
+
+bool wants_chunking(CollKind kind, CollAlgo algo) {
+  if (algo != CollAlgo::Tree && algo != CollAlgo::Ring) return false;
+  return kind == CollKind::Bcast || kind == CollKind::Reduce ||
+         kind == CollKind::Allreduce;
+}
+
+}  // namespace
+
+Nanos CollectivePlanner::simulate(const CollSchedule& s) const {
+  const CollRank n = s.size;
+  MADO_CHECK(n == topo_.size() && s.ranks.size() == n);
+  std::vector<std::size_t> pc(n, 0);
+  std::vector<double> t(n, 0.0);
+  // Per ordered (sender, receiver) pair: FIFO of predicted arrival times.
+  std::unordered_map<std::uint64_t, std::deque<double>> chan;
+  auto key = [](CollRank a, CollRank b) {
+    return (std::uint64_t{a} << 32) | b;
+  };
+  std::size_t remaining = 0;
+  for (const auto& rp : s.ranks) remaining += rp.steps.size();
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (CollRank r = 0; r < n; ++r) {
+      const auto& steps = s.ranks[r].steps;
+      while (pc[r] < steps.size()) {
+        const CollStep& st = steps[pc[r]];
+        if (st.kind == Kind::Recv || st.kind == Kind::RecvReduce) {
+          auto it = chan.find(key(st.peer, r));
+          if (it == chan.end() || it->second.empty()) break;  // blocked
+          t[r] = std::max(t[r], it->second.front());
+          it->second.pop_front();
+        } else if (st.kind == Kind::Send) {
+          const auto& caps =
+              topo_.nodes[r].rails[static_cast<std::size_t>(st.rail)].caps;
+          const auto span = static_cast<double>(chunked_span(
+              caps, st.len, static_cast<std::size_t>(st.len)));
+          const sim::NicModel model(caps.cost);
+          t[r] += span;
+          chan[key(r, st.peer)].push_back(
+              t[r] + static_cast<double>(model.propagation_latency()));
+        }
+        // Copy: host memcpy, free in simulated virtual time.
+        ++pc[r];
+        --remaining;
+        progressed = true;
+      }
+    }
+    MADO_CHECK_MSG(progressed || remaining == 0,
+                   "collective schedule deadlocked in simulation ("
+                       << to_string(s.kind) << "/" << to_string(s.algo)
+                       << " n=" << n << ")");
+  }
+  double worst = 0.0;
+  for (CollRank r = 0; r < n; ++r) worst = std::max(worst, t[r]);
+  return static_cast<Nanos>(worst);
+}
+
+std::shared_ptr<const CollSchedule> CollectivePlanner::plan(
+    CollKind kind, std::uint64_t bytes, CollRank root, CollAlgo algo,
+    std::size_t elem) const {
+  const CollRank n = topo_.size();
+  MADO_CHECK(root < n);
+  MADO_CHECK(elem > 0 && bytes % elem == 0);
+  if (kind == CollKind::Barrier) bytes = 0;
+
+  auto emit_one = [&](CollAlgo a) {
+    auto s = std::make_shared<CollSchedule>();
+    s->kind = kind;
+    s->algo = a;
+    s->size = n;
+    s->root = (kind == CollKind::Barrier || kind == CollKind::Allreduce ||
+               kind == CollKind::Alltoall)
+                  ? 0
+                  : root;
+    s->bytes = bytes;
+    s->elem = elem;
+    s->ranks.resize(n);
+
+    // Trivial single-rank job: reductions/alltoall still move In -> Out.
+    if (n == 1) {
+      Emitter e{topo_, *s, n, s->root};
+      if (kind == CollKind::Reduce || kind == CollKind::Allreduce ||
+          kind == CollKind::Alltoall)
+        e.copy(0, Buf::Out, 0, Buf::In, 0, bytes);
+      s->predicted = 0;
+      return s;
+    }
+
+    if (wants_chunking(kind, a) && bytes > 0) {
+      // Price the pipeline with a representative rail (root toward its
+      // first partner); chunks below the rendezvous threshold would trade
+      // the bulk path for per-message overhead, so floor there.
+      const CollRank r0 = s->root;
+      const CollRank r1 = (r0 + 1) % n;
+      const RailId rail =
+          topo_.best_rail(r0, r1, static_cast<std::size_t>(bytes));
+      const auto& caps = topo_.nodes[r0].rails[rail].caps;
+      const std::size_t min_chunk =
+          std::max<std::size_t>(elem, caps.rdv_threshold);
+      std::size_t chunk = pipeline_chunk(
+          caps, bytes, pipeline_depth(kind, a, n), min_chunk);
+      // Respect element alignment and keep the schedule size bounded.
+      const u64 max_chunks = 512;
+      if ((bytes + chunk - 1) / chunk > max_chunks)
+        chunk = static_cast<std::size_t>((bytes + max_chunks - 1) /
+                                         max_chunks);
+      chunk = std::max(elem, chunk / elem * elem);
+      if (chunk < bytes) s->chunk = chunk;
+    }
+
+    Emitter e{topo_, *s, n, s->root};
+    switch (kind) {
+      case CollKind::Barrier:
+        if (a == CollAlgo::Linear) emit_barrier_linear(e);
+        else if (a == CollAlgo::Ring) emit_barrier_ring(e);
+        else emit_barrier_tree(e);
+        break;
+      case CollKind::Bcast:
+        if (a == CollAlgo::Linear) emit_bcast_linear(e);
+        else if (a == CollAlgo::Ring) emit_bcast_ring(e);
+        else if (a == CollAlgo::Bucket) emit_bcast_bucket(e);
+        else emit_bcast_tree(e);
+        break;
+      case CollKind::Reduce:
+        if (a == CollAlgo::Linear) emit_reduce_linear(e);
+        else if (a == CollAlgo::Ring) emit_reduce_ring(e);
+        else emit_reduce_tree(e);
+        break;
+      case CollKind::Allreduce:
+        if (a == CollAlgo::Linear) {
+          emit_reduce_linear(e);
+          emit_bcast_linear(e);
+        } else if (a == CollAlgo::Ring) {
+          emit_reduce_ring(e);
+          emit_bcast_ring(e);
+        } else if (a == CollAlgo::Bucket) {
+          emit_allreduce_bucket(e);
+        } else {
+          emit_reduce_tree(e);
+          emit_bcast_tree(e);
+        }
+        break;
+      case CollKind::Alltoall:
+        if (a == CollAlgo::Linear) emit_alltoall_linear(e);
+        else if (a == CollAlgo::Ring) emit_alltoall_ring(e);
+        else emit_alltoall_bruck(e);
+        break;
+    }
+    s->predicted = simulate(*s);
+    return s;
+  };
+
+  if (algo != CollAlgo::Auto) return emit_one(resolve_algo(kind, algo));
+
+  // Auto: price every distinct candidate family and keep the cheapest
+  // (ties go to the earlier candidate — the tree family).
+  std::vector<CollAlgo> cands;
+  switch (kind) {
+    case CollKind::Barrier:
+      cands = {CollAlgo::Tree, CollAlgo::Ring, CollAlgo::Linear};
+      break;
+    case CollKind::Bcast:
+      cands = {CollAlgo::Tree, CollAlgo::Bucket, CollAlgo::Ring,
+               CollAlgo::Linear};
+      break;
+    case CollKind::Reduce:
+      cands = {CollAlgo::Tree, CollAlgo::Ring, CollAlgo::Linear};
+      break;
+    case CollKind::Allreduce:
+      cands = {CollAlgo::Tree, CollAlgo::Bucket, CollAlgo::Ring,
+               CollAlgo::Linear};
+      break;
+    case CollKind::Alltoall:
+      cands = {CollAlgo::Tree, CollAlgo::Ring, CollAlgo::Linear};
+      break;
+  }
+  std::shared_ptr<const CollSchedule> best;
+  for (CollAlgo a : cands) {
+    auto s = emit_one(a);
+    if (!best || s->predicted < best->predicted) best = std::move(s);
+  }
+  return best;
+}
+
+}  // namespace mado::mw

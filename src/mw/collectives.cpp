@@ -1,74 +1,90 @@
 #include "mw/collectives.hpp"
 
 #include <cstring>
+#include <optional>
 
 #include "util/assert.hpp"
 
 namespace mado::mw {
 
 namespace {
-
-/// One scheduled action of a rank's collective script. Scripts execute
-/// strictly in order, so a DeferredSend that reads a buffer is guaranteed
-/// to run after the Recv/Compute that filled it.
-struct Action {
-  enum class Kind { Recv, Compute } kind = Kind::Compute;
-  // Recv:
-  Collectives::Rank peer = 0;
-  Byte* recv_buf = nullptr;
-  std::size_t recv_len = 0;
-  std::shared_ptr<Bytes> recv_scratch;  // owns recv_buf when set
-  // Compute (also used for deferred sends, which post inside the lambda):
-  std::function<void()> compute;
-};
-
-Action make_recv(Collectives::Rank peer, void* buf, std::size_t len) {
-  Action a;
-  a.kind = Action::Kind::Recv;
-  a.peer = peer;
-  a.recv_buf = static_cast<Byte*>(buf);
-  a.recv_len = len;
-  return a;
-}
-
-Action make_recv_scratch(Collectives::Rank peer,
-                         std::shared_ptr<Bytes> scratch) {
-  Action a;
-  a.kind = Action::Kind::Recv;
-  a.peer = peer;
-  a.recv_buf = scratch->data();
-  a.recv_len = scratch->size();
-  a.recv_scratch = std::move(scratch);
-  return a;
-}
-
-Action make_compute(std::function<void()> fn) {
-  Action a;
-  a.kind = Action::Kind::Compute;
-  a.compute = std::move(fn);
-  return a;
-}
-
+using Kind = CollStep::Kind;
+using Buf = CollStep::Buf;
 }  // namespace
 
-/// Sequential script executor with the non-blocking step contract.
-class CollectiveOp final : public Collectives::Op {
+/// Executes one rank's slice of a CollSchedule with the non-blocking step
+/// contract. Steps run strictly in order; receives are two-phase so step()
+/// never blocks: probe() gates attaching, the buffer is registered with
+/// RecvMode::Cheaper (which answers a rendezvous RTS with its CTS
+/// immediately, letting every rank's bulk fly concurrently), and
+/// completion is polled via IncomingMessage::ready(). RecvReduce lands in
+/// a staging buffer and folds into the destination (sum of doubles).
+/// Sends snapshot their payload at post time (SendMode::Safe), which is
+/// what lets Bruck reuse its staging area for the reply.
+class ScheduleOp final : public Collectives::Op {
  public:
-  CollectiveOp(Collectives& coll, std::vector<Action> script)
-      : coll_(coll), script_(std::move(script)) {}
+  ScheduleOp(Collectives& coll, std::shared_ptr<const CollSchedule> s,
+             const void* in, void* out)
+      : coll_(coll),
+        sched_(std::move(s)),
+        in_(static_cast<const Byte*>(in)),
+        out_(static_cast<Byte*>(out)),
+        steps_(&sched_->ranks[coll.rank()].steps) {
+    scratch_.assign(static_cast<std::size_t>(sched_->scratch_bytes),
+                    Byte{0});
+    std::size_t staging = 0;
+    for (const CollStep& st : *steps_)
+      if (st.kind == Kind::RecvReduce)
+        staging = std::max(staging, static_cast<std::size_t>(st.len));
+    // double-aligned staging for the reduction arithmetic
+    staging_.resize((staging + sizeof(double) - 1) / sizeof(double));
+  }
 
   bool step() override {
     bool progressed = false;
-    while (pc_ < script_.size()) {
-      Action& a = script_[pc_];
-      if (a.kind == Action::Kind::Recv) {
-        core::Channel& ch = coll_.channel_to(a.peer);
-        if (!ch.probe()) return progressed;  // peer hasn't posted yet
-        core::IncomingMessage im = ch.begin_recv();
-        im.unpack(a.recv_buf, a.recv_len, core::RecvMode::Express);
-        im.finish();
-      } else {
-        a.compute();
+    while (pc_ < steps_->size()) {
+      const CollStep& st = (*steps_)[pc_];
+      switch (st.kind) {
+        case Kind::Send: {
+          core::Message m;
+          m.pack(read_ptr(st.buf) + st.offset,
+                 static_cast<std::size_t>(st.len), core::SendMode::Safe);
+          coll_.channel_to(st.peer).post(std::move(m));
+          coll_.engine().stats().inc("coll.sends");
+          coll_.engine().stats().inc("coll.bytes", st.len);
+          break;
+        }
+        case Kind::Recv:
+        case Kind::RecvReduce: {
+          if (!pending_) {
+            core::Channel& ch = coll_.channel_to(st.peer);
+            if (!ch.probe()) return progressed;
+            pending_.emplace(ch.begin_recv());
+            void* dst = st.kind == Kind::Recv
+                            ? static_cast<void*>(write_ptr(st.buf) +
+                                                 st.offset)
+                            : static_cast<void*>(staging_.data());
+            pending_->unpack(dst, static_cast<std::size_t>(st.len),
+                             core::RecvMode::Cheaper);
+            progressed = true;  // registered the buffer / answered the RTS
+          }
+          if (!pending_->ready()) return progressed;
+          pending_->finish();  // already complete: does not wait
+          pending_.reset();
+          if (st.kind == Kind::RecvReduce) {
+            auto* dst =
+                reinterpret_cast<double*>(write_ptr(st.buf) + st.offset);
+            const std::size_t cnt =
+                static_cast<std::size_t>(st.len) / sizeof(double);
+            for (std::size_t i = 0; i < cnt; ++i) dst[i] += staging_[i];
+          }
+          break;
+        }
+        case Kind::Copy:
+          std::memcpy(write_ptr(st.buf) + st.offset,
+                      read_ptr(st.src_buf) + st.src_offset,
+                      static_cast<std::size_t>(st.len));
+          break;
       }
       ++pc_;
       progressed = true;
@@ -76,12 +92,33 @@ class CollectiveOp final : public Collectives::Op {
     return progressed;
   }
 
-  bool done() const override { return pc_ >= script_.size(); }
+  bool done() const override { return pc_ >= steps_->size(); }
 
  private:
+  const Byte* read_ptr(Buf b) const {
+    switch (b) {
+      case Buf::In: return in_ != nullptr ? in_ : out_;  // bcast: data in Out
+      case Buf::Out: return out_;
+      case Buf::Scratch: return scratch_.data();
+    }
+    return nullptr;
+  }
+  Byte* write_ptr(Buf b) {
+    MADO_CHECK_MSG(b != Buf::In, "schedule writes into read-only input");
+    return b == Buf::Out ? out_ : scratch_.data();
+  }
+
   Collectives& coll_;
-  std::vector<Action> script_;
+  std::shared_ptr<const CollSchedule> sched_;
+  const Byte* in_;
+  Byte* out_;
+  const std::vector<CollStep>* steps_;
+  Bytes scratch_;
+  std::vector<double> staging_;
   std::size_t pc_ = 0;
+  /// The in-flight receive of the current step, if any (at most one:
+  /// steps execute strictly in local order).
+  std::optional<core::IncomingMessage> pending_;
 };
 
 Collectives::Collectives(core::Engine& engine, Rank rank, Rank size,
@@ -106,121 +143,131 @@ core::Channel& Collectives::channel_to(Rank peer) {
   return it->second;
 }
 
-/// Deferred send: snapshots `len` bytes from `src` at execution time and
-/// posts them to `peer`. Sequential scripts make this safe.
-static Action make_deferred_send(Collectives& coll, Collectives::Rank peer,
-                                 const void* src, std::size_t len) {
-  return make_compute([&coll, peer, src, len] {
-    core::Message m;
-    m.pack(src, len, core::SendMode::Safe);
-    coll.channel_to(peer).post(std::move(m));
-  });
+void Collectives::ensure_planner() {
+  if (planner_) return;
+  CollTopology topo;
+  if (size_ == 1) {
+    topo = CollTopology::uniform(1, drv::Capabilities{});
+  } else {
+    // Engine-local view: this rank's rails toward its first partner stand
+    // in for every pair (uniform worlds — the common case). Heterogeneous
+    // or failure-aware jobs install an explicit topology on every rank.
+    const Rank peer = rank_ == 0 ? 1 : 0;
+    const core::NodeId node = rank_to_node_(peer);
+    const std::size_t rails = engine_.rail_count(node);
+    MADO_CHECK_MSG(rails > 0, "no rails toward rank " << peer);
+    CollNode self;
+    for (std::size_t r = 0; r < rails; ++r) {
+      const auto rid = static_cast<RailId>(r);
+      self.rails.push_back(
+          CollRail{engine_.rail_caps(node, rid),
+                   engine_.rail_state(node, rid) != core::RailState::Down});
+    }
+    topo.nodes.assign(size_, self);
+  }
+  planner_ = std::make_unique<CollectivePlanner>(std::move(topo));
+}
+
+const CollectivePlanner& Collectives::planner() {
+  ensure_planner();
+  return *planner_;
+}
+
+void Collectives::set_algorithm(CollAlgo algo) {
+  algo_ = algo;
+  plan_cache_.clear();
+}
+
+void Collectives::set_topology(CollTopology topo) {
+  MADO_CHECK(topo.size() == size_);
+  planner_ = std::make_unique<CollectivePlanner>(std::move(topo));
+  plan_cache_.clear();
+}
+
+std::shared_ptr<const CollSchedule> Collectives::plan_cached(
+    CollKind kind, std::uint64_t bytes, Rank root, std::size_t elem) {
+  ensure_planner();
+  const auto key = std::make_tuple(static_cast<int>(kind),
+                                   static_cast<int>(algo_), bytes, root);
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    it = plan_cache_
+             .emplace(key, planner_->plan(kind, bytes, root, algo_, elem))
+             .first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<Collectives::Op> Collectives::run_schedule(
+    std::shared_ptr<const CollSchedule> s, const void* in, void* out) {
+  MADO_CHECK(s != nullptr && s->size == size_ && rank_ < s->ranks.size());
+  auto& stats = engine_.stats();
+  stats.inc("coll.ops");
+  stats.inc("coll.steps", s->ranks[rank_].steps.size());
+  if (s->chunk > 0 && s->bytes > 0)
+    stats.inc("coll.chunks", (s->bytes + s->chunk - 1) / s->chunk);
+  switch (s->algo) {
+    case CollAlgo::Linear: stats.inc("coll.algo_linear"); break;
+    case CollAlgo::Tree: stats.inc("coll.algo_tree"); break;
+    case CollAlgo::Ring: stats.inc("coll.algo_ring"); break;
+    case CollAlgo::Bucket: stats.inc("coll.algo_bucket"); break;
+    case CollAlgo::Auto: break;  // schedules always record a concrete algo
+  }
+  last_ = s;
+  return std::make_unique<ScheduleOp>(*this, std::move(s), in, out);
 }
 
 std::unique_ptr<Collectives::Op> Collectives::barrier() {
-  // Dissemination: in round k (dist = 2^k), notify (rank + dist) mod size
-  // and await (rank - dist) mod size. After ceil(log2 size) rounds, every
-  // rank has transitively heard from all others.
-  std::vector<Action> script;
-  for (Rank dist = 1; dist < size_; dist *= 2) {
-    const Rank to = (rank_ + dist) % size_;
-    script.push_back(make_compute([this, to] {
-      const Byte token{0x42};
-      core::Message m;
-      m.pack(&token, 1, core::SendMode::Safe);
-      channel_to(to).post(std::move(m));
-    }));
-    script.push_back(make_recv_scratch((rank_ + size_ - dist) % size_,
-                                       std::make_shared<Bytes>(1)));
-  }
-  return std::make_unique<CollectiveOp>(*this, std::move(script));
+  return run_schedule(plan_cached(CollKind::Barrier, 0, 0, 1), nullptr,
+                      nullptr);
 }
 
 std::unique_ptr<Collectives::Op> Collectives::bcast(void* buf,
                                                     std::size_t len,
                                                     Rank root) {
   MADO_CHECK(root < size_ && (buf != nullptr || len == 0));
-  // Binomial tree on root-relative vranks: vrank v != 0 receives from
-  // v - lowbit(v); v then forwards to v + 2^k for each 2^k below lowbit(v)
-  // (or below size for the root), largest subtree first.
-  const Rank vrank = (rank_ + size_ - root) % size_;
-  auto to_real = [this, root](Rank v) { return (v + root) % size_; };
-
-  std::vector<Action> script;
-  if (vrank != 0) {
-    const Rank lowbit = vrank & (~vrank + 1);
-    script.push_back(make_recv(to_real(vrank - lowbit), buf, len));
-  }
-  const Rank limit = vrank == 0 ? size_ : (vrank & (~vrank + 1));
-  std::vector<Rank> children;
-  for (Rank d = 1; d < limit && vrank + d < size_; d *= 2)
-    children.push_back(vrank + d);
-  for (auto it = children.rbegin(); it != children.rend(); ++it)
-    script.push_back(make_deferred_send(*this, to_real(*it), buf, len));
-  return std::make_unique<CollectiveOp>(*this, std::move(script));
+  return run_schedule(plan_cached(CollKind::Bcast, len, root, 1), nullptr,
+                      buf);
 }
 
 std::unique_ptr<Collectives::Op> Collectives::reduce_sum(const double* in,
                                                          double* out,
                                                          std::size_t n,
                                                          Rank root) {
-  MADO_CHECK(root < size_ && (n == 0 || (in != nullptr && out != nullptr)));
-  const Rank vrank = (rank_ + size_ - root) % size_;
-  auto to_real = [this, root](Rank v) { return (v + root) % size_; };
-
-  std::vector<Action> script;
-  script.push_back(make_compute([in, out, n] {
-    if (n > 0 && out != in) std::memcpy(out, in, n * sizeof(double));
-  }));
-  // Binomial gather: in round d, vranks with bit d set ship their partial
-  // sum to vrank - d and finish; the others fold in vrank + d's partial.
-  for (Rank d = 1; d < size_; d *= 2) {
-    if (vrank & d) {
-      script.push_back(make_deferred_send(*this, to_real(vrank - d), out,
-                                          n * sizeof(double)));
-      break;
-    }
-    if (vrank + d < size_) {
-      auto scratch = std::make_shared<Bytes>(n * sizeof(double));
-      script.push_back(make_recv_scratch(to_real(vrank + d), scratch));
-      script.push_back(make_compute([scratch, out, n] {
-        const auto* part = reinterpret_cast<const double*>(scratch->data());
-        for (std::size_t i = 0; i < n; ++i) out[i] += part[i];
-      }));
-    }
+  MADO_CHECK(root < size_ && (n == 0 || in != nullptr));
+  MADO_CHECK(n == 0 || rank_ != root || out != nullptr);
+  auto s = plan_cached(CollKind::Reduce, n * sizeof(double), root,
+                       sizeof(double));
+  // Non-root ranks may pass out == nullptr only if their slice never
+  // touches Out (pure leaves that forward In directly).
+  if (out == nullptr) {
+    for (const CollStep& st : s->ranks[rank_].steps)
+      MADO_CHECK_MSG(st.buf != CollStep::Buf::Out,
+                     "reduce_sum: this rank folds partials; out buffer "
+                     "required");
   }
-  return std::make_unique<CollectiveOp>(*this, std::move(script));
+  return run_schedule(std::move(s), in, out);
 }
-
-namespace {
-
-/// Chains two ops sequentially.
-class SeqOp final : public Collectives::Op {
- public:
-  SeqOp(std::unique_ptr<Collectives::Op> a, std::unique_ptr<Collectives::Op> b)
-      : a_(std::move(a)), b_(std::move(b)) {}
-  bool step() override {
-    bool progressed = false;
-    if (!a_->done()) {
-      progressed = a_->step();
-      if (!a_->done()) return progressed;
-    }
-    return b_->step() || progressed;
-  }
-  bool done() const override { return a_->done() && b_->done(); }
-
- private:
-  std::unique_ptr<Collectives::Op> a_, b_;
-};
-
-}  // namespace
 
 std::unique_ptr<Collectives::Op> Collectives::allreduce_sum(const double* in,
                                                             double* out,
                                                             std::size_t n) {
-  return std::make_unique<SeqOp>(
-      reduce_sum(in, out, n, /*root=*/0),
-      bcast(out, n * sizeof(double), /*root=*/0));
+  MADO_CHECK(n == 0 || (in != nullptr && out != nullptr));
+  return run_schedule(
+      plan_cached(CollKind::Allreduce, n * sizeof(double), 0,
+                  sizeof(double)),
+      in, out);
+}
+
+std::unique_ptr<Collectives::Op> Collectives::alltoall(const void* send,
+                                                       void* recv,
+                                                       std::size_t block) {
+  MADO_CHECK(block == 0 || (send != nullptr && recv != nullptr));
+  if (block == 0)
+    return run_schedule(plan_cached(CollKind::Barrier, 0, 0, 1), nullptr,
+                        nullptr);
+  return run_schedule(plan_cached(CollKind::Alltoall, block, 0, 1), send,
+                      recv);
 }
 
 bool drive_all(const std::function<bool()>& progress,

@@ -89,4 +89,49 @@ bool MpiEndpoint::has_buffered(Tag tag) const {
   return false;
 }
 
+// ---- MpiCommunicator -------------------------------------------------------
+
+MpiCommunicator::MpiCommunicator(core::Engine& engine, Rank rank, Rank size,
+                                 core::ChannelId channel,
+                                 std::function<core::NodeId(Rank)> rank_to_node)
+    : coll_(engine, rank, size, channel, std::move(rank_to_node)) {}
+
+void MpiCommunicator::set_progress(std::function<bool()> progress) {
+  progress_ = std::move(progress);
+}
+
+void MpiCommunicator::run(std::unique_ptr<Collectives::Op> op) {
+  while (!op->done()) {
+    if (op->step()) continue;
+    // Blocked: in a cooperative world pump the installed progress source;
+    // in threaded worlds peers progress on their own threads, so just
+    // yield back into step()'s probe loop.
+    if (progress_) {
+      MADO_CHECK_MSG(progress_() || op->done() || op->step(),
+                     "mpi collective blocked with a drained world");
+    }
+  }
+}
+
+void MpiCommunicator::barrier() { run(coll_.barrier()); }
+
+void MpiCommunicator::bcast(void* buf, std::size_t len, Rank root) {
+  run(coll_.bcast(buf, len, root));
+}
+
+void MpiCommunicator::reduce_sum(const double* in, double* out,
+                                 std::size_t n, Rank root) {
+  run(coll_.reduce_sum(in, out, n, root));
+}
+
+void MpiCommunicator::allreduce_sum(const double* in, double* out,
+                                    std::size_t n) {
+  run(coll_.allreduce_sum(in, out, n));
+}
+
+void MpiCommunicator::alltoall(const void* send, void* recv,
+                               std::size_t block) {
+  run(coll_.alltoall(send, recv, block));
+}
+
 }  // namespace mado::mw

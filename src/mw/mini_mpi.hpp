@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 
 #include "core/api.hpp"
 #include "core/engine.hpp"
+#include "mw/collectives.hpp"
 
 namespace mado::mw {
 
@@ -69,6 +71,47 @@ class MpiEndpoint {
   core::Engine& engine_;
   core::Channel channel_;
   std::deque<Pending> unexpected_;
+};
+
+/// MPI-style *blocking* collectives for an SPMD job of `size` ranks,
+/// routed through the topology-aware CollectivePlanner: each call plans
+/// (tree/ring/bucket/linear, cheapest by the cost model), executes this
+/// rank's schedule and returns when the operation completes locally.
+///
+/// Threaded worlds (socket/UDP) just call these from each rank's thread;
+/// the cooperative sim world must install a progress hook first
+/// (set_progress([&]{ return world.fabric().step(); })) so blocked steps
+/// can pump the fabric.
+class MpiCommunicator {
+ public:
+  using Rank = Collectives::Rank;
+
+  MpiCommunicator(core::Engine& engine, Rank rank, Rank size,
+                  core::ChannelId channel = 0x7d00,
+                  std::function<core::NodeId(Rank)> rank_to_node = {});
+
+  /// Progress source for cooperative (single-threaded) worlds. Returning
+  /// false means the world is drained; a still-blocked collective then
+  /// CHECK-fails instead of spinning forever.
+  void set_progress(std::function<bool()> progress);
+
+  void barrier();
+  void bcast(void* buf, std::size_t len, Rank root);
+  void reduce_sum(const double* in, double* out, std::size_t n, Rank root);
+  void allreduce_sum(const double* in, double* out, std::size_t n);
+  void alltoall(const void* send, void* recv, std::size_t block);
+
+  Rank rank() const { return coll_.rank(); }
+  Rank size() const { return coll_.size(); }
+  /// The underlying planner-backed collectives (algorithm forcing,
+  /// last_schedule inspection, non-blocking ops).
+  Collectives& collectives() { return coll_; }
+
+ private:
+  void run(std::unique_ptr<Collectives::Op> op);
+
+  Collectives coll_;
+  std::function<bool()> progress_;
 };
 
 }  // namespace mado::mw

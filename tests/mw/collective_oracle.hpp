@@ -1,0 +1,103 @@
+// Virtual-time optimality oracle for collective schedules (ISSUE 9).
+//
+// Lower-bounds each collective's completion time from the NicModel alone —
+// the classic alpha-beta (LogGP-without-g) argument:
+//
+//   alpha = cheapest possible per-hop cost: the NIC busy time of a minimal
+//           (1-byte, 1-segment) injection plus the propagation latency;
+//   beta  = 1 / effective bandwidth (ns per byte).
+//
+//   barrier    >= ceil(log2 n) * alpha            (information dissemination:
+//                                                  one hop at most doubles
+//                                                  the informed set)
+//   bcast      >= ceil(log2 n) * alpha + bytes * beta
+//                                                 (the last-informed node
+//                                                  still receives the whole
+//                                                  vector through one NIC)
+//   reduce     >= ceil(log2 n) * alpha + bytes * beta
+//   allreduce  >= ceil(log2 n) * alpha + 2 * bytes * beta * (n-1)/n
+//                                                 (every node must both ship
+//                                                  its contribution out and
+//                                                  absorb the n-1 foreign
+//                                                  shares: the reduce-scatter
+//                                                  + allgather volume floor)
+//   alltoall   >= alpha + (n-1) * block * beta    (each node receives n-1
+//                                                  distinct blocks through
+//                                                  one NIC; unlike bcast no
+//                                                  log factor applies — every
+//                                                  source can inject its
+//                                                  block directly, so bytes
+//                                                  flow after a single hop)
+//
+// Deliberately independent of CollectivePlanner's own pricing: the oracle
+// reads only Capabilities/NicModel, so "measured sim time <= gap * bound"
+// genuinely cross-checks planner + engine + simulator against the model,
+// instead of the planner grading its own homework.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "drivers/capabilities.hpp"
+#include "mw/collective_planner.hpp"
+#include "sim/nic_model.hpp"
+#include "util/clock.hpp"
+
+namespace mado::mw::oracle {
+
+struct AlphaBeta {
+  double alpha_ns = 0.0;      ///< per-hop floor (ns)
+  double beta_ns_per_byte = 0.0;
+};
+
+inline AlphaBeta link_cost(const drv::Capabilities& caps) {
+  const sim::NicModel model(caps.cost);
+  AlphaBeta ab;
+  ab.alpha_ns = static_cast<double>(model.busy_time(1, 1) +
+                                    model.propagation_latency());
+  // effective_bandwidth() is bytes/us; beta is ns/byte.
+  ab.beta_ns_per_byte = 1000.0 / std::max(caps.effective_bandwidth(), 1e-9);
+  return ab;
+}
+
+inline std::uint32_t ceil_log2(std::uint32_t n) {
+  std::uint32_t l = 0;
+  while ((std::uint32_t{1} << l) < n) ++l;
+  return l;
+}
+
+/// Alpha-beta lower bound (ns) for `kind` over n uniform nodes. `bytes` is
+/// the vector size (bcast/reduce/allreduce) or the per-(src,dst) block
+/// size (alltoall), matching CollectivePlanner::plan's convention.
+inline Nanos lower_bound(CollKind kind, std::uint32_t n, std::uint64_t bytes,
+                         const drv::Capabilities& caps) {
+  if (n <= 1) return 0;
+  const AlphaBeta ab = link_cost(caps);
+  const double hops = static_cast<double>(ceil_log2(n));
+  const double b = static_cast<double>(bytes);
+  double t = hops * ab.alpha_ns;
+  switch (kind) {
+    case CollKind::Barrier:
+      break;
+    case CollKind::Bcast:
+    case CollKind::Reduce:
+      t += b * ab.beta_ns_per_byte;
+      break;
+    case CollKind::Allreduce:
+      t += 2.0 * b * ab.beta_ns_per_byte * static_cast<double>(n - 1) /
+           static_cast<double>(n);
+      break;
+    case CollKind::Alltoall:
+      t = ab.alpha_ns + static_cast<double>(n - 1) * b * ab.beta_ns_per_byte;
+      break;
+  }
+  return static_cast<Nanos>(t);
+}
+
+/// measured / bound, with a 0-bound guard (returns 1 when both are 0).
+inline double gap(Nanos measured, Nanos bound) {
+  if (bound == 0) return measured == 0 ? 1.0 : 1e9;
+  return static_cast<double>(measured) / static_cast<double>(bound);
+}
+
+}  // namespace mado::mw::oracle

@@ -1,0 +1,641 @@
+// Property suite for the topology-aware collective planner (ISSUE 9).
+//
+// Every schedule the planner emits is validated WITHOUT any engine or
+// transport, three ways:
+//
+//   1. Structurally: steps reference valid peers/rails/buffers, no step
+//      rides a Down rail, nothing writes into the read-only input.
+//   2. Graph-theoretically: the dependency graph (local program order plus
+//      k-th-send -> k-th-recv channel matching) is acyclic (Kahn), and for
+//      barriers every rank's completion transitively depends on every
+//      other rank.
+//   3. Symbolically: a per-byte interpreter executes the schedule with
+//      FIFO channels. Each byte carries {contributor bitmask, source
+//      offset}; RecvReduce merges masks and flags duplicate contributions,
+//      so "every node contributes exactly once", "bcast reaches all
+//      nodes", and "alltoall delivers every (src,dst) block once" are
+//      checked exactly, along with deadlock-freedom and fully drained
+//      channels.
+//
+// The randomized sweep runs >= 50 seeds per algorithm family across
+// random node counts, rail profiles (mixed technologies, random per-node
+// Down rails, bandwidth hints) and payload sizes.
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+#include "drivers/profiles.hpp"
+#include "mw/collective_planner.hpp"
+#include "tests/mw/collective_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mado;
+using namespace mado::mw;
+using drv::Capabilities;
+using Kind = CollStep::Kind;
+using Buf = CollStep::Buf;
+using u64 = std::uint64_t;
+
+constexpr u64 kGarbage = ~u64{0};
+
+/// Symbolic content of one byte: which ranks' contributions are summed
+/// into it (mask) and which source byte it carries (off).
+struct Cell {
+  u64 mask = 0;
+  u64 off = kGarbage;
+  bool operator==(const Cell& o) const {
+    return mask == o.mask && off == o.off;
+  }
+};
+
+u64 in_bytes(const CollSchedule& s) {
+  switch (s.kind) {
+    case CollKind::Reduce:
+    case CollKind::Allreduce: return s.bytes;
+    case CollKind::Alltoall: return s.bytes * s.size;
+    default: return 0;
+  }
+}
+
+u64 out_bytes(const CollSchedule& s) {
+  switch (s.kind) {
+    case CollKind::Bcast:
+    case CollKind::Reduce:
+    case CollKind::Allreduce: return s.bytes;
+    case CollKind::Alltoall: return s.bytes * s.size;
+    default: return 0;
+  }
+}
+
+/// Returns "" if the schedule passes every check, else a description of
+/// the first violation.
+std::string validate(const CollSchedule& s, const CollTopology& topo) {
+  const CollRank n = s.size;
+  std::ostringstream err;
+  auto fail = [&](const std::string& what) { return what; };
+
+  if (s.ranks.size() != n) return fail("rank plan count != size");
+
+  // ---- pass 1: structural ----
+  for (CollRank r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < s.ranks[r].steps.size(); ++i) {
+      const CollStep& st = s.ranks[r].steps[i];
+      std::ostringstream at;
+      at << to_string(s.kind) << "/" << to_string(s.algo) << " rank " << r
+         << " step " << i << ": ";
+      if (st.len == 0) return fail(at.str() + "zero-length step");
+      const bool comm = st.kind != Kind::Copy;
+      if (comm) {
+        if (st.peer >= n || st.peer == r)
+          return fail(at.str() + "bad peer");
+        if (!topo.rail_up(r, st.peer, st.rail))
+          return fail(at.str() + "step uses a Down/absent rail");
+      }
+      auto cap = [&](Buf b) -> u64 {
+        switch (b) {
+          case Buf::In: return in_bytes(s);
+          case Buf::Out: return out_bytes(s);
+          case Buf::Scratch: return s.scratch_bytes;
+        }
+        return 0;
+      };
+      if (st.offset + st.len > cap(st.buf))
+        return fail(at.str() + "range exceeds buffer");
+      const bool writes = st.kind == Kind::Recv ||
+                          st.kind == Kind::RecvReduce ||
+                          st.kind == Kind::Copy;
+      if (writes && st.buf == Buf::In)
+        return fail(at.str() + "writes into read-only input");
+      if (st.kind == Kind::Copy &&
+          st.src_offset + st.len > cap(st.src_buf))
+        return fail(at.str() + "copy source exceeds buffer");
+      if (st.kind == Kind::RecvReduce && st.len % s.elem != 0)
+        return fail(at.str() + "unaligned reduction");
+    }
+  }
+
+  // ---- pass 2: dependency graph (local order + FIFO matching) ----
+  // Global step ids; match the k-th send a->b with the k-th recv b<-a.
+  std::vector<std::size_t> base(n + 1, 0);
+  for (CollRank r = 0; r < n; ++r)
+    base[r + 1] = base[r] + s.ranks[r].steps.size();
+  const std::size_t total = base[n];
+  std::vector<std::vector<std::size_t>> adj(total);
+  std::vector<std::size_t> indeg(total, 0);
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    adj[a].push_back(b);
+    ++indeg[b];
+  };
+  std::map<std::pair<CollRank, CollRank>, std::deque<std::size_t>> sends,
+      recvs;
+  for (CollRank r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < s.ranks[r].steps.size(); ++i) {
+      const std::size_t id = base[r] + i;
+      if (i > 0) add_edge(id - 1, id);
+      const CollStep& st = s.ranks[r].steps[i];
+      if (st.kind == Kind::Send)
+        sends[{r, st.peer}].push_back(id);
+      else if (st.kind == Kind::Recv || st.kind == Kind::RecvReduce)
+        recvs[{st.peer, r}].push_back(id);
+    }
+  }
+  for (auto& [pair, sq] : sends) {
+    auto& rq = recvs[pair];
+    if (sq.size() != rq.size()) {
+      err << "pair " << pair.first << "->" << pair.second << " has "
+          << sq.size() << " sends but " << rq.size() << " recvs";
+      return fail(err.str());
+    }
+    for (std::size_t k = 0; k < sq.size(); ++k) add_edge(sq[k], rq[k]);
+  }
+  for (auto& [pair, rq] : recvs) {
+    if (sends.find(pair) == sends.end() && !rq.empty()) {
+      err << "recv without matching send on pair " << pair.first << "->"
+          << pair.second;
+      return fail(err.str());
+    }
+  }
+  {  // Kahn
+    std::vector<std::size_t> q;
+    for (std::size_t i = 0; i < total; ++i)
+      if (indeg[i] == 0) q.push_back(i);
+    std::size_t seen = 0;
+    while (!q.empty()) {
+      const std::size_t v = q.back();
+      q.pop_back();
+      ++seen;
+      for (std::size_t w : adj[v])
+        if (--indeg[w] == 0) q.push_back(w);
+    }
+    if (seen != total) return fail("dependency graph has a cycle");
+  }
+
+  // Barrier: rank r's completion must depend on every other rank having
+  // entered (reverse reachability from r's last step touches all ranks).
+  if (s.kind == CollKind::Barrier && n > 1) {
+    std::vector<std::vector<std::size_t>> radj(total);
+    for (std::size_t v = 0; v < total; ++v)
+      for (std::size_t w : adj[v]) radj[w].push_back(v);
+    for (CollRank r = 0; r < n; ++r) {
+      if (s.ranks[r].steps.empty())
+        return fail("barrier rank with empty plan");
+      std::vector<char> vis(total, 0);
+      std::vector<std::size_t> stack = {base[r + 1] - 1};
+      vis[stack[0]] = 1;
+      std::vector<char> rank_seen(n, 0);
+      while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        const CollRank owner = static_cast<CollRank>(
+            std::upper_bound(base.begin(), base.end(), v) - base.begin() -
+            1);
+        rank_seen[owner] = 1;
+        for (std::size_t w : radj[v])
+          if (!vis[w]) {
+            vis[w] = 1;
+            stack.push_back(w);
+          }
+      }
+      for (CollRank q = 0; q < n; ++q)
+        if (!rank_seen[q]) {
+          err << "barrier: rank " << r << " completes without rank " << q;
+          return fail(err.str());
+        }
+    }
+  }
+
+  // ---- pass 3: symbolic per-byte execution over FIFO channels ----
+  struct RankState {
+    std::vector<Cell> in, out, scratch;
+    std::size_t pc = 0;
+  };
+  std::vector<RankState> st(n);
+  for (CollRank r = 0; r < n; ++r) {
+    st[r].in.resize(static_cast<std::size_t>(in_bytes(s)));
+    for (u64 i = 0; i < in_bytes(s); ++i)
+      st[r].in[static_cast<std::size_t>(i)] = Cell{u64{1} << r, i};
+    st[r].out.assign(static_cast<std::size_t>(out_bytes(s)), Cell{});
+    if (s.kind == CollKind::Bcast && r == s.root)
+      for (u64 i = 0; i < out_bytes(s); ++i)
+        st[r].out[static_cast<std::size_t>(i)] = Cell{u64{1} << r, i};
+    // Executor zero-fills scratch: blank but initialized.
+    st[r].scratch.assign(static_cast<std::size_t>(s.scratch_bytes),
+                         Cell{0, 0});
+  }
+  std::map<std::pair<CollRank, CollRank>, std::deque<std::vector<Cell>>>
+      chan;
+  auto span = [&](RankState& rs, Buf b, u64 off,
+                  u64 len) -> std::vector<Cell>* {
+    auto& v = b == Buf::In ? rs.in : b == Buf::Out ? rs.out : rs.scratch;
+    (void)off;
+    (void)len;
+    return &v;
+  };
+  std::size_t remaining = total;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (CollRank r = 0; r < n; ++r) {
+      auto& steps = s.ranks[r].steps;
+      while (st[r].pc < steps.size()) {
+        const CollStep& cs = steps[st[r].pc];
+        std::ostringstream at;
+        at << to_string(s.kind) << "/" << to_string(s.algo) << " rank "
+           << r << " step " << st[r].pc << ": ";
+        if (cs.kind == Kind::Send) {
+          auto* src = span(st[r], cs.buf, cs.offset, cs.len);
+          std::vector<Cell> payload(
+              src->begin() + static_cast<std::ptrdiff_t>(cs.offset),
+              src->begin() + static_cast<std::ptrdiff_t>(cs.offset +
+                                                         cs.len));
+          for (const Cell& c : payload)
+            if (c.off == kGarbage)
+              return fail(at.str() + "sends uninitialized bytes");
+          chan[{r, cs.peer}].push_back(std::move(payload));
+        } else if (cs.kind == Kind::Recv || cs.kind == Kind::RecvReduce) {
+          auto& q = chan[{cs.peer, r}];
+          if (q.empty()) break;  // blocked; revisit on the next sweep
+          std::vector<Cell> payload = std::move(q.front());
+          q.pop_front();
+          if (payload.size() != cs.len)
+            return fail(at.str() + "length mismatch with matched send");
+          auto* dst = span(st[r], cs.buf, cs.offset, cs.len);
+          for (u64 i = 0; i < cs.len; ++i) {
+            Cell& d = (*dst)[static_cast<std::size_t>(cs.offset + i)];
+            const Cell& p = payload[static_cast<std::size_t>(i)];
+            if (cs.kind == Kind::Recv) {
+              d = p;
+            } else {
+              if (d.off == kGarbage)
+                return fail(at.str() + "reduces into uninitialized bytes");
+              if (d.off != p.off)
+                return fail(at.str() + "reduces misaligned source bytes");
+              if ((d.mask & p.mask) != 0)
+                return fail(at.str() +
+                            "duplicate reduction contribution (a rank "
+                            "counted twice)");
+              d.mask |= p.mask;
+            }
+          }
+        } else {  // Copy
+          auto* src = span(st[r], cs.src_buf, cs.src_offset, cs.len);
+          std::vector<Cell> tmp(
+              src->begin() + static_cast<std::ptrdiff_t>(cs.src_offset),
+              src->begin() + static_cast<std::ptrdiff_t>(cs.src_offset +
+                                                         cs.len));
+          auto* dst = span(st[r], cs.buf, cs.offset, cs.len);
+          std::copy(tmp.begin(), tmp.end(),
+                    dst->begin() + static_cast<std::ptrdiff_t>(cs.offset));
+        }
+        ++st[r].pc;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed && remaining > 0)
+      return fail(std::string(to_string(s.kind)) + "/" +
+                  to_string(s.algo) + ": schedule deadlocked");
+  }
+  for (auto& [pair, q] : chan)
+    if (!q.empty()) {
+      err << "channel " << pair.first << "->" << pair.second << " has "
+          << q.size() << " undelivered messages";
+      return fail(err.str());
+    }
+
+  // ---- final content checks ----
+  const u64 full = n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+  auto expect_cell = [&](CollRank r, u64 i, const Cell& want,
+                         const char* what) -> std::string {
+    const Cell& got = st[r].out[static_cast<std::size_t>(i)];
+    if (got == want) return "";
+    std::ostringstream o;
+    o << to_string(s.kind) << "/" << to_string(s.algo) << " rank " << r
+      << " out[" << i << "]: " << what << " (mask " << std::hex << got.mask
+      << " want " << want.mask << std::dec << ", off " << got.off
+      << " want " << want.off << ")";
+    return o.str();
+  };
+  switch (s.kind) {
+    case CollKind::Barrier:
+      break;
+    case CollKind::Bcast:
+      for (CollRank r = 0; r < n; ++r)
+        for (u64 i = 0; i < s.bytes; ++i) {
+          auto e = expect_cell(r, i, Cell{u64{1} << s.root, i},
+                               "bcast did not deliver the root's byte");
+          if (!e.empty()) return e;
+        }
+      break;
+    case CollKind::Reduce:
+      for (u64 i = 0; i < s.bytes; ++i) {
+        auto e = expect_cell(s.root, i, Cell{full, i},
+                             "reduce missing a contribution");
+        if (!e.empty()) return e;
+      }
+      break;
+    case CollKind::Allreduce:
+      for (CollRank r = 0; r < n; ++r)
+        for (u64 i = 0; i < s.bytes; ++i) {
+          auto e = expect_cell(r, i, Cell{full, i},
+                               "allreduce missing a contribution");
+          if (!e.empty()) return e;
+        }
+      break;
+    case CollKind::Alltoall:
+      for (CollRank r = 0; r < n; ++r)
+        for (CollRank src = 0; src < n; ++src)
+          for (u64 j = 0; j < s.bytes; ++j) {
+            auto e = expect_cell(
+                r, u64{src} * s.bytes + j,
+                Cell{u64{1} << src, u64{r} * s.bytes + j},
+                "alltoall block not delivered exactly once");
+            if (!e.empty()) return e;
+          }
+      break;
+  }
+  return "";
+}
+
+// ---- random topology / parameter generation --------------------------------
+
+Capabilities random_caps(Rng& rng) {
+  static const char* kNames[] = {"mx", "elan", "tcp", "test"};
+  Capabilities c = drv::profile_by_name(kNames[rng.below(4)]);
+  if (rng.chance(0.5)) {
+    // Heterogeneous rails: scale the advertised bandwidth.
+    c.bandwidth_hint_bytes_per_us =
+        c.effective_bandwidth() * (0.25 + rng.uniform() * 1.5);
+  }
+  return c;
+}
+
+CollTopology random_topo(Rng& rng, CollRank n) {
+  const std::size_t rails = 1 + rng.below(3);  // 1..3
+  CollTopology t;
+  t.nodes.resize(n);
+  for (auto& node : t.nodes) {
+    for (std::size_t r = 0; r < rails; ++r) {
+      CollRail rail{random_caps(rng), true};
+      // Rail 0 stays up everywhere so every pair is schedulable; extra
+      // rails go down with 20% probability per node.
+      if (r > 0) rail.up = !rng.chance(0.2);
+      node.rails.push_back(std::move(rail));
+    }
+  }
+  return t;
+}
+
+struct Params {
+  CollRank n;
+  CollRank root;
+  u64 bytes;
+};
+
+Params random_params(Rng& rng, CollKind kind) {
+  Params p;
+  p.n = static_cast<CollRank>(2 + rng.below(19));  // 2..20
+  p.root = static_cast<CollRank>(rng.below(p.n));
+  switch (kind) {
+    case CollKind::Barrier: p.bytes = 0; break;
+    case CollKind::Alltoall: p.bytes = 1 + rng.below(48); break;
+    default:
+      // Vector of doubles, including empty and non-divisible-by-n sizes.
+      p.bytes = 8 * rng.below(17);  // 0..128 bytes
+      break;
+  }
+  return p;
+}
+
+class PlannerProperty
+    : public ::testing::TestWithParam<std::tuple<CollAlgo, CollKind>> {};
+
+TEST_P(PlannerProperty, FiftyRandomSeedsZeroViolations) {
+  const auto [algo, kind] = GetParam();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed * 7919 + 17);
+    const Params p = random_params(rng, kind);
+    const CollTopology topo = random_topo(rng, p.n);
+    CollectivePlanner planner(topo);
+    auto s = planner.plan(kind, p.bytes, p.root, algo,
+                          kind == CollKind::Barrier ||
+                                  kind == CollKind::Bcast ||
+                                  kind == CollKind::Alltoall
+                              ? 1
+                              : 8);
+    ASSERT_NE(s, nullptr);
+    const std::string violation = validate(*s, topo);
+    EXPECT_EQ(violation, "")
+        << "seed " << seed << " n=" << p.n << " root=" << p.root
+        << " bytes=" << p.bytes;
+    if (!violation.empty()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PlannerProperty,
+    ::testing::Combine(::testing::Values(CollAlgo::Auto, CollAlgo::Linear,
+                                         CollAlgo::Tree, CollAlgo::Ring,
+                                         CollAlgo::Bucket),
+                       ::testing::Values(CollKind::Barrier, CollKind::Bcast,
+                                         CollKind::Reduce,
+                                         CollKind::Allreduce,
+                                         CollKind::Alltoall)),
+    [](const auto& pinfo) {
+      return std::string(to_string(std::get<0>(pinfo.param))) + "_" +
+             to_string(std::get<1>(pinfo.param));
+    });
+
+// ---- targeted structural properties ----------------------------------------
+
+TEST(CollectivePlanner, PowerOfTwoBucketAllreduceUsesRecursiveHalving) {
+  // pow2 sizes take the recursive-halving path; both it and the ring path
+  // must validate. 8 ranks, 64 doubles.
+  for (CollRank n : {8u, 16u}) {
+    CollTopology topo = CollTopology::uniform(n, drv::mx_myrinet_profile());
+    CollectivePlanner planner(topo);
+    auto s = planner.plan(CollKind::Allreduce, 512, 0, CollAlgo::Bucket, 8);
+    EXPECT_EQ(validate(*s, topo), "");
+    // log2(n) rounds each way + the initial copy.
+    EXPECT_EQ(s->ranks[0].steps.size(),
+              1 + 4 * oracle::ceil_log2(n));
+  }
+}
+
+TEST(CollectivePlanner, DownRailsAreRoutedAround) {
+  CollTopology topo =
+      CollTopology::uniform(6, drv::mx_myrinet_profile(), /*rails=*/2);
+  // Faster second rail, but down on node 2: pairs touching node 2 must
+  // fall back to rail 0, everyone else should prefer rail 1.
+  for (auto& node : topo.nodes)
+    node.rails[1].caps.bandwidth_hint_bytes_per_us = 4000.0;
+  topo.nodes[2].rails[1].up = false;
+  CollectivePlanner planner(topo);
+  auto s = planner.plan(CollKind::Allreduce, 1024, 0, CollAlgo::Ring, 8);
+  EXPECT_EQ(validate(*s, topo), "");
+  bool saw_rail1 = false;
+  for (CollRank r = 0; r < 6; ++r)
+    for (const CollStep& st : s->ranks[r].steps) {
+      if (st.kind == Kind::Copy) continue;
+      if (r == 2 || st.peer == 2) {
+        EXPECT_EQ(st.rail, 0) << "rank " << r << " peer " << st.peer;
+      }
+      saw_rail1 = saw_rail1 || st.rail == 1;
+    }
+  EXPECT_TRUE(saw_rail1);  // the fast rail is used where it is up
+}
+
+TEST(CollectivePlanner, AllRailsDownBetweenPairIsRejected) {
+  CollTopology topo = CollTopology::uniform(4, drv::mx_myrinet_profile());
+  topo.nodes[3].rails[0].up = false;
+  CollectivePlanner planner(topo);
+  EXPECT_THROW(planner.plan(CollKind::Bcast, 64, 0, CollAlgo::Tree),
+               CheckError);
+}
+
+TEST(CollectivePlanner, SingleRankPlansAreLocal) {
+  CollTopology topo = CollTopology::uniform(1, drv::test_profile());
+  CollectivePlanner planner(topo);
+  for (CollKind k : {CollKind::Barrier, CollKind::Bcast, CollKind::Reduce,
+                     CollKind::Allreduce, CollKind::Alltoall}) {
+    auto s = planner.plan(k, k == CollKind::Barrier ? 0 : 64, 0,
+                          CollAlgo::Auto, 8);
+    EXPECT_EQ(validate(*s, topo), "");
+    for (const CollStep& st : s->ranks[0].steps)
+      EXPECT_EQ(st.kind, Kind::Copy);
+  }
+}
+
+// ---- cost-model selection and chunking -------------------------------------
+
+TEST(CollectivePlanner, AutoBeatsOrMatchesEveryForcedAlgorithm) {
+  CollTopology topo = CollTopology::uniform(32, drv::mx_myrinet_profile());
+  CollectivePlanner planner(topo);
+  for (CollKind kind : {CollKind::Barrier, CollKind::Bcast,
+                        CollKind::Allreduce, CollKind::Alltoall}) {
+    const u64 bytes = kind == CollKind::Barrier ? 0
+                      : kind == CollKind::Alltoall ? 1024
+                                                   : 256 * 1024;
+    auto best = planner.plan(kind, bytes, 0, CollAlgo::Auto, 8);
+    for (CollAlgo a : {CollAlgo::Linear, CollAlgo::Tree, CollAlgo::Ring,
+                       CollAlgo::Bucket}) {
+      auto forced = planner.plan(kind, bytes, 0, a, 8);
+      EXPECT_LE(best->predicted, forced->predicted)
+          << to_string(kind) << " auto lost to " << to_string(a);
+    }
+  }
+}
+
+TEST(CollectivePlanner, AutoAvoidsLinearFanoutAtScale) {
+  CollTopology topo = CollTopology::uniform(64, drv::mx_myrinet_profile());
+  CollectivePlanner planner(topo);
+  auto s = planner.plan(CollKind::Allreduce, 1 << 20, 0, CollAlgo::Auto, 8);
+  EXPECT_NE(s->algo, CollAlgo::Linear);
+  auto lin = planner.plan(CollKind::Allreduce, 1 << 20, 0, CollAlgo::Linear,
+                          8);
+  EXPECT_GE(lin->predicted, 2 * s->predicted)
+      << "linear fan-out should cost >= 2x the planned schedule at 64 "
+         "nodes";
+}
+
+TEST(CollectivePlanner, LargeVectorsArePipelinedInChunks) {
+  CollTopology topo = CollTopology::uniform(16, drv::mx_myrinet_profile());
+  CollectivePlanner planner(topo);
+  auto s = planner.plan(CollKind::Bcast, 1 << 20, 0, CollAlgo::Tree, 1);
+  ASSERT_GT(s->chunk, 0u);
+  // The chunk respects the rendezvous floor and actually splits the
+  // vector.
+  EXPECT_GE(s->chunk, drv::mx_myrinet_profile().rdv_threshold);
+  EXPECT_LT(s->chunk, u64{1} << 20);
+  // Root emits one send per (child, chunk).
+  const auto& root_steps = s->ranks[0].steps;
+  EXPECT_GT(root_steps.size(), 4u);
+  EXPECT_EQ(validate(*s, topo), "");
+}
+
+TEST(CollectivePlanner, PredictionsRespectTheAlphaBetaOracle) {
+  const Capabilities caps = drv::mx_myrinet_profile();
+  for (CollRank n : {4u, 8u, 32u}) {
+    CollTopology topo = CollTopology::uniform(n, caps);
+    CollectivePlanner planner(topo);
+    for (CollKind kind : {CollKind::Barrier, CollKind::Bcast,
+                          CollKind::Allreduce, CollKind::Alltoall}) {
+      const u64 bytes = kind == CollKind::Barrier ? 0
+                        : kind == CollKind::Alltoall ? 2048
+                                                     : 64 * 1024;
+      auto s = planner.plan(kind, bytes, 0, CollAlgo::Auto, 8);
+      const Nanos bound = oracle::lower_bound(kind, n, bytes, caps);
+      EXPECT_GE(s->predicted, bound)
+          << to_string(kind) << " n=" << n
+          << ": the oracle bound must lower-bound the model simulation";
+      EXPECT_LE(oracle::gap(s->predicted, bound), 3.0)
+          << to_string(kind) << " n=" << n
+          << ": planned schedule strays >3x from the alpha-beta bound";
+    }
+  }
+}
+
+// ---- rate-pricing helpers (strategy_detail) --------------------------------
+
+TEST(RatePricing, ChunkedSpanIsMonotonicInBytes) {
+  const Capabilities caps = drv::mx_myrinet_profile();
+  Nanos prev = 0;
+  for (u64 b : {u64{1}, u64{512}, u64{64} << 10, u64{1} << 20}) {
+    const Nanos t = core::strategy_detail::chunked_span(caps, b, 32 << 10);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(core::strategy_detail::chunked_span(caps, 0, 4096), 0u);
+}
+
+TEST(RatePricing, StripedSpanMatchesSingleRail) {
+  const Capabilities caps = drv::mx_myrinet_profile();
+  std::vector<core::strategy_detail::StripeRail> rails(1);
+  rails[0].caps = &caps;
+  const u64 bytes = 1 << 20;
+  const Nanos striped =
+      core::strategy_detail::striped_span(rails, bytes, 32 << 10, 4096);
+  const Nanos chunked =
+      core::strategy_detail::chunked_span(caps, bytes, 32 << 10);
+  // Same pricing arithmetic: within rounding of each other.
+  EXPECT_NEAR(static_cast<double>(striped), static_cast<double>(chunked),
+              static_cast<double>(chunked) * 0.01);
+}
+
+TEST(RatePricing, StripedSpanSplitsAcrossEqualRails) {
+  const Capabilities caps = drv::mx_myrinet_profile();
+  std::vector<core::strategy_detail::StripeRail> one(1), two(2);
+  one[0].caps = &caps;
+  two[0].caps = &caps;
+  two[1].caps = &caps;
+  const u64 bytes = 4 << 20;
+  const Nanos t1 =
+      core::strategy_detail::striped_span(one, bytes, 32 << 10, 4096);
+  const Nanos t2 =
+      core::strategy_detail::striped_span(two, bytes, 32 << 10, 4096);
+  EXPECT_LT(static_cast<double>(t2), static_cast<double>(t1) * 0.6);
+}
+
+TEST(RatePricing, PipelineChunkBalancesDepthAndOverhead) {
+  const Capabilities caps = drv::mx_myrinet_profile();
+  // No pipelining possible: keep the whole vector.
+  EXPECT_EQ(core::strategy_detail::pipeline_chunk(caps, 1 << 20, 1, 4096),
+            u64{1} << 20);
+  // Deep pipelines want chunks smaller than the vector but not below the
+  // floor.
+  const std::size_t c =
+      core::strategy_detail::pipeline_chunk(caps, 1 << 20, 16, 32 << 10);
+  EXPECT_GE(c, std::size_t{32} << 10);
+  EXPECT_LT(c, std::size_t{1} << 20);
+}
+
+}  // namespace

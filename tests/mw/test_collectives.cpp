@@ -78,6 +78,34 @@ TEST_P(CollectivesTest, ReduceSumsToRoot) {
     EXPECT_DOUBLE_EQ(out[0][i], rank_sum * static_cast<double>(i)) << i;
 }
 
+TEST_P(CollectivesTest, ReduceSumsToEveryRoot) {
+  // Pinned regression: the old linear code was only ever exercised with
+  // root 0; tree/ring schedules must deliver the sum to any root.
+  const Rank n = GetParam();
+  constexpr std::size_t kN = 12;
+  for (Rank root = 0; root < n; ++root) {
+    CollWorld w(n);
+    std::vector<std::vector<double>> in(n),
+        out(n, std::vector<double>(kN, -1));
+    for (Rank r = 0; r < n; ++r) {
+      in[r].resize(kN);
+      for (std::size_t i = 0; i < kN; ++i)
+        in[r][i] = static_cast<double>(r) * 1000.0 + static_cast<double>(i);
+    }
+    std::vector<std::unique_ptr<Collectives::Op>> ops;
+    for (Rank r = 0; r < n; ++r)
+      ops.push_back(w.colls[r]->reduce_sum(in[r].data(), out[r].data(), kN,
+                                           root));
+    ASSERT_TRUE(w.drive(ops)) << "root " << root;
+    for (std::size_t i = 0; i < kN; ++i) {
+      double expect = 0;
+      for (Rank r = 0; r < n; ++r) expect += in[r][i];
+      EXPECT_DOUBLE_EQ(out[root][i], expect)
+          << "root " << root << " elem " << i;
+    }
+  }
+}
+
 TEST_P(CollectivesTest, AllreduceEveryRankGetsSum) {
   const Rank n = GetParam();
   CollWorld w(n);

@@ -93,6 +93,45 @@ TEST_F(DsmTest, PendingProbe) {
   client_->complete_get(1);
 }
 
+TEST_F(DsmTest, PipelinedSplitPhaseRequests) {
+  // Several gets in flight before the home serves any: responses come back
+  // in issue order and each complete_get matches its own page.
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    client_->issue_put(p, ByteSpan(pattern(kPage, p + 40)));
+    home_->serve_one();
+    client_->complete_put(p);
+  }
+  for (std::uint32_t p = 0; p < 4; ++p) client_->issue_get(p);
+  for (std::uint32_t p = 0; p < 4; ++p) home_->serve_one();
+  for (std::uint32_t p = 0; p < 4; ++p)
+    EXPECT_EQ(client_->complete_get(p), pattern(kPage, p + 40)) << p;
+  EXPECT_EQ(home_->gets_served(), 4u);
+}
+
+TEST_F(DsmTest, MismatchedCompletePageThrows) {
+  client_->issue_get(2);
+  home_->serve_one();
+  EXPECT_THROW(client_->complete_get(3), CheckError);
+}
+
+TEST(Dsm, RendezvousSizedPagesRoundTrip) {
+  // Pages above the rendezvous threshold travel as RTS/CTS bulk.
+  constexpr std::size_t kBig = 64 * 1024;
+  core::SimWorld w(2);
+  w.connect(0, 1, drv::test_profile());
+  DsmHome home(w.node(1), 0, 62, kBig, 4);
+  DsmClient client(w.node(0), 1, 62, kBig);
+  const Bytes data = core::testing::pattern(kBig, 77);
+  client.issue_put(1, ByteSpan(data));
+  home.serve_one();
+  client.complete_put(1);
+  client.issue_get(1);
+  home.serve_one();
+  EXPECT_EQ(client.complete_get(1), data);
+  EXPECT_GE(w.node(0).stats().counter("tx.rdv_rts"), 1u);
+  EXPECT_GE(w.node(1).stats().counter("tx.rdv_rts"), 1u);
+}
+
 TEST_F(DsmTest, BlockingApiWorksOverThreads) {
   // Real-driver world: the home is served from its own thread, so the
   // client's blocking get/put can be used directly.

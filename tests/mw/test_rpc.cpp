@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <thread>
+
 #include "core/world.hpp"
 #include "drivers/profiles.hpp"
 #include "tests/core/engine_test_util.hpp"
@@ -104,6 +107,36 @@ TEST_F(RpcTest, PendingReflectsArrival) {
 TEST_F(RpcTest, UnknownFunctionThrowsOnServer) {
   client_->issue(777, {});
   EXPECT_THROW(server_->serve_one(), CheckError);
+}
+
+TEST(Rpc, RawPointerCallOverloadBlocking) {
+  // The (fn, void*, len) overload wraps the span path; exercised through
+  // the blocking call() over a threaded world so the server can serve
+  // concurrently.
+  core::SocketWorld sw({}, drv::mx_myrinet_profile());
+  RpcClient client(sw.node(0), 1, 52);
+  RpcServer server(sw.node(1), 0, 52);
+  server.register_handler(7, [](ByteSpan args) {  // sum of doubles
+    const auto* d = reinterpret_cast<const double*>(args.data());
+    double sum = 0;
+    for (std::size_t i = 0; i < args.size() / sizeof(double); ++i)
+      sum += d[i];
+    Bytes out(sizeof(double));
+    std::memcpy(out.data(), &sum, sizeof(double));
+    return out;
+  });
+  std::thread t([&] { server.serve(2); });
+  const double vals[3] = {1.5, 2.25, 3.25};
+  Bytes resp = client.call(7, vals, sizeof vals);
+  ASSERT_EQ(resp.size(), sizeof(double));
+  double sum = 0;
+  std::memcpy(&sum, resp.data(), sizeof(double));
+  EXPECT_DOUBLE_EQ(sum, 7.0);
+  resp = client.call(7, nullptr, 0);  // empty raw-pointer args
+  std::memcpy(&sum, resp.data(), sizeof(double));
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+  t.join();
+  EXPECT_EQ(server.served(), 2u);
 }
 
 TEST_F(RpcTest, TwoClientsDifferentChannels) {
